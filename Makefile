@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick benchmark pass at test scale (set SOFTCACHE_BENCH_SCALE=paper for
+# full-size runs).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper at full scale, refreshing
+# EXPERIMENTS.md, results/*.csv and results/figures.html.
+figures:
+	$(GO) run ./cmd/softcache-bench -all -scale paper \
+		-md EXPERIMENTS.md -csv results -html results/figures.html
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/matvec
+	$(GO) run ./examples/spmv_scarce
+	$(GO) run ./examples/blocking
+	$(GO) run ./examples/prefetch
+	$(GO) run ./examples/dsl
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,140 @@
+// Package softcache_test hosts the repository-level benchmark harness: one
+// testing.B target per figure of the paper (BenchmarkFig01a …
+// BenchmarkFig12, BenchmarkAblations) plus micro-benchmarks of the
+// simulator and trace generator.
+//
+// The figure benchmarks run at test scale by default so `go test -bench=.`
+// stays fast; set SOFTCACHE_BENCH_SCALE=paper to regenerate the figures at
+// the paper's workload sizes (cmd/softcache-bench does the same with
+// readable output and shape checks).
+package softcache_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"softcache/internal/bench"
+	"softcache/internal/core"
+	"softcache/internal/locality"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+var (
+	ctxOnce  sync.Once
+	benchCtx *bench.Context
+)
+
+func benchScale() workloads.Scale {
+	if os.Getenv("SOFTCACHE_BENCH_SCALE") == "paper" {
+		return workloads.ScalePaper
+	}
+	return workloads.ScaleTest
+}
+
+func context() *bench.Context {
+	ctxOnce.Do(func() { benchCtx = bench.NewContext(benchScale(), 1) })
+	return benchCtx
+}
+
+// runFigure executes the experiment b.N times (traces are cached in the
+// shared context, so iterations measure simulation, not generation).
+func runFigure(b *testing.B, id string) {
+	e, err := bench.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+func BenchmarkFig01a(b *testing.B)    { runFigure(b, "1a") }
+func BenchmarkFig01b(b *testing.B)    { runFigure(b, "1b") }
+func BenchmarkFig03a(b *testing.B)    { runFigure(b, "3a") }
+func BenchmarkFig03b(b *testing.B)    { runFigure(b, "3b") }
+func BenchmarkThreeC(b *testing.B)    { runFigure(b, "3c") }
+func BenchmarkFig04a(b *testing.B)    { runFigure(b, "4a") }
+func BenchmarkFig04b(b *testing.B)    { runFigure(b, "4b") }
+func BenchmarkFig06a(b *testing.B)    { runFigure(b, "6a") }
+func BenchmarkFig06b(b *testing.B)    { runFigure(b, "6b") }
+func BenchmarkFig07a(b *testing.B)    { runFigure(b, "7a") }
+func BenchmarkFig07b(b *testing.B)    { runFigure(b, "7b") }
+func BenchmarkFig08a(b *testing.B)    { runFigure(b, "8a") }
+func BenchmarkFig08b(b *testing.B)    { runFigure(b, "8b") }
+func BenchmarkFig09a(b *testing.B)    { runFigure(b, "9a") }
+func BenchmarkFig09b(b *testing.B)    { runFigure(b, "9b") }
+func BenchmarkFig10a(b *testing.B)    { runFigure(b, "10a") }
+func BenchmarkFig10b(b *testing.B)    { runFigure(b, "10b") }
+func BenchmarkFig11a(b *testing.B)    { runFigure(b, "11a") }
+func BenchmarkFig11b(b *testing.B)    { runFigure(b, "11b") }
+func BenchmarkFig12(b *testing.B)     { runFigure(b, "12") }
+func BenchmarkAblations(b *testing.B) { runFigure(b, "ablations") }
+func BenchmarkFig12SW(b *testing.B)   { runFigure(b, "12sw") }
+func BenchmarkRelated(b *testing.B)   { runFigure(b, "related") }
+func BenchmarkIssueRate(b *testing.B) { runFigure(b, "issue") }
+func BenchmarkSummary(b *testing.B)   { runFigure(b, "summary") }
+
+// --- micro-benchmarks ----------------------------------------------------
+
+// benchmarkSimulator measures per-reference simulation cost and reports the
+// resulting AMAT as a custom metric, so regressions in either speed or
+// model behaviour are visible.
+func benchmarkSimulator(b *testing.B, cfg core.Config) {
+	tr, err := workloads.Trace("MV", benchScale(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var amat float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Simulate(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		amat = res.AMAT()
+	}
+	b.ReportMetric(amat, "AMAT-cycles")
+	b.ReportMetric(float64(tr.Len()), "refs/op")
+}
+
+func BenchmarkSimulateStandard(b *testing.B) { benchmarkSimulator(b, core.Standard()) }
+func BenchmarkSimulateSoft(b *testing.B)     { benchmarkSimulator(b, core.Soft()) }
+func BenchmarkSimulateSoftPrefetch(b *testing.B) {
+	benchmarkSimulator(b, core.WithPrefetch(core.Soft(), true))
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	p, err := workloads.BuildProgram("MV", benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracegen.Generate(p, tracegen.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalityAnalysis(b *testing.B) {
+	p, err := workloads.BuildProgram("Slalom", benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locality.Analyze(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// softcache-bench regenerates the paper's figures.
+//
+// Usage:
+//
+//	softcache-bench -all                 # every figure, paper scale
+//	softcache-bench -fig 6a -fig 7b     # selected figures
+//	softcache-bench -all -scale test     # quick pass at test scale
+//	softcache-bench -list                # list figure ids
+//
+// Each figure prints its table(s) — same rows and series as the paper's
+// plot — followed by the qualitative shape checks. The process exits
+// non-zero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"softcache/internal/bench"
+	"softcache/internal/workloads"
+)
+
+type figList []string
+
+func (f *figList) String() string { return fmt.Sprint([]string(*f)) }
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; split from main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("softcache-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var figs figList
+	fs.Var(&figs, "fig", "figure id to run (repeatable); see -list")
+	all := fs.Bool("all", false, "run every figure")
+	list := fs.Bool("list", false, "list figure ids and exit")
+	scaleName := fs.String("scale", "paper", "workload scale: paper or test")
+	seed := fs.Uint64("seed", 1, "trace generation seed")
+	bars := fs.Bool("bars", false, "also render ASCII bar charts")
+	mdPath := fs.String("md", "", "also write a Markdown report (EXPERIMENTS.md format) to this file")
+	csvDir := fs.String("csv", "", "also write one CSV per figure table into this directory")
+	htmlPath := fs.String("html", "", "also write an HTML report with SVG charts to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Fprintf(stdout, "%-10s %s\n", id, e.Title)
+		}
+		return 0
+	}
+
+	var scale workloads.Scale
+	switch *scaleName {
+	case "paper":
+		scale = workloads.ScalePaper
+	case "test":
+		scale = workloads.ScaleTest
+	default:
+		fmt.Fprintf(stderr, "softcache-bench: unknown scale %q (want paper or test)\n", *scaleName)
+		return 2
+	}
+
+	ids := []string(figs)
+	if *all {
+		ids = bench.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "softcache-bench: nothing to run; use -all, -fig <id> or -list")
+		return 2
+	}
+
+	ctx := bench.NewContext(scale, *seed)
+	failed := 0
+	globalStart := time.Now()
+	var reports []*bench.Report
+	for _, id := range ids {
+		e, err := bench.Get(id)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		start := time.Now()
+		report, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "softcache-bench: figure %s: %v\n", id, err)
+			return 1
+		}
+		reports = append(reports, report)
+		if *csvDir != "" {
+			files, err := bench.WriteCSV(*csvDir, report)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			for _, f := range files {
+				fmt.Fprintf(stdout, "wrote %s\n", f)
+			}
+		}
+		report.Fprint(stdout)
+		if *bars {
+			for _, t := range report.Tables {
+				t.FprintBars(stdout, 50)
+			}
+		}
+		fmt.Fprintf(stdout, "(elapsed %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if !report.Passed() {
+			failed++
+		}
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		bench.WriteMarkdown(f, reports, *scaleName, time.Since(globalStart))
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *mdPath)
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		bench.WriteHTML(f, reports, *scaleName, time.Since(globalStart))
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *htmlPath)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "softcache-bench: %d figure(s) with failing shape checks\n", failed)
+		return 1
+	}
+	return 0
+}

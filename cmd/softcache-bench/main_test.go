@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"1a", "6a", "9b", "12sw", "related", "ablations"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("figure %s missing from -list:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	out, errb, code := runBench(t, "-fig", "6a", "-scale", "test")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"Figure 6a", "Standard", "Soft", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.md")
+	_, errb, code := runBench(t, "-fig", "6b", "-scale", "test", "-md", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"# EXPERIMENTS", "## Figure 6b", "| benchmark |", "- [x]"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out, _, code := runBench(t, "-fig", "4a", "-scale", "test", "-bars")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("bar chart not rendered")
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	cases := [][]string{
+		{},                            // nothing selected
+		{"-fig", "nope"},              // unknown figure
+		{"-fig", "6a", "-scale", "x"}, // bad scale
+	}
+	for _, args := range cases {
+		if _, _, code := runBench(t, args...); code == 0 {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	_, errb, code := runBench(t, "-fig", "6a", "-scale", "test", "-csv", dir)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvText := string(data)
+	for _, want := range []string{"benchmark,Standard,Soft-T,Soft-S,Soft", "MV,", "SpMV,"} {
+		if !strings.Contains(csvText, want) {
+			t.Fatalf("csv missing %q:\n%s", want, csvText)
+		}
+	}
+}

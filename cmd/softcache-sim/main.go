@@ -1,0 +1,212 @@
+// softcache-sim runs one cache configuration over one workload (or a saved
+// trace) and prints the full statistics.
+//
+// Usage:
+//
+//	softcache-sim -workload MV                      # Soft on paper-scale MV
+//	softcache-sim -workload SpMV -config standard   # the baseline cache
+//	softcache-sim -workload LIV -config soft -latency 30 -vline 128
+//	softcache-sim -trace mv.trace -config victim    # from a saved trace
+//	softcache-sim -source kernel.loop -config soft  # from loop-nest source
+//	softcache-sim -workloads                        # list workloads
+//
+// Configurations: standard, victim, soft, soft-temporal, soft-spatial,
+// soft-variable, bypass, bypass-buffer, simplified-2way, soft-prefetch,
+// standard-prefetch, stream-buffers, column-assoc, subblock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"softcache/internal/core"
+	"softcache/internal/lang"
+	"softcache/internal/trace"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool with the given arguments, writing to the supplied
+// streams, and returns the process exit code. Split from main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("softcache-sim", flag.ContinueOnError)
+	flag.SetOutput(stderr)
+	workload := flag.String("workload", "", "workload name (see -workloads)")
+	source := flag.String("source", "", "loop-nest source file to compile, trace and simulate")
+	traceFile := flag.String("trace", "", "binary trace file to simulate instead of a workload")
+	configName := flag.String("config", "soft", "configuration name")
+	scaleName := flag.String("scale", "paper", "workload scale: paper or test")
+	seed := flag.Uint64("seed", 1, "trace generation seed")
+	latency := flag.Int("latency", 0, "override memory latency (cycles)")
+	vline := flag.Int("vline", -1, "override virtual line size (bytes; 0 disables)")
+	cacheKB := flag.Int("cache", 0, "override cache size (KiB)")
+	lineSize := flag.Int("line", 0, "override physical line size (bytes)")
+	assoc := flag.Int("assoc", 0, "override associativity")
+	stripT := flag.Bool("strip-temporal", false, "clear temporal tags in the trace")
+	stripS := flag.Bool("strip-spatial", false, "clear spatial tags in the trace")
+	warmup := flag.Int("warmup", 0, "exclude the first N references from the statistics (steady state)")
+	listW := flag.Bool("workloads", false, "list workloads and exit")
+	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listW {
+		for _, n := range workloads.Names() {
+			d, _ := workloads.Get(n)
+			fmt.Fprintf(stdout, "%-12s %s\n", n, d.Description)
+		}
+		return 0
+	}
+
+	cfg, err := configByName(*configName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *latency > 0 {
+		cfg = core.WithLatency(cfg, *latency)
+	}
+	if *vline >= 0 {
+		cfg.VirtualLineSize = *vline
+	}
+	if *cacheKB > 0 {
+		cfg.CacheSize = *cacheKB << 10
+	}
+	if *lineSize > 0 {
+		cfg.LineSize = *lineSize
+	}
+	if *assoc > 0 {
+		cfg.Assoc = *assoc
+	}
+
+	t, err := loadTrace(*workload, *source, *traceFile, *scaleName, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *stripT || *stripS {
+		t = t.StripTags(*stripT, *stripS)
+	}
+
+	var res core.Result
+	if *warmup > 0 {
+		res, err = core.SimulateWarm(cfg, t, *warmup)
+	} else {
+		res, err = core.Simulate(cfg, t)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	printResult(stdout, t, res)
+	return 0
+}
+
+func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*trace.Trace, error) {
+	selected := 0
+	for _, s := range []string{workload, source, traceFile} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("softcache-sim: -workload, -source and -trace are mutually exclusive")
+	}
+	switch {
+	case source != "":
+		data, err := os.ReadFile(source)
+		if err != nil {
+			return nil, err
+		}
+		p, err := lang.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", source, err)
+		}
+		return tracegen.Generate(p, tracegen.Options{Seed: seed})
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	case workload != "":
+		var scale workloads.Scale
+		switch scaleName {
+		case "paper":
+			scale = workloads.ScalePaper
+		case "test":
+			scale = workloads.ScaleTest
+		default:
+			return nil, fmt.Errorf("softcache-sim: unknown scale %q", scaleName)
+		}
+		return workloads.Trace(workload, scale, seed)
+	default:
+		return nil, fmt.Errorf("softcache-sim: need -workload or -trace (or -workloads to list)")
+	}
+}
+
+func configByName(name string) (core.Config, error) {
+	switch name {
+	case "standard":
+		return core.Standard(), nil
+	case "victim":
+		return core.Victim(), nil
+	case "soft":
+		return core.Soft(), nil
+	case "soft-temporal":
+		return core.SoftTemporal(), nil
+	case "soft-spatial":
+		return core.SoftSpatial(), nil
+	case "bypass":
+		return core.BypassPlain(), nil
+	case "bypass-buffer":
+		return core.BypassBuffered(), nil
+	case "simplified-2way":
+		return core.SimplifiedSoftAssoc(2), nil
+	case "soft-prefetch":
+		return core.WithPrefetch(core.Soft(), true), nil
+	case "standard-prefetch":
+		return core.WithPrefetch(core.Standard(), false), nil
+	case "soft-variable":
+		return core.SoftVariable(), nil
+	case "stream-buffers":
+		return core.StandardStreamBuffers(), nil
+	case "column-assoc":
+		return core.ColumnAssociative(), nil
+	case "subblock":
+		return core.Subblocked(), nil
+	default:
+		return core.Config{}, fmt.Errorf("softcache-sim: unknown config %q", name)
+	}
+}
+
+func printResult(w io.Writer, t *trace.Trace, res core.Result) {
+	s := res.Stats
+	fmt.Fprintf(w, "trace          %s (%d references)\n", res.Trace, s.References)
+	fmt.Fprintf(w, "config         %s\n", res.Config)
+	fmt.Fprintf(w, "AMAT           %.4f cycles\n", s.AMAT())
+	fmt.Fprintf(w, "miss ratio     %.4f\n", s.MissRatio())
+	fmt.Fprintf(w, "traffic        %.4f words/reference\n", s.WordsPerReference())
+	fmt.Fprintf(w, "hits           main=%d (%.1f%%) bounce-back=%d bypass-buffer=%d\n",
+		s.MainHits, 100*s.MainHitFraction(), s.BounceBackHits, s.BypassBufferHits)
+	fmt.Fprintf(w, "misses         %d (reads %d, writes %d total refs)\n", s.Misses, s.Reads, s.Writes)
+	fmt.Fprintf(w, "virtual fills  %d (lines fetched %d, skipped by coherence %d, invalidations %d)\n",
+		s.VirtualFills, s.VirtualLinesFetched, s.VirtualLinesSkipped, s.Invalidations)
+	fmt.Fprintf(w, "bounce-back    swaps=%d bounced=%d canceled=%d aborted=%d\n",
+		s.Swaps, s.BouncedBack, s.BounceBackCanceled, s.BounceBackAborted)
+	fmt.Fprintf(w, "prefetch       issued=%d hits=%d discarded=%d\n",
+		s.PrefetchesIssued, s.PrefetchHits, s.PrefetchDiscarded)
+	fmt.Fprintf(w, "memory         requests=%d bytes=%d writebacks=%d wb-stall=%d cycles\n",
+		s.Mem.Requests, s.Mem.BytesFetched, s.Mem.Writebacks, s.Mem.WritebackStallCycles)
+	fmt.Fprintf(w, "lock stalls    %d cycles\n", s.LockStallCycles)
+	tags := t.CountTags()
+	fmt.Fprintf(w, "tags           none=%d spatial=%d temporal=%d both=%d\n",
+		tags.None, tags.SpatialOnly, tags.TemporalOnly, tags.Both)
+}

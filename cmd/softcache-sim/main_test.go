@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestListWorkloads(t *testing.T) {
+	out, _, code := runSim(t, "-workloads")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"MV", "SpMV", "MDG-kernel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("workload list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateWorkload(t *testing.T) {
+	out, errb, code := runSim(t, "-workload", "MV", "-scale", "test", "-config", "soft")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"AMAT", "miss ratio", "bounce-back", "virtual fills"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllConfigNames(t *testing.T) {
+	for _, cfg := range []string{
+		"standard", "victim", "soft", "soft-temporal", "soft-spatial",
+		"soft-variable", "bypass", "bypass-buffer", "simplified-2way",
+		"soft-prefetch", "standard-prefetch", "stream-buffers", "column-assoc",
+		"subblock",
+	} {
+		_, errb, code := runSim(t, "-workload", "SpMV", "-scale", "test", "-config", cfg)
+		if code != 0 {
+			t.Fatalf("config %s: exit %d: %s", cfg, code, errb)
+		}
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	out, errb, code := runSim(t, "-workload", "MV", "-scale", "test",
+		"-config", "standard", "-cache", "16", "-line", "64", "-assoc", "2", "-latency", "30")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "16K/64B/2-way") {
+		t.Fatalf("overrides not applied:\n%s", out)
+	}
+}
+
+func TestStripTags(t *testing.T) {
+	out, _, code := runSim(t, "-workload", "MV", "-scale", "test",
+		"-config", "soft", "-strip-temporal", "-strip-spatial")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "spatial=0 temporal=0 both=0") {
+		t.Fatalf("tags not stripped:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // neither -workload nor -trace
+		{"-workload", "nope"},               // unknown workload
+		{"-workload", "MV", "-scale", "xx"}, // bad scale
+		{"-workload", "MV", "-config", "zz"},
+		{"-workload", "MV", "-trace", "f"}, // mutually exclusive
+		{"-trace", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if _, _, code := runSim(t, args...); code == 0 {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, code := runSim(t, "-definitely-not-a-flag"); code != 2 {
+		t.Fatal("unknown flag should exit 2")
+	}
+}

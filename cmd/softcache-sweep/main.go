@@ -1,0 +1,236 @@
+// softcache-sweep explores the design space beyond the paper's figures: it
+// sweeps one or two configuration parameters over a workload and prints a
+// CSV matrix of the chosen metric.
+//
+// Usage:
+//
+//	softcache-sweep -workload MV -x latency=5,10,20,30
+//	softcache-sweep -workload SpMV -config soft \
+//	    -x cache=4,8,16,32 -y vline=0,64,128,256 -metric miss
+//	softcache-sweep -source kernel.loop -x line=16,32,64 -metric traffic
+//
+// Axes: cache (KiB), line (bytes), vline (bytes; 0 disables), latency
+// (cycles), assoc (ways), bb (bounce-back lines), sbuf (stream buffers).
+// Metrics: amat, miss, traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"softcache/internal/core"
+	"softcache/internal/lang"
+	"softcache/internal/trace"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// axis is one swept parameter.
+type axis struct {
+	key    string
+	values []int
+}
+
+// parseAxis parses "key=v1,v2,v3".
+func parseAxis(s string) (axis, error) {
+	key, list, ok := strings.Cut(s, "=")
+	if !ok || key == "" || list == "" {
+		return axis{}, fmt.Errorf("softcache-sweep: axis %q must be key=v1,v2,...", s)
+	}
+	var a axis
+	a.key = key
+	for _, v := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return axis{}, fmt.Errorf("softcache-sweep: axis %q: %v", s, err)
+		}
+		a.values = append(a.values, n)
+	}
+	return a, nil
+}
+
+// apply sets one swept parameter on the configuration.
+func apply(cfg core.Config, key string, v int) (core.Config, error) {
+	switch key {
+	case "cache":
+		cfg.CacheSize = v << 10
+	case "line":
+		cfg.LineSize = v
+	case "vline":
+		cfg.VirtualLineSize = v
+	case "latency":
+		cfg.Memory.LatencyCycles = v
+	case "assoc":
+		cfg.Assoc = v
+	case "bb":
+		cfg.BounceBackLines = v
+		if v > 0 && cfg.BounceBackCycles == 0 {
+			cfg.BounceBackCycles = 3
+			cfg.SwapLockCycles = 2
+		}
+	case "sbuf":
+		cfg.StreamBuffers = v
+	default:
+		return cfg, fmt.Errorf("softcache-sweep: unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
+	}
+	return cfg, nil
+}
+
+// metricOf extracts the requested metric.
+func metricOf(name string, r core.Result) (float64, error) {
+	switch name {
+	case "amat":
+		return r.AMAT(), nil
+	case "miss":
+		return r.MissRatio(), nil
+	case "traffic":
+		return r.Stats.WordsPerReference(), nil
+	default:
+		return 0, fmt.Errorf("softcache-sweep: unknown metric %q (want amat, miss or traffic)", name)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("softcache-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "workload name")
+	source := fs.String("source", "", "loop-nest source file")
+	configName := fs.String("config", "soft", "base configuration (as in softcache-sim)")
+	scaleName := fs.String("scale", "paper", "workload scale: paper or test")
+	seed := fs.Uint64("seed", 1, "trace generation seed")
+	xSpec := fs.String("x", "", "swept axis: key=v1,v2,... (columns)")
+	ySpec := fs.String("y", "", "optional second axis (rows)")
+	metric := fs.String("metric", "amat", "metric: amat, miss or traffic")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *xSpec == "" {
+		fmt.Fprintln(stderr, "softcache-sweep: -x is required")
+		return 2
+	}
+
+	xAxis, err := parseAxis(*xSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	yAxis := axis{key: "", values: []int{0}}
+	if *ySpec != "" {
+		yAxis, err = parseAxis(*ySpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	base, err := baseConfig(*configName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	t, err := loadTrace(*workload, *source, *scaleName, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	// Header row.
+	head := make([]string, 0, len(xAxis.values)+1)
+	if yAxis.key == "" {
+		head = append(head, xAxis.key)
+	} else {
+		head = append(head, yAxis.key+`\`+xAxis.key)
+	}
+	for _, x := range xAxis.values {
+		head = append(head, strconv.Itoa(x))
+	}
+	fmt.Fprintln(stdout, strings.Join(head, ","))
+
+	for _, y := range yAxis.values {
+		row := make([]string, 0, len(xAxis.values)+1)
+		if yAxis.key == "" {
+			row = append(row, *metric)
+		} else {
+			row = append(row, strconv.Itoa(y))
+		}
+		for _, x := range xAxis.values {
+			cfg := base
+			if yAxis.key != "" {
+				if cfg, err = apply(cfg, yAxis.key, y); err != nil {
+					fmt.Fprintln(stderr, err)
+					return 2
+				}
+			}
+			if cfg, err = apply(cfg, xAxis.key, x); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			res, err := core.Simulate(cfg, t)
+			if err != nil {
+				fmt.Fprintf(stderr, "softcache-sweep: %s=%d %s=%d: %v\n", xAxis.key, x, yAxis.key, y, err)
+				return 1
+			}
+			m, err := metricOf(*metric, res)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			row = append(row, strconv.FormatFloat(m, 'f', 4, 64))
+		}
+		fmt.Fprintln(stdout, strings.Join(row, ","))
+	}
+	return 0
+}
+
+func baseConfig(name string) (core.Config, error) {
+	switch name {
+	case "standard":
+		return core.Standard(), nil
+	case "victim":
+		return core.Victim(), nil
+	case "soft":
+		return core.Soft(), nil
+	case "soft-variable":
+		return core.SoftVariable(), nil
+	default:
+		return core.Config{}, fmt.Errorf("softcache-sweep: unknown base config %q (want standard, victim, soft or soft-variable)", name)
+	}
+}
+
+func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, error) {
+	switch {
+	case workload != "" && source != "":
+		return nil, fmt.Errorf("softcache-sweep: -workload and -source are mutually exclusive")
+	case source != "":
+		data, err := os.ReadFile(source)
+		if err != nil {
+			return nil, err
+		}
+		p, err := lang.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", source, err)
+		}
+		return tracegen.Generate(p, tracegen.Options{Seed: seed})
+	case workload != "":
+		var scale workloads.Scale
+		switch scaleName {
+		case "paper":
+			scale = workloads.ScalePaper
+		case "test":
+			scale = workloads.ScaleTest
+		default:
+			return nil, fmt.Errorf("softcache-sweep: unknown scale %q", scaleName)
+		}
+		return workloads.Trace(workload, scale, seed)
+	default:
+		return nil, fmt.Errorf("softcache-sweep: need -workload or -source")
+	}
+}

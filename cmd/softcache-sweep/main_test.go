@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestOneDimensionalSweep(t *testing.T) {
+	out, errb, code := runSweep(t, "-workload", "MV", "-scale", "test",
+		"-x", "latency=5,10,20")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "latency,5,10,20" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	cells := strings.Split(lines[1], ",")
+	if cells[0] != "amat" || len(cells) != 4 {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// AMAT must grow with latency.
+	var prev float64
+	for i, c := range cells[1:] {
+		v, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", c, err)
+		}
+		if i > 0 && v <= prev {
+			t.Fatalf("AMAT not increasing with latency: %v", lines[1])
+		}
+		prev = v
+	}
+}
+
+func TestTwoDimensionalSweep(t *testing.T) {
+	out, errb, code := runSweep(t, "-workload", "SpMV", "-scale", "test",
+		"-config", "soft", "-x", "vline=0,64,128", "-y", "cache=4,8", "-metric", "miss")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], `cache\vline,0,64,128`) {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "4,") || !strings.HasPrefix(lines[2], "8,") {
+		t.Fatalf("row labels wrong:\n%s", out)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{},                  // no -x
+		{"-x", "latency=5"}, // no workload
+		{"-workload", "MV", "-x", "zz=5"},
+		{"-workload", "MV", "-x", "latency"},
+		{"-workload", "MV", "-x", "latency=abc"},
+		{"-workload", "MV", "-x", "latency=5", "-metric", "bogus"},
+		{"-workload", "MV", "-x", "latency=5", "-config", "bogus"},
+		{"-workload", "MV", "-source", "f", "-x", "latency=5"},
+	}
+	for _, args := range cases {
+		if _, _, code := runSweep(t, append(args, "-scale", "test")...); code == 0 {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// softcache-trace generates, saves, inspects and characterises reference
+// traces.
+//
+// Usage:
+//
+//	softcache-trace -workload MV -out mv.trace        # generate and save
+//	softcache-trace -in mv.trace -stats               # fig. 1/4 style stats
+//	softcache-trace -workload SpMV -stats             # directly from a workload
+//	softcache-trace -in mv.trace -dump -n 20          # first records
+//	softcache-trace -workload MV -program             # print the loop nest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"softcache/internal/lang"
+	"softcache/internal/locality"
+	"softcache/internal/loopir"
+	"softcache/internal/metrics"
+	"softcache/internal/trace"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; split from main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("softcache-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "workload to generate (see softcache-sim -workloads)")
+	source := fs.String("source", "", "loop-nest source file to compile and trace (see internal/lang)")
+	in := fs.String("in", "", "trace file to read")
+	din := fs.String("din", "", "Dinero-format trace file to import (no tags)")
+	out := fs.String("out", "", "write the trace to this file")
+	scaleName := fs.String("scale", "paper", "workload scale: paper or test")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	stats := fs.Bool("stats", false, "print fig. 1a/1b/4a/4b style characterisation")
+	dump := fs.Bool("dump", false, "dump records")
+	n := fs.Int("n", 10, "records to dump")
+	program := fs.Bool("program", false, "print the workload's loop nest with resolved tags")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	t, err := obtainTrace(stdout, *workload, *source, *in, *din, *scaleName, *seed, *program)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if t == nil {
+		return 0 // -program only
+	}
+
+	fmt.Fprintf(stdout, "trace %s: %d references\n", t.Name, t.Len())
+
+	if *out != "" {
+		if err := writeTrace(*out, t); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+
+	if *dump {
+		for i, r := range t.Records {
+			if i >= *n {
+				break
+			}
+			fmt.Fprintln(stdout, r)
+		}
+	}
+
+	if *stats {
+		printStats(stdout, t)
+	}
+	return 0
+}
+
+func writeTrace(path string, t *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, seed uint64, program bool) (*trace.Trace, error) {
+	selected := 0
+	for _, s := range []string{workload, source, in, din} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("softcache-trace: -workload, -source, -in and -din are mutually exclusive")
+	}
+	switch {
+	case din != "":
+		f, err := os.Open(din)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadDin(f, strings.TrimSuffix(filepath.Base(din), filepath.Ext(din)))
+	case source != "":
+		data, err := os.ReadFile(source)
+		if err != nil {
+			return nil, err
+		}
+		p, err := lang.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", source, err)
+		}
+		if program {
+			tags, err := locality.Analyze(p)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(stdout, p.StringTagged(map[int]loopir.Tags(tags)))
+			return nil, nil
+		}
+		return tracegen.Generate(p, tracegen.Options{Seed: seed})
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	case workload != "":
+		var scale workloads.Scale
+		switch scaleName {
+		case "paper":
+			scale = workloads.ScalePaper
+		case "test":
+			scale = workloads.ScaleTest
+		default:
+			return nil, fmt.Errorf("softcache-trace: unknown scale %q", scaleName)
+		}
+		p, err := workloads.BuildProgram(workload, scale)
+		if err != nil {
+			return nil, err
+		}
+		if program {
+			tags, err := locality.Analyze(p)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(stdout, p.StringTagged(map[int]loopir.Tags(tags)))
+			return nil, nil
+		}
+		return tracegen.Generate(p, tracegen.Options{Seed: seed})
+	default:
+		return nil, fmt.Errorf("softcache-trace: need -workload, -source, -in or -din")
+	}
+}
+
+func printStats(w io.Writer, t *trace.Trace) {
+	fmt.Fprintln(w)
+	reuse := metrics.ReuseDistances(t, 8)
+	tbl := metrics.NewTable("Reuse distances (fig. 1a)", "trace", metrics.ReuseBuckets...)
+	tbl.AddRow(t.Name, reuse[0], reuse[1], reuse[2], reuse[3], reuse[4])
+	tbl.Fprint(w, "%.3f")
+	fmt.Fprintln(w)
+
+	vec := metrics.VectorLengths(t, metrics.VectorParams{})
+	tbl = metrics.NewTable("Vector lengths (fig. 1b)", "trace", metrics.VectorBuckets...)
+	tbl.AddRow(t.Name, vec[0], vec[1], vec[2], vec[3], vec[4], vec[5])
+	tbl.Fprint(w, "%.3f")
+	fmt.Fprintln(w)
+
+	tags := metrics.TagFractions(t)
+	tbl = metrics.NewTable("Tag fractions (fig. 4a)", "trace", metrics.TagClasses...)
+	tbl.AddRow(t.Name, tags[0], tags[1], tags[2], tags[3])
+	tbl.Fprint(w, "%.3f")
+	fmt.Fprintln(w)
+
+	gaps := metrics.GapDistribution(t)
+	tbl = metrics.NewTable("Issue gaps (fig. 4b)", "trace", metrics.GapBuckets...)
+	tbl.AddRow(t.Name, gaps[0], gaps[1], gaps[2], gaps[3], gaps[4], gaps[5], gaps[6], gaps[7], gaps[8])
+	tbl.Fprint(w, "%.3f")
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestProgramPrinting(t *testing.T) {
+	out, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-program")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"PROGRAM MV", "temporal=1 spatial=1", "temporal=0 spatial=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	out, errb, code := runTool(t, "-workload", "SpMV", "-scale", "test", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"Reuse distances", "Vector lengths", "Tag fractions", "Issue gaps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	out, _, code := runTool(t, "-workload", "MV", "-scale", "test", "-dump", "-n", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header line + 3 records.
+	if len(lines) != 4 {
+		t.Fatalf("dump lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSaveAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mv.trace")
+	out, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-out", path)
+	if code != 0 {
+		t.Fatalf("save: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("missing write confirmation:\n%s", out)
+	}
+	out2, errb2, code := runTool(t, "-in", path, "-stats")
+	if code != 0 {
+		t.Fatalf("reload: exit %d: %s", code, errb2)
+	}
+	if !strings.Contains(out2, "trace MV:") {
+		t.Fatalf("reloaded trace lost its name:\n%s", out2)
+	}
+	// Round trip must preserve the record count.
+	l1 := strings.Split(out, "\n")[0]
+	l2 := strings.Split(out2, "\n")[0]
+	if l1 != l2 {
+		t.Fatalf("record counts differ: %q vs %q", l1, l2)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := [][]string{
+		{}, // nothing to do
+		{"-workload", "nope"},
+		{"-workload", "MV", "-in", "x"},
+		{"-in", "/nonexistent"},
+		{"-workload", "MV", "-scale", "huge"},
+	}
+	for _, args := range cases {
+		if _, _, code := runTool(t, args...); code == 0 {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}
+
+func TestSourceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.loop")
+	src := "program k\narray A(64)\ndo i = 0, 63\nload A(i)\nend\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errb, code := runTool(t, "-source", path, "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "trace k: 64 references") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// -program on a source file prints the tagged nest.
+	out2, _, code := runTool(t, "-source", path, "-program")
+	if code != 0 || !strings.Contains(out2, "PROGRAM k") {
+		t.Fatalf("program print failed (%d):\n%s", code, out2)
+	}
+	// Parse errors carry the file name and line.
+	bad := filepath.Join(t.TempDir(), "bad.loop")
+	if err := os.WriteFile(bad, []byte("program p\n@@@\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errb2, code := runTool(t, "-source", bad)
+	if code == 0 || !strings.Contains(errb2, "bad.loop") || !strings.Contains(errb2, "line 2") {
+		t.Fatalf("bad source: exit %d, stderr %q", code, errb2)
+	}
+}
+
+func TestDinImport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.din")
+	if err := os.WriteFile(path, []byte("0 1000\n1 1008\n2 9999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errb, code := runTool(t, "-din", path, "-dump", "-n", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "trace w: 2 references") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "W 0x00001008") {
+		t.Fatalf("write record missing:\n%s", out)
+	}
+	// Mutually exclusive with -workload.
+	if _, _, code := runTool(t, "-din", path, "-workload", "MV"); code == 0 {
+		t.Fatal("-din with -workload should fail")
+	}
+}

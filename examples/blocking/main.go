@@ -1,0 +1,72 @@
+// blocking reproduces the paper's §4.2/§4.3 discussion: software-assisted
+// caches let blocked algorithms use block sizes near the theoretical
+// optimum (pollution no longer forces conservative blocking) and make data
+// copying cheaper and safer.
+//
+//	go run ./examples/blocking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softcache/internal/core"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func main() {
+	fmt.Println("Blocked matrix-vector multiply: AMAT vs block size (§4.2, fig. 11a)")
+	fmt.Printf("%8s %12s %10s\n", "block", "Standard", "Soft")
+	for _, b := range []int{10, 20, 40, 50, 100, 200, 500, 1000} {
+		p, err := workloads.BlockedMV(workloads.ScalePaper, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		std, err := core.Simulate(core.Standard(), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		soft, err := core.Simulate(core.Soft(), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12.3f %10.3f\n", b, std.AMAT(), soft.AMAT())
+	}
+
+	fmt.Println()
+	fmt.Println("Blocked matrix-matrix multiply with/without copying (§4.3, fig. 11b)")
+	fmt.Printf("%4s %15s %13s %14s %12s\n", "LD", "NoCopy(stand)", "Copy(stand)", "NoCopy(soft)", "Copy(soft)")
+	for _, ld := range []int{116, 120, 124, 126} {
+		row := make([]float64, 0, 4)
+		for _, copying := range []bool{false, true} {
+			p, err := workloads.BlockedMM(workloads.ScalePaper, ld, copying)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			std, err := core.Simulate(core.Standard(), tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			soft, err := core.Simulate(core.Soft(), tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, std.AMAT(), soft.AMAT())
+		}
+		// row = [noCopyStd, noCopySoft, copyStd, copySoft]
+		fmt.Printf("%4d %15.3f %13.3f %14.3f %12.3f\n", ld, row[0], row[2], row[1], row[3])
+	}
+	fmt.Println()
+	fmt.Println("Copying flattens the leading-dimension spikes; software control")
+	fmt.Println("removes most of its refill cost (the local-memory array is tagged")
+	fmt.Println("temporal, so refill streams cannot flush it).")
+}

@@ -1,0 +1,119 @@
+// spmv_scarce reproduces the paper's §4.1 argument: sparse codes have
+// *scarce* locality — each X element is reused only nnz-per-row times, at
+// randomized distances — and no compiler analysis applies, so user
+// directives carry the tags. Avoiding pollution by the matrix and index
+// streams is what makes that scarce locality exploitable.
+//
+// The example builds the same CSR kernel three ways — untagged, with the
+// paper's directives, and with deliberately inverted directives — and shows
+// that only the correct directives help (and that wrong ones are the case
+// software-assisted caches must stay safe under).
+//
+//	go run ./examples/spmv_scarce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softcache/internal/core"
+	"softcache/internal/loopir"
+	"softcache/internal/timing"
+	"softcache/internal/tracegen"
+)
+
+const (
+	n         = 1200
+	nnzPerRow = 30
+)
+
+// buildSpMV constructs the §4.1 CSR loop. tagMode selects how the
+// references are tagged: "none" (no directives — nothing is analysable),
+// "paper" (stream arrays spatial-only, X temporal), or "inverted"
+// (deliberately wrong: streams temporal, X spatial).
+func buildSpMV(tagMode string) (*loopir.Program, error) {
+	rng := timing.NewRNG(0x5eed_5b3c)
+	rowPtr := make([]int, n+1)
+	var cols []int
+	for i := 0; i < n; i++ {
+		rowPtr[i] = len(cols)
+		nnz := 1 + rng.Intn(2*nnzPerRow-1)
+		for k := 0; k < nnz; k++ {
+			cols = append(cols, rng.Intn(n))
+		}
+	}
+	rowPtr[n] = len(cols)
+
+	p := loopir.NewProgram("SpMV-" + tagMode)
+	p.DeclareArray("A", len(cols))
+	p.DeclareArray("X", n)
+	p.DeclareArray("Y", n)
+	p.DeclareIndexArray("Index", cols)
+	p.DeclareIndexArray("D", rowPtr)
+
+	var yT, dT, idxT, aT, xT loopir.Tags
+	switch tagMode {
+	case "none":
+		// Everything untagged: what a compiler without sparse support
+		// and without user directives produces.
+	case "paper":
+		yT = loopir.Tags{Temporal: true, Spatial: true}
+		dT = loopir.Tags{Spatial: true}
+		idxT = loopir.Tags{Spatial: true}
+		aT = loopir.Tags{Spatial: true}
+		xT = loopir.Tags{Temporal: true}
+	case "inverted":
+		idxT = loopir.Tags{Temporal: true}
+		aT = loopir.Tags{Temporal: true}
+		xT = loopir.Tags{Spatial: true}
+	default:
+		return nil, fmt.Errorf("unknown tag mode %q", tagMode)
+	}
+
+	j1, j2 := loopir.V("j1"), loopir.V("j2")
+	p.Add(
+		loopir.Do("j1", loopir.C(0), loopir.C(n-1),
+			loopir.Read("Y", j1).WithTags(yT.Temporal, yT.Spatial),
+			loopir.Read("D", j1).WithTags(dT.Temporal, dT.Spatial),
+			loopir.Do("j2",
+				loopir.Load("D", j1),
+				loopir.Plus(loopir.Load("D", loopir.Plus(j1, 1)), -1),
+				loopir.Read("Index", j2).WithTags(idxT.Temporal, idxT.Spatial),
+				loopir.Read("A", j2).WithTags(aT.Temporal, aT.Spatial),
+				loopir.Read("X", loopir.Load("Index", j2)).WithTags(xT.Temporal, xT.Spatial),
+			),
+			loopir.Store("Y", j1).WithTags(yT.Temporal, yT.Spatial),
+		),
+	)
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func main() {
+	fmt.Println("Sparse matrix-vector multiply: X is reused ~30x per element at")
+	fmt.Println("randomised distances; A and Index stream by and pollute the cache.")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %12s %10s\n", "tagging", "AMAT", "miss ratio", "traffic")
+	for _, mode := range []string{"none", "paper", "inverted"} {
+		p, err := buildSpMV(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Simulate(core.Soft(), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8.3f %12.4f %10.3f\n",
+			mode, res.AMAT(), res.MissRatio(), res.Stats.WordsPerReference())
+	}
+	fmt.Println()
+	fmt.Println("\"none\" degenerates to a plain cache+victim pair; \"paper\" exploits")
+	fmt.Println("the scarce locality; \"inverted\" shows the design degrades gently")
+	fmt.Println("rather than catastrophically under wrong directives.")
+}

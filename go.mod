@@ -1,0 +1,3 @@
+module softcache
+
+go 1.22

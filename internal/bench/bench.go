@@ -1,0 +1,221 @@
+// Package bench regenerates every figure of the paper's evaluation. Each
+// experiment is registered under its figure id ("1a" … "12", plus
+// "ablations") and produces a Report: one or more tables shaped like the
+// paper's plot (same rows, same series) plus shape checks that assert the
+// qualitative claims the reproduction is expected to preserve (who wins,
+// roughly by how much, where crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"softcache/internal/core"
+	"softcache/internal/metrics"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// Context carries experiment-wide state: the workload scale, the trace
+// seed, and a trace cache so the nine benchmarks are generated once per
+// process instead of once per configuration.
+type Context struct {
+	Scale workloads.Scale
+	Seed  uint64
+	cache map[string]*trace.Trace
+}
+
+// NewContext builds a context at the given scale. Seed 0 selects the
+// default seed 1.
+func NewContext(scale workloads.Scale, seed uint64) *Context {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Context{Scale: scale, Seed: seed, cache: make(map[string]*trace.Trace)}
+}
+
+// Trace returns the (cached) tagged trace of the named workload.
+func (c *Context) Trace(name string) (*trace.Trace, error) {
+	if t, ok := c.cache[name]; ok {
+		return t, nil
+	}
+	t, err := workloads.Trace(name, c.Scale, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.cache[name] = t
+	return t, nil
+}
+
+// Simulate runs cfg over the named workload's trace.
+func (c *Context) Simulate(name string, cfg core.Config) (core.Result, error) {
+	t, err := c.Trace(name)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Simulate(cfg, t)
+}
+
+// Check is one qualitative shape assertion.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+	Checks []Check
+}
+
+// Passed reports whether every shape check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Fprint renders the report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "=== Figure %s: %s ===\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Fprint(w, "%.3f")
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] %s", status, c.Name)
+		if c.Detail != "" {
+			fmt.Fprintf(w, " (%s)", c.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Fprint(&b)
+	return b.String()
+}
+
+func (r *Report) check(name string, pass bool, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: detail})
+}
+
+// Experiment regenerates one figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) (*Report, error)
+}
+
+var experiments = map[string]Experiment{}
+var experimentOrder []string
+
+func register(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	experiments[e.ID] = e
+	experimentOrder = append(experimentOrder, e.ID)
+}
+
+// Get returns the experiment for a figure id.
+func Get(id string) (Experiment, error) {
+	e, ok := experiments[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown figure %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// IDs lists every registered figure id in registration (paper) order.
+func IDs() []string {
+	out := append([]string(nil), experimentOrder...)
+	return out
+}
+
+// RunAll executes every experiment and returns the reports in paper order.
+func RunAll(ctx *Context) ([]*Report, error) {
+	var reports []*Report
+	for _, id := range IDs() {
+		e := experiments[id]
+		r, err := e.Run(ctx)
+		if err != nil {
+			return reports, fmt.Errorf("bench: figure %s: %w", id, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// amatTable runs the given configurations over the given workloads and
+// returns a workloads × configs AMAT table (the shape of most figures).
+func amatTable(ctx *Context, title string, names []string, configs []namedConfig, metric func(core.Result) float64) (*metrics.Table, error) {
+	cols := make([]string, len(configs))
+	for i, c := range configs {
+		cols[i] = c.label
+	}
+	tbl := metrics.NewTable(title, "benchmark", cols...)
+	for _, name := range names {
+		row := make([]float64, len(configs))
+		for i, c := range configs {
+			res, err := ctx.Simulate(name, c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", c.label, name, err)
+			}
+			row[i] = metric(res)
+		}
+		tbl.AddRow(name, row...)
+	}
+	return tbl, nil
+}
+
+type namedConfig struct {
+	label string
+	cfg   core.Config
+}
+
+// amat is the default metric.
+func amat(r core.Result) float64 { return r.AMAT() }
+
+// columnWins counts how many rows have tbl[row][a] <= tbl[row][b] + eps.
+func columnWins(tbl *metrics.Table, a, b int, eps float64) (wins, rows int) {
+	rows = tbl.Rows()
+	for i := 0; i < rows; i++ {
+		if tbl.Value(i, a) <= tbl.Value(i, b)+eps {
+			wins++
+		}
+	}
+	return wins, rows
+}
+
+// geomean of a column (all values must be positive).
+func columnGeomean(tbl *metrics.Table, col int) float64 {
+	prod := 1.0
+	n := tbl.Rows()
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		prod *= tbl.Value(i, col)
+	}
+	return pow(prod, 1/float64(n))
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

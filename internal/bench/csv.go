@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes one CSV file per table of the report into dir, named
+// fig<ID>.csv (or fig<ID>-<n>.csv when a figure has several tables). The
+// files carry exactly the numbers the paper's plots show, ready for any
+// external plotting tool.
+func WriteCSV(dir string, r *Report) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	for i, tbl := range r.Tables {
+		name := fmt.Sprintf("fig%s.csv", sanitize(r.ID))
+		if len(r.Tables) > 1 {
+			name = fmt.Sprintf("fig%s-%d.csv", sanitize(r.ID), i+1)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		err = writeTableCSV(f, tbl.RowLabel, tbl.Columns, tbl.Rows(),
+			tbl.RowLabelAt, tbl.Value)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return written, fmt.Errorf("writing %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}
+
+func writeTableCSV(w io.Writer, rowLabel string, columns []string, rows int,
+	label func(int) string, value func(int, int) float64) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{rowLabel}, columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		rec := make([]string, 0, len(columns)+1)
+		rec = append(rec, label(i))
+		for c := range columns {
+			rec = append(rec, strconv.FormatFloat(value(i, c), 'g', 8, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r >= 'A' && r <= 'Z' {
+			return r
+		}
+		return '_'
+	}, id)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"softcache/internal/core"
+	"softcache/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "3a",
+		Title: "Efficiency of bypassing: Standard vs plain bypass vs bypass through a buffer (AMAT)",
+		Run:   runFig3a,
+	})
+	register(Experiment{
+		ID:    "3b",
+		Title: "Efficiency of victim caches: Standard, Standard+Victim, Soft (AMAT)",
+		Run:   runFig3b,
+	})
+}
+
+// runFig3a reproduces fig. 3a. The paper's point: classic bypassing is
+// usually *harmful* because non-reusable data loses its spatial locality —
+// every access pays the memory latency — while a small buffer recovers part
+// of it.
+func runFig3a(ctx *Context) (*Report, error) {
+	r := &Report{ID: "3a", Title: "Efficiency of Bypassing"}
+	tbl, err := amatTable(ctx, "AMAT (cycles)", workloads.Benchmarks(), []namedConfig{
+		{"Standard", core.Standard()},
+		{"Bypass", core.BypassPlain()},
+		{"BypassBuffer", core.BypassBuffered()},
+	}, amat)
+	if err != nil {
+		return nil, err
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	std, byp, buf := columnGeomean(tbl, 0), columnGeomean(tbl, 1), columnGeomean(tbl, 2)
+	r.check("plain bypass is much worse than Standard on most codes",
+		byp > 1.3*std, fmt.Sprintf("geomean bypass %.2f vs standard %.2f", byp, std))
+	r.check("a buffer recovers part of the bypassed spatial locality",
+		buf < byp, fmt.Sprintf("geomean buffered %.2f vs plain %.2f", buf, byp))
+	return r, nil
+}
+
+// runFig3b reproduces fig. 3b. Victim caches remove conflict misses but not
+// pollution; the full Soft design beats them.
+func runFig3b(ctx *Context) (*Report, error) {
+	r := &Report{ID: "3b", Title: "Efficiency of Victim Caches"}
+	tbl, err := amatTable(ctx, "AMAT (cycles)", workloads.Benchmarks(), []namedConfig{
+		{"Standard", core.Standard()},
+		{"Stand+Victim", core.Victim()},
+		{"Soft", core.Soft()},
+	}, amat)
+	if err != nil {
+		return nil, err
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	wins, rows := columnWins(tbl, 1, 0, 1e-9)
+	r.check("a victim cache never hurts", wins == rows, fmt.Sprintf("%d/%d", wins, rows))
+	wins, rows = columnWins(tbl, 2, 1, 1e-9)
+	r.check("Soft beats Standard+Victim on every benchmark", wins == rows, fmt.Sprintf("%d/%d", wins, rows))
+	return r, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"softcache/internal/core"
+	"softcache/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "8a",
+		Title: "Influence of virtual line size (32-256 B) on AMAT",
+		Run:   runFig8a,
+	})
+	register(Experiment{
+		ID:    "8b",
+		Title: "Influence of physical line size (32-256 B) on AMAT, vs Soft",
+		Run:   runFig8b,
+	})
+}
+
+// runFig8a reproduces fig. 8a: the full Soft design with virtual line sizes
+// 32 (mechanism off), 64, 128 and 256 bytes. Expected shape: 64 B is a good
+// overall choice for the 8 KiB cache; large virtual lines degrade
+// gracefully (unlike large physical lines, fig. 8b).
+func runFig8a(ctx *Context) (*Report, error) {
+	r := &Report{ID: "8a", Title: "Influence of Virtual Line Size"}
+	var configs []namedConfig
+	for _, vl := range []int{32, 64, 128, 256} {
+		cfg := core.Soft()
+		if vl == 32 {
+			cfg.VirtualLineSize = 0
+		} else {
+			cfg.VirtualLineSize = vl
+		}
+		configs = append(configs, namedConfig{fmt.Sprintf("VL=%d", vl), cfg})
+	}
+	tbl, err := amatTable(ctx, "AMAT (cycles)", workloads.Benchmarks(), configs, amat)
+	if err != nil {
+		return nil, err
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	g64, g32 := columnGeomean(tbl, 1), columnGeomean(tbl, 0)
+	r.check("64-byte virtual lines beat no virtual lines overall",
+		g64 < g32, fmt.Sprintf("geomean %.3f vs %.3f", g64, g32))
+	g256 := columnGeomean(tbl, 3)
+	r.check("large virtual lines degrade gracefully (256B within 40% of 64B)",
+		g256 < 1.4*g64, fmt.Sprintf("geomean VL=256 %.3f vs VL=64 %.3f", g256, g64))
+	return r, nil
+}
+
+// runFig8b reproduces fig. 8b: the *standard* cache with physical lines of
+// 32-256 bytes, against the full Soft design (32 B physical, 64 B virtual).
+// Expected shape: large physical lines are not compatible with a small
+// cache (conflicts, traffic), and the 64 B *virtual* line usually beats the
+// 64 B *physical* line.
+func runFig8b(ctx *Context) (*Report, error) {
+	r := &Report{ID: "8b", Title: "Influence of Physical Line Size"}
+	var configs []namedConfig
+	for _, ls := range []int{32, 64, 128, 256} {
+		cfg := core.Standard()
+		cfg.LineSize = ls
+		configs = append(configs, namedConfig{fmt.Sprintf("Phys=%d", ls), cfg})
+	}
+	configs = append(configs, namedConfig{"Soft", core.Soft()})
+	tbl, err := amatTable(ctx, "AMAT (cycles)", workloads.Benchmarks(), configs, amat)
+	if err != nil {
+		return nil, err
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	wins, rows := 0, tbl.Rows()
+	for i := 0; i < rows; i++ {
+		if tbl.Value(i, 4) <= tbl.Value(i, 1)+1e-9 { // Soft vs Phys=64
+			wins++
+		}
+	}
+	r.check("the 64B virtual line usually beats a 64B physical line (paper: all but BDN)",
+		wins >= rows-2, fmt.Sprintf("%d/%d", wins, rows))
+
+	g64, g256 := columnGeomean(tbl, 1), columnGeomean(tbl, 3)
+	r.check("very large physical lines hurt a small cache",
+		g256 > g64, fmt.Sprintf("geomean phys=256 %.3f vs phys=64 %.3f", g256, g64))
+	return r, nil
+}

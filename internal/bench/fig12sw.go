@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"softcache/internal/core"
+	"softcache/internal/locality"
+	"softcache/internal/metrics"
+	"softcache/internal/trace"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "12sw",
+		Title: "Software prefetching (§4.4 extension): explicit PREFETCH instructions vs the hardware scheme",
+		Run:   runFig12SW,
+	})
+}
+
+// swPrefetchTrace builds the named workload with compiler-inserted prefetch
+// instructions at the given iteration distance.
+func (c *Context) swPrefetchTrace(name string, distance int) (*trace.Trace, int, error) {
+	key := fmt.Sprintf("%s/swpf=%d", name, distance)
+	if t, ok := c.cache[key]; ok {
+		return t, -1, nil
+	}
+	p, err := workloads.BuildProgram(name, c.Scale)
+	if err != nil {
+		return nil, 0, err
+	}
+	inserted, err := locality.InsertPrefetches(p, distance)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := tracegen.Generate(p, tracegen.Options{Seed: c.Seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	c.cache[key] = t
+	return t, inserted, nil
+}
+
+// runFig12SW extends fig. 12 with the software-prefetch variant the paper
+// sketches but does not evaluate: the bounce-back cache is the prefetch
+// buffer and "distinctive load/store instructions" (our PREFETCH records)
+// carry the requests. Expected shape: software prefetch with an adequate
+// distance performs in the same band as the hardware progressive scheme,
+// and both beat plain Soft.
+func runFig12SW(ctx *Context) (*Report, error) {
+	r := &Report{ID: "12sw", Title: "Software Prefetching (extension)"}
+	distances := []int{2, 4, 8}
+	cols := []string{"Soft", "Soft+HWpf"}
+	for _, d := range distances {
+		cols = append(cols, fmt.Sprintf("Soft+SWpf(d=%d)", d))
+	}
+	tbl := metrics.NewTable("AMAT (cycles)", "benchmark", cols...)
+
+	for _, name := range workloads.Benchmarks() {
+		row := make([]float64, 0, len(cols))
+		soft, err := ctx.Simulate(name, core.Soft())
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, soft.AMAT())
+		hw, err := ctx.Simulate(name, core.WithPrefetch(core.Soft(), true))
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, hw.AMAT())
+		for _, d := range distances {
+			t, _, err := ctx.swPrefetchTrace(name, d)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Simulate(core.Soft(), t)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.AMAT())
+		}
+		tbl.AddRow(name, row...)
+	}
+	r.Tables = append(r.Tables, tbl)
+
+	gSoft := columnGeomean(tbl, 0)
+	gHW := columnGeomean(tbl, 1)
+	best := gHW
+	bestCol := "hardware"
+	for i := 2; i < len(cols); i++ {
+		if g := columnGeomean(tbl, i); g < best {
+			best, bestCol = g, cols[i]
+		}
+	}
+	gSW4 := columnGeomean(tbl, 3) // d=4
+	r.check("software prefetching improves on plain Soft",
+		gSW4 < gSoft, fmt.Sprintf("geomean %.3f vs %.3f", gSW4, gSoft))
+	r.check("software prefetching lands in the hardware scheme's band",
+		gSW4 < 1.25*gHW, fmt.Sprintf("geomean sw(d=4) %.3f vs hw %.3f", gSW4, gHW))
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("best overall: %s (geomean %.3f)", bestCol, best))
+	return r, nil
+}

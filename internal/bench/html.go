@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+
+	"softcache/internal/metrics"
+)
+
+// WriteHTML renders the reports as a single self-contained HTML page with
+// one grouped-bar SVG chart per table — the visual form of the paper's
+// figures. No external assets or scripts are used.
+func WriteHTML(w io.Writer, reports []*Report, scale string, elapsed time.Duration) {
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Software Assistance for Data Caches — regenerated figures</title>
+<style>
+body { font-family: Georgia, serif; max-width: 62rem; margin: 2rem auto; color: #222; }
+h1 { font-size: 1.6rem; } h2 { font-size: 1.2rem; margin-top: 2.2rem; }
+.check { font-family: monospace; font-size: 0.85rem; margin: 0.15rem 0; }
+.pass { color: #1a7a1a; } .fail { color: #b00020; }
+.note { font-style: italic; color: #555; }
+svg { margin: 0.6rem 0; }
+</style>
+</head>
+<body>
+<h1>Software Assistance for Data Caches — regenerated figures</h1>
+<p>Scale: %s. Total runtime: %v. Each chart carries the same rows and
+series as the corresponding figure of Temam &amp; Drach (HPCA 1995); the
+checks below each chart assert the paper's qualitative claims.</p>
+`, html.EscapeString(scale), elapsed.Round(time.Second))
+
+	for _, r := range reports {
+		fmt.Fprintf(w, "<h2>Figure %s — %s</h2>\n",
+			html.EscapeString(r.ID), html.EscapeString(r.Title))
+		for _, t := range r.Tables {
+			writeSVGChart(w, t)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "<p class=\"note\">%s</p>\n", html.EscapeString(n))
+		}
+		for _, c := range r.Checks {
+			class, mark := "pass", "✓"
+			if !c.Pass {
+				class, mark = "fail", "✗"
+			}
+			detail := ""
+			if c.Detail != "" {
+				detail = " — " + c.Detail
+			}
+			fmt.Fprintf(w, "<div class=\"check %s\">%s %s%s</div>\n",
+				class, mark, html.EscapeString(c.Name), html.EscapeString(detail))
+		}
+	}
+	fmt.Fprint(w, "</body>\n</html>\n")
+}
+
+// chartPalette cycles through series colours.
+var chartPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+	"#edc948", "#b07aa1", "#9c755f",
+}
+
+// writeSVGChart renders a grouped bar chart of the table.
+func writeSVGChart(w io.Writer, t *metrics.Table) {
+	const (
+		barW      = 11
+		gapInner  = 2
+		gapGroup  = 18
+		chartH    = 220
+		marginL   = 46
+		marginB   = 40
+		marginT   = 26
+		legendRow = 16
+	)
+	rows, cols := t.Rows(), len(t.Columns)
+	if rows == 0 || cols == 0 {
+		return
+	}
+	maxV := 0.0
+	for i := 0; i < rows; i++ {
+		for c := 0; c < cols; c++ {
+			if v := t.Value(i, c); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	groupW := cols*(barW+gapInner) + gapGroup
+	width := marginL + rows*groupW + 10
+	legendH := (cols + 2) / 3 * legendRow
+	height := marginT + chartH + marginB + legendH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="Helvetica,Arial,sans-serif" font-size="10">`,
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="14" font-size="12" font-weight="bold">%s</text>`,
+		marginL, html.EscapeString(t.Title))
+
+	// y axis: 4 gridlines.
+	for g := 0; g <= 4; g++ {
+		v := maxV * float64(g) / 4
+		y := marginT + chartH - int(float64(chartH)*float64(g)/4)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`,
+			marginL, y, width-6, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#555">%.3g</text>`,
+			marginL-4, y+3, v)
+	}
+
+	// Bars.
+	for i := 0; i < rows; i++ {
+		gx := marginL + i*groupW
+		for c := 0; c < cols; c++ {
+			v := t.Value(i, c)
+			if v < 0 {
+				v = 0
+			}
+			h := int(float64(chartH) * v / maxV)
+			x := gx + c*(barW+gapInner)
+			y := marginT + chartH - h
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s / %s: %.4g</title></rect>`,
+				x, y, barW, h, chartPalette[c%len(chartPalette)],
+				html.EscapeString(t.RowLabelAt(i)), html.EscapeString(t.Columns[c]), t.Value(i, c))
+		}
+		// Group label.
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#333">%s</text>`,
+			gx+(groupW-gapGroup)/2, marginT+chartH+14, html.EscapeString(t.RowLabelAt(i)))
+	}
+
+	// Legend.
+	for c := 0; c < cols; c++ {
+		lx := marginL + (c%3)*170
+		ly := marginT + chartH + marginB + (c/3)*legendRow
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+			lx, ly-9, chartPalette[c%len(chartPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#333">%s</text>`,
+			lx+14, ly, html.EscapeString(t.Columns[c]))
+	}
+	b.WriteString(`</svg>`)
+	fmt.Fprintln(w, b.String())
+}

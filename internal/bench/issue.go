@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"softcache/internal/core"
+	"softcache/internal/metrics"
+	"softcache/internal/timing"
+	"softcache/internal/tracegen"
+	"softcache/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "issue",
+		Title: "Issue-rate sensitivity (§3.1): AMAT advantage vs inter-reference gap",
+		Run:   runIssueRate,
+	})
+}
+
+// runIssueRate regenerates the benchmark traces with *constant* issue gaps
+// of 1-8 cycles (instead of the fig. 4b distribution) and measures the
+// Soft design's AMAT advantage. The paper notes a cache design is
+// sensitive to the processor request issue rate: at very high issue rates
+// (1-cycle gaps, superscalar-like) the 2-cycle swap locks of the
+// bounce-back cache collide with following accesses more often, shaving
+// part of the gain; slower issue hides them entirely.
+func runIssueRate(ctx *Context) (*Report, error) {
+	r := &Report{ID: "issue", Title: "Issue-Rate Sensitivity"}
+	gaps := []int{1, 2, 4, 8}
+	cols := make([]string, len(gaps))
+	for i, g := range gaps {
+		cols[i] = fmt.Sprintf("gap=%d", g)
+	}
+	tbl := metrics.NewTable("AMAT(Standard) - AMAT(Soft) at constant issue gaps", "benchmark", cols...)
+
+	lockStallShare := 0.0
+	for _, name := range workloads.Benchmarks() {
+		p, err := workloads.BuildProgram(name, ctx.Scale)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(gaps))
+		for i, g := range gaps {
+			key := fmt.Sprintf("%s/gap=%d", name, g)
+			t, ok := ctx.cache[key]
+			if !ok {
+				t, err = tracegen.Generate(p, tracegen.Options{Seed: ctx.Seed, Gaps: timing.Constant(g)})
+				if err != nil {
+					return nil, err
+				}
+				ctx.cache[key] = t
+			}
+			std, err := core.Simulate(core.Standard(), t)
+			if err != nil {
+				return nil, err
+			}
+			soft, err := core.Simulate(core.Soft(), t)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = std.AMAT() - soft.AMAT()
+			if i == 0 {
+				lockStallShare += float64(soft.Stats.LockStallCycles) / float64(soft.Stats.CostCycles)
+			}
+		}
+		tbl.AddRow(name, row...)
+	}
+	lockStallShare /= float64(tbl.Rows())
+	r.Tables = append(r.Tables, tbl)
+
+	// The advantage must persist at every issue rate...
+	minAdvantage := 1e9
+	for i := 0; i < tbl.Rows(); i++ {
+		for c := range gaps {
+			if v := tbl.Value(i, c); v < minAdvantage {
+				minAdvantage = v
+			}
+		}
+	}
+	r.check("software assistance keeps its advantage at every issue rate",
+		minAdvantage > -1e-9, fmt.Sprintf("min advantage %.3f", minAdvantage))
+	// ...and the swap-lock interference at gap=1 stays a small share of
+	// the access time (the §2.2 "hiding the bounce-back process" claim).
+	r.check("swap-lock stalls are a small share of access time even at 1-cycle gaps",
+		lockStallShare < 0.05, fmt.Sprintf("mean share %.3f", lockStallShare))
+	return r, nil
+}

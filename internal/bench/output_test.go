@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"softcache/internal/metrics"
+)
+
+func sampleReport() *Report {
+	tbl := metrics.NewTable("AMAT (cycles)", "benchmark", "Standard", "Soft")
+	tbl.AddRow("MV", 9.945, 2.993)
+	tbl.AddRow("SpMV", 7.033, 4.662)
+	r := &Report{ID: "6a", Title: "Sample", Tables: []*metrics.Table{tbl}}
+	r.Notes = append(r.Notes, "a note")
+	r.check("soft wins", true, "geomean")
+	r.check("a failing check", false, "details")
+	return r
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	files, err := WriteCSV(dir, sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || filepath.Base(files[0]) != "fig6a.csv" {
+		t.Fatalf("files = %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	want := "benchmark,Standard,Soft\nMV,9.945,2.993\nSpMV,7.033,4.662\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVMultipleTables(t *testing.T) {
+	r := sampleReport()
+	tbl2 := metrics.NewTable("Miss ratio", "benchmark", "Soft")
+	tbl2.AddRow("MV", 0.063)
+	r.Tables = append(r.Tables, tbl2)
+	r.ID = "7a/b" // exercises name sanitisation
+	files, err := WriteCSV(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 ||
+		filepath.Base(files[0]) != "fig7a_b-1.csv" ||
+		filepath.Base(files[1]) != "fig7a_b-2.csv" {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	WriteMarkdown(&b, []*Report{sampleReport()}, "test", 3*time.Second)
+	md := b.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"**Summary: 1/2 shape checks pass.**",
+		"## Figure 6a — Sample",
+		"| benchmark | Standard | Soft |",
+		"| MV | 9.945 | 2.993 |",
+		"> a note",
+		"- [x] soft wins — geomean",
+		"- [ ] a failing check — details",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := sampleReport()
+	out := r.String()
+	for _, want := range []string{"Figure 6a", "[PASS] soft wins", "[FAIL] a failing check", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Fatal("report with a failing check cannot pass")
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	var b strings.Builder
+	WriteHTML(&b, []*Report{sampleReport()}, "test", 2*time.Second)
+	doc := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Figure 6a — Sample",
+		"<svg", "</svg>",
+		"MV / Soft: 2.993",
+		`class="check pass"`, `class="check fail"`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+	// Every table row label appears as a group label.
+	if !strings.Contains(doc, ">SpMV</text>") {
+		t.Fatal("group labels missing")
+	}
+}
+
+func TestWriteHTMLEscapes(t *testing.T) {
+	r := sampleReport()
+	r.Title = `<script>alert("x")</script>`
+	var b strings.Builder
+	WriteHTML(&b, []*Report{r}, "test", 0)
+	if strings.Contains(b.String(), "<script>alert") {
+		t.Fatal("title not escaped")
+	}
+}

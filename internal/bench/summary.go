@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"softcache/internal/core"
+	"softcache/internal/metrics"
+	"softcache/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "summary",
+		Title: "League table: every design across the whole suite (geomean AMAT)",
+		Run:   runSummary,
+	})
+}
+
+// summaryConfigs is every named design point, paper baselines and
+// extensions alike.
+func summaryConfigs() []namedConfig {
+	return []namedConfig{
+		{"Standard", core.Standard()},
+		{"Bypass", core.BypassPlain()},
+		{"BypassBuffer", core.BypassBuffered()},
+		{"Stand+Victim", core.Victim()},
+		{"Stand+StreamBuf", core.StandardStreamBuffers()},
+		{"ColumnAssoc", core.ColumnAssociative()},
+		{"Subblock64/32", core.Subblocked()},
+		{"2-way", core.SetAssoc(core.Standard(), 2)},
+		{"Soft-T", core.SoftTemporal()},
+		{"Soft-S", core.SoftSpatial()},
+		{"Soft", core.Soft()},
+		{"Soft 2-way", core.SetAssoc(core.Soft(), 2)},
+		{"Simplified 2-way", core.SimplifiedSoftAssoc(2)},
+		{"Soft+VarVL", core.SoftVariable()},
+		{"Stand+Prefetch", core.WithPrefetch(core.Standard(), false)},
+		{"Soft+Prefetch", core.WithPrefetch(core.Soft(), true)},
+	}
+}
+
+// runSummary ranks every design by its suite-wide geometric-mean AMAT — the
+// capstone view: where the paper's design and its extensions land among all
+// the baselines.
+func runSummary(ctx *Context) (*Report, error) {
+	r := &Report{ID: "summary", Title: "Design League Table"}
+	configs := summaryConfigs()
+	perBench, err := amatTable(ctx, "AMAT (cycles) per design", workloads.Benchmarks(), configs, amat)
+	if err != nil {
+		return nil, err
+	}
+
+	type entry struct {
+		label   string
+		geomean float64
+	}
+	entries := make([]entry, len(configs))
+	for c := range configs {
+		entries[c] = entry{configs[c].label, columnGeomean(perBench, c)}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].geomean < entries[j].geomean })
+
+	rank := metrics.NewTable("Suite-wide geometric mean AMAT, best first", "design", "geomean AMAT")
+	pos := map[string]int{}
+	for i, e := range entries {
+		rank.AddRow(e.label, e.geomean)
+		pos[e.label] = i
+	}
+	r.Tables = append(r.Tables, rank, perBench)
+
+	r.check("every software-assisted variant ranks above Standard",
+		pos["Soft"] < pos["Standard"] && pos["Soft-T"] < pos["Standard"] && pos["Soft-S"] < pos["Standard"],
+		fmt.Sprintf("Soft #%d, Standard #%d", pos["Soft"]+1, pos["Standard"]+1))
+	r.check("plain bypass ranks last",
+		pos["Bypass"] == len(entries)-1, fmt.Sprintf("#%d", pos["Bypass"]+1))
+	r.check("the prefetching variants lead the table",
+		pos["Soft+Prefetch"] <= 2, fmt.Sprintf("#%d", pos["Soft+Prefetch"]+1))
+	return r, nil
+}

@@ -1,0 +1,137 @@
+package cache
+
+// bbEntry is one line of the bounce-back cache. Besides the usual state it
+// carries the prefetched flag of §4.4 (the bounce-back cache doubles as the
+// prefetch buffer).
+type bbEntry struct {
+	tag        uint64
+	lru        uint64
+	valid      bool
+	dirty      bool
+	temporal   bool
+	prefetched bool
+}
+
+// bounceBackCache is the small associative cache behind the main cache.
+// With bounce-back disabled it behaves exactly as Jouppi's victim cache,
+// which is how the paper keeps the silicon useful when software control is
+// inactive (§2.2, "Using the Bounce-Back Cache as a Victim Cache").
+//
+// assoc is the set associativity; assoc == number of entries gives the
+// fully-associative organisation used in the paper (a 4-way variant
+// "performs reasonably well" and is covered by an ablation bench).
+type bounceBackCache struct {
+	entries []bbEntry
+	sets    int
+	assoc   int
+	tick    uint64
+}
+
+func newBounceBackCache(entries, assoc int) *bounceBackCache {
+	if assoc <= 0 || assoc > entries {
+		assoc = entries // fully associative
+	}
+	return &bounceBackCache{
+		entries: make([]bbEntry, entries),
+		sets:    entries / assoc,
+		assoc:   assoc,
+	}
+}
+
+func (b *bounceBackCache) setRange(la uint64) (lo, hi int) {
+	set := int(la % uint64(b.sets))
+	return set * b.assoc, (set + 1) * b.assoc
+}
+
+// lookup returns the entry holding line address la, or nil.
+func (b *bounceBackCache) lookup(la uint64) *bbEntry {
+	lo, hi := b.setRange(la)
+	for i := lo; i < hi; i++ {
+		e := &b.entries[i]
+		if e.valid && e.tag == la {
+			return e
+		}
+	}
+	return nil
+}
+
+func (b *bounceBackCache) touch(e *bbEntry) {
+	b.tick++
+	e.lru = b.tick
+}
+
+// victimFor selects the entry to replace when inserting line address la.
+// Invalid entries first, then LRU. When insertingPrefetched is true and the
+// number of resident prefetched entries has reached maxPrefetched, the LRU
+// *prefetched* entry is chosen instead, so prefetches cannot flood the
+// bounce-back state (§4.4: "enforce that a prefetched line preferably
+// replaces other prefetched lines").
+func (b *bounceBackCache) victimFor(la uint64, insertingPrefetched bool, maxPrefetched int) *bbEntry {
+	lo, hi := b.setRange(la)
+	var lruAny, lruPrefetched, firstInvalid *bbEntry
+	prefetchedCount := 0
+	for i := lo; i < hi; i++ {
+		e := &b.entries[i]
+		if !e.valid {
+			if firstInvalid == nil {
+				firstInvalid = e
+			}
+			continue
+		}
+		if e.prefetched {
+			prefetchedCount++
+			if lruPrefetched == nil || e.lru < lruPrefetched.lru {
+				lruPrefetched = e
+			}
+		}
+		if lruAny == nil || e.lru < lruAny.lru {
+			lruAny = e
+		}
+	}
+	// Quota rule first (§4.4): at the cap, a prefetched line replaces a
+	// prefetched line, even when free slots remain.
+	if insertingPrefetched && maxPrefetched > 0 && prefetchedCount >= maxPrefetched && lruPrefetched != nil {
+		return lruPrefetched
+	}
+	if firstInvalid != nil {
+		return firstInvalid
+	}
+	return lruAny
+}
+
+// install places a new entry into slot e, returning the previous contents
+// so the caller can decide whether to bounce it back, write it back, or
+// discard it.
+func (b *bounceBackCache) install(e *bbEntry, ne bbEntry) bbEntry {
+	old := *e
+	b.tick++
+	ne.lru = b.tick
+	ne.valid = true
+	*e = ne
+	return old
+}
+
+// invalidate clears entry e.
+func (b *bounceBackCache) invalidate(e *bbEntry) { *e = bbEntry{} }
+
+// countValid returns the number of valid entries.
+func (b *bounceBackCache) countValid() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// countPrefetched returns the number of valid prefetched entries.
+func (b *bounceBackCache) countPrefetched() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].valid && b.entries[i].prefetched {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,722 @@
+package cache
+
+import (
+	"softcache/internal/mem"
+	"softcache/internal/trace"
+)
+
+// Simulator is the trace-driven model of the whole hierarchy described in
+// the package comment. Build one with New, feed it records with Access or a
+// whole trace with Run, and read the counters with Stats.
+//
+// The simulator keeps a cycle clock fed by the per-record issue gaps, so
+// structural hazards (the 2-cycle lock of main and bounce-back caches after
+// a swap, §2.2) are charged to the accesses that actually collide with them.
+type Simulator struct {
+	cfg    Config
+	main   *mainCache
+	bb     *bounceBackCache
+	bypass *bounceBackCache // buffered-bypass line buffer
+	sb     *streamBufferSet // Jouppi stream buffers (related-work baseline)
+	memory *mem.System
+	stats  Stats
+
+	now    uint64 // cycle at which the previous access completed
+	freeAt uint64 // cache locked until this cycle (swap locks)
+
+	fetchScratch []uint64 // reusable candidate-line buffer
+	maxPrefetch  int
+	prefDegree   int
+	pseudoAssoc  bool   // column-associative main cache
+	subblocks    int    // subblocks per line (0 = sub-block placement off)
+	curIssue     uint64 // issue cycle of the access being processed
+}
+
+// New builds a simulator; the configuration must validate.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memory, err := mem.NewSystem(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	ways := cfg.Assoc
+	if cfg.ColumnAssociative {
+		// A column-associative cache is modelled as a pseudo-associative
+		// 2-way organisation with a slow second way.
+		ways = 2
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		main:        newMainCache(cfg.CacheSize, cfg.LineSize, ways, cfg.Replacement),
+		memory:      memory,
+		pseudoAssoc: cfg.ColumnAssociative,
+	}
+	if cfg.BounceBackLines > 0 {
+		s.bb = newBounceBackCache(cfg.BounceBackLines, cfg.BounceBackAssoc)
+	}
+	if cfg.StreamBuffers > 0 {
+		depth := cfg.StreamBufferDepth
+		if depth == 0 {
+			depth = 4
+		}
+		s.sb = newStreamBufferSet(cfg.StreamBuffers, depth, cfg.LineSize,
+			memory.TransferCycles(cfg.LineSize))
+	}
+	if cfg.Bypass == BypassBuffered {
+		s.bypass = newBounceBackCache(cfg.BypassBufferLines, 0)
+	}
+	if cfg.SubblockSize > 0 {
+		s.subblocks = cfg.LineSize / cfg.SubblockSize
+	}
+	s.maxPrefetch = cfg.Prefetch.MaxResident
+	if s.maxPrefetch == 0 && cfg.BounceBackLines > 0 {
+		s.maxPrefetch = cfg.BounceBackLines / 2
+	}
+	s.prefDegree = cfg.Prefetch.Degree
+	if s.prefDegree == 0 {
+		s.prefDegree = 1
+	}
+	return s, nil
+}
+
+// Config returns the configuration the simulator was built with.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Stats returns the counters accumulated so far (memory counters included).
+func (s *Simulator) Stats() Stats {
+	out := s.stats
+	out.Mem = s.memory.Stats()
+	return out
+}
+
+// ResetStats clears the accumulated counters while keeping all cache state
+// (lines, bounce-back contents, stream buffers, the cycle clock). Use it to
+// measure steady-state behaviour after a warm-up prefix, excluding cold
+// misses from the reported AMAT.
+func (s *Simulator) ResetStats() {
+	s.stats = Stats{}
+	s.memory.ResetStats()
+}
+
+// Run processes every record of the trace and returns the final stats.
+func (s *Simulator) Run(t *trace.Trace) Stats {
+	for _, r := range t.Records {
+		s.Access(r)
+	}
+	return s.Stats()
+}
+
+// Access simulates one reference and returns its cost in cycles (including
+// any stall waiting for a locked cache).
+func (s *Simulator) Access(r trace.Record) int {
+	if r.SoftwarePrefetch {
+		return s.softwarePrefetch(r)
+	}
+	s.stats.References++
+	if r.Write {
+		s.stats.Writes++
+	} else {
+		s.stats.Reads++
+	}
+
+	issue := s.now + uint64(r.Gap)
+	stall := 0
+	if issue < s.freeAt {
+		stall = int(s.freeAt - issue)
+		issue = s.freeAt
+	}
+
+	temporal := r.Temporal && s.cfg.UseTemporalTags
+	spatial := r.Spatial && s.cfg.UseSpatialTags
+	la := s.main.lineAddr(r.Addr)
+	subIdx := 0
+	if s.subblocks > 0 {
+		subIdx = int(r.Addr%uint64(s.cfg.LineSize)) / s.cfg.SubblockSize
+	}
+
+	s.curIssue = issue
+	if r.Write && s.sb != nil {
+		// Stores invalidate any stream that covers the line: the buffered
+		// copy would be stale.
+		s.sb.invalidate(la)
+	}
+
+	var service, lock int
+	switch {
+	case s.tryMainHit(la, subIdx, r.Write, temporal, &service):
+
+	case s.cfg.Bypass != BypassNone && !temporal:
+		service = s.bypassAccess(la, r)
+
+	case s.tryBounceBackHit(la, r.Write, temporal, &lock):
+		service = s.cfg.BounceBackCycles
+		lock += s.cfg.SwapLockCycles
+
+	case s.tryStreamBufferHit(la, issue, r.Write, temporal, &service):
+
+	case r.Write && s.cfg.Writes == WriteThroughNoAllocate:
+		// Store miss without allocation: the word goes straight to the
+		// write buffer; nothing is fetched.
+		s.stats.Misses++
+		service = s.cfg.HitCycles + s.memory.PostWrite(int(r.Size), issue)
+
+	default:
+		service = s.miss(la, subIdx, r.Write, temporal, spatial, trace.VirtualHintBytes(r.VirtualHint))
+	}
+
+	cost := stall + service
+	s.stats.CostCycles += uint64(cost)
+	s.stats.LockStallCycles += uint64(stall)
+	s.now = issue + uint64(service)
+	s.freeAt = s.now + uint64(lock)
+	return cost
+}
+
+// softwarePrefetch services an explicit prefetch instruction (§4.4
+// extension): it occupies one issue slot, never stalls the processor, and
+// — when the line is absent from both caches — rides the bus into the
+// bounce-back cache marked prefetched, exactly like a hardware-initiated
+// prefetch. Without a bounce-back structure (no prefetch buffer) it is a
+// no-op beyond its issue slot. Prefetch instructions are excluded from the
+// AMAT denominator (References/CostCycles) so AMAT stays comparable across
+// variants; their count and traffic are reported separately.
+func (s *Simulator) softwarePrefetch(r trace.Record) int {
+	s.stats.SoftwarePrefetches++
+	issue := s.now + uint64(r.Gap)
+	if issue < s.freeAt {
+		issue = s.freeAt
+	}
+	const issueCost = 1
+	s.now = issue + issueCost
+	if s.bb != nil {
+		la := s.main.lineAddr(r.Addr)
+		if s.main.lookup(la) == nil && s.bb.lookup(la) == nil {
+			s.memory.PrefetchFetch(1, s.cfg.LineSize)
+			s.stats.PrefetchesIssued++
+			victim := s.bb.victimFor(la, true, s.maxPrefetch)
+			displaced := s.bb.install(victim, bbEntry{tag: la, prefetched: true})
+			s.handleBBEviction(displaced, nil, false)
+		}
+	}
+	return issueCost
+}
+
+// tryMainHit probes the main cache; on a hit it updates LRU, dirty and the
+// temporal bit, stores the service time in *service and returns true. In
+// the column-associative organisation a hit in the slow (alternate) way
+// costs one extra cycle and the two ways are swapped so the line answers
+// fast next time.
+func (s *Simulator) tryMainHit(la uint64, subIdx int, write, temporal bool, service *int) bool {
+	var l *line
+	*service = s.cfg.HitCycles
+	if s.pseudoAssoc {
+		var slow bool
+		l, slow = s.columnProbe(la)
+		if slow {
+			*service = s.cfg.HitCycles + 1
+			s.stats.ColumnSlowHits++
+		}
+	} else {
+		l = s.main.lookup(la)
+	}
+	if l == nil {
+		return false
+	}
+	if s.subblocks > 0 && l.subValid&(1<<subIdx) == 0 {
+		// Sub-block placement: the tag matches but the subblock is
+		// absent — refill just that subblock (§2.1's sectored design).
+		s.stats.Misses++
+		s.stats.SubblockFills++
+		*service = s.cfg.HitCycles + s.memory.Fetch(0, 0, s.cfg.SubblockSize, 0)
+		l.subValid |= 1 << subIdx
+		s.main.touch(l)
+		if write {
+			*service += s.storeUpdate(&l.dirty)
+		}
+		s.setTemporal(&l.temporal, temporal)
+		return true
+	}
+	s.main.touch(l)
+	if write {
+		*service += s.storeUpdate(&l.dirty)
+	}
+	s.setTemporal(&l.temporal, temporal)
+	s.stats.MainHits++
+	return true
+}
+
+// tryStreamBufferHit checks the stream-buffer head comparators on a demand
+// miss. On a hit the line moves into the main cache (the buffer pops and
+// prefetches one more line at its tail); the access waits only if the line
+// is still in flight.
+func (s *Simulator) tryStreamBufferHit(la uint64, issue uint64, write, temporal bool, service *int) bool {
+	if s.sb == nil {
+		return false
+	}
+	b, ready := s.sb.probe(la)
+	if b == nil {
+		return false
+	}
+	*service = s.cfg.HitCycles
+	if ready > issue {
+		*service += int(ready - issue)
+	}
+	s.sb.pop(b, issue)
+	s.memory.PrefetchFetch(1, s.cfg.LineSize) // the tail refill
+	s.stats.StreamBufferHits++
+
+	s.placeFetchedLine(la, write, temporal)
+	return true
+}
+
+// placeFetchedLine installs a line arriving outside a regular miss (stream
+// buffer pops): the displaced victim is routed as usual, with dirty
+// writebacks going through the write buffer on their own.
+func (s *Simulator) placeFetchedLine(la uint64, write, temporal bool) {
+	if s.main.lookup(la) != nil {
+		return
+	}
+	var old line
+	if s.pseudoAssoc {
+		old = s.columnInstall(la)
+	} else {
+		vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
+		old = s.main.install(vw, la)
+	}
+	l := s.main.lookup(la)
+	if write {
+		s.storeUpdate(&l.dirty)
+	}
+	s.setTemporal(&l.temporal, temporal)
+	if old.valid {
+		if n := s.evictMainLine(old, nil); n > 0 {
+			for i := 0; i < n; i++ {
+				s.memory.WritebackOutsideMiss()
+			}
+		}
+	}
+}
+
+// setTemporal implements the §2.2 rule: a temporal-tagged access sets the
+// line's temporal bit; an untagged access leaves it unchanged.
+func (s *Simulator) setTemporal(bit *bool, temporal bool) {
+	if temporal && !*bit {
+		*bit = true
+		s.stats.TemporalBitSets++
+	}
+}
+
+// storeUpdate applies the write policy to a store hitting line l: under
+// write-back the line is dirtied; under the write-through policies the
+// word is posted to the write buffer and any buffer-full stall is returned.
+func (s *Simulator) storeUpdate(dirtyBit *bool) int {
+	if s.cfg.Writes == WriteBackAllocate {
+		*dirtyBit = true
+		return 0
+	}
+	return s.memory.PostWrite(8, s.curIssue)
+}
+
+// storeUpdateOnFill applies the write policy when a store miss allocates:
+// under write-back the fresh line is dirtied; under write-through the word
+// is posted to the write buffer, hidden under the in-flight miss.
+func (s *Simulator) storeUpdateOnFill(dirtyBit *bool) {
+	if s.cfg.Writes == WriteBackAllocate {
+		*dirtyBit = true
+		return
+	}
+	s.memory.PostWrite(8, s.curIssue)
+}
+
+// tryBounceBackHit probes the bounce-back cache; on a hit the entry is
+// swapped with the victim way of the main cache set it maps to. If the hit
+// was on a prefetched line, the next line is prefetched (progressive
+// prefetch) and the main cache stays locked one extra cycle for the
+// presence check (§4.4).
+func (s *Simulator) tryBounceBackHit(la uint64, write, temporal bool, lock *int) bool {
+	if s.bb == nil {
+		return false
+	}
+	e := s.bb.lookup(la)
+	if e == nil {
+		return false
+	}
+	s.stats.BounceBackHits++
+	s.stats.Swaps++
+	wasPrefetched := e.prefetched
+	if wasPrefetched {
+		s.stats.PrefetchHits++
+	}
+
+	// Move the bounce-back entry into the main cache...
+	vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
+	old := s.main.install(vw, la)
+	vw.dirty = e.dirty
+	vw.temporal = e.temporal
+	if write {
+		s.storeUpdate(&vw.dirty)
+	}
+	s.setTemporal(&vw.temporal, temporal)
+
+	// ...and the displaced main line into the freed bounce-back slot.
+	if old.valid {
+		s.bb.install(e, bbEntry{tag: old.tag, dirty: old.dirty, temporal: old.temporal})
+	} else {
+		s.bb.invalidate(e)
+	}
+
+	if wasPrefetched && s.cfg.Prefetch.Enabled {
+		*lock++ // extra main-cache stall cycle for the presence check
+		s.issuePrefetch(la+1, s.prefDegree, false)
+	}
+	return true
+}
+
+// bypassAccess services a non-temporal reference in one of the bypass modes
+// (fig. 3a baselines). The main cache has already missed.
+func (s *Simulator) bypassAccess(la uint64, r trace.Record) int {
+	if s.cfg.Bypass == BypassBuffered {
+		if e := s.bypass.lookup(la); e != nil {
+			s.bypass.touch(e)
+			if r.Write {
+				e.dirty = true
+			}
+			s.stats.BypassBufferHits++
+			return s.cfg.HitCycles
+		}
+	}
+	s.stats.Misses++
+	switch s.cfg.Bypass {
+	case BypassPlain:
+		// Fetch only the referenced word; allocate nothing.
+		s.stats.BypassMemFetches++
+		return s.cfg.HitCycles + s.memory.Fetch(0, 0, int(r.Size), 0)
+	case BypassBuffered:
+		penalty := s.memory.Fetch(1, s.cfg.LineSize, 0, 0)
+		victim := s.bypass.victimFor(la, false, 0)
+		old := s.bypass.install(victim, bbEntry{tag: la, dirty: r.Write})
+		if old.valid && old.dirty {
+			s.memory.WritebackOutsideMiss()
+		}
+		return s.cfg.HitCycles + penalty
+	default:
+		panic("cache: bypassAccess called with bypass disabled")
+	}
+}
+
+// miss services a reference absent from both caches: it selects the physical
+// lines to fetch (one, or a whole virtual line for spatial-tagged
+// references — possibly length-hinted, §3.2), places them, routes victims
+// through the bounce-back cache, and returns the access cost.
+func (s *Simulator) miss(la uint64, subIdx int, write, temporal, spatial bool, vlBytes int) int {
+	s.stats.Misses++
+
+	if s.subblocks > 0 {
+		// Sub-block placement: replace the whole directory entry but
+		// fetch only the referenced subblock.
+		var old line
+		if s.pseudoAssoc {
+			old = s.columnInstall(la)
+		} else {
+			vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
+			old = s.main.install(vw, la)
+		}
+		l := s.main.lookup(la)
+		l.subValid = 1 << subIdx
+		if write {
+			s.storeUpdateOnFill(&l.dirty)
+		}
+		s.setTemporal(&l.temporal, temporal)
+		dirty := 0
+		if old.valid && old.dirty {
+			dirty = 1
+		}
+		s.stats.SubblockFills++
+		return s.cfg.HitCycles + s.memory.Fetch(0, 0, s.cfg.SubblockSize, dirty)
+	}
+
+	fetch := s.fetchScratch[:0]
+	nv := s.cfg.virtualLines()
+	if spatial && s.cfg.VariableVirtualLines && vlBytes > 0 {
+		if n := vlBytes / s.cfg.LineSize; n >= 1 {
+			nv = n
+		}
+	}
+	if spatial && nv > 1 {
+		s.stats.VirtualFills++
+		block := la &^ uint64(nv-1)
+		for i := 0; i < nv; i++ {
+			cand := block + uint64(i)
+			if cand != la && !s.cfg.NoCoherenceChecks && s.main.lookup(cand) != nil {
+				// 1-cycle pipelined tag check, hidden under the
+				// request stream (§2.1): the line is not re-fetched.
+				s.stats.VirtualLinesSkipped++
+				continue
+			}
+			fetch = append(fetch, cand)
+		}
+		s.stats.VirtualLinesFetched += uint64(len(fetch))
+	} else {
+		fetch = append(fetch, la)
+	}
+	s.fetchScratch = fetch
+
+	dirtyWB := 0
+	for _, cand := range fetch {
+		// Bounce-back coherence (§2.2): the bounce-back cache is checked
+		// after the memory requests have left; a resident copy keeps
+		// authority and the main-cache slot is tagged invalid. The fetch
+		// itself cannot be aborted, so the traffic is still paid. With
+		// the checks ablated the bounce-back copy is dropped instead (the
+		// memory copy wins), which is incoherent hardware but keeps the
+		// simulator's no-duplication invariant.
+		if s.bb != nil && cand != la {
+			if e := s.bb.lookup(cand); e != nil {
+				if s.cfg.NoCoherenceChecks {
+					s.bb.invalidate(e)
+				} else {
+					s.stats.Invalidations++
+					continue
+				}
+			}
+		}
+		// A bounce-back triggered by an earlier placement of this very
+		// miss may have re-installed cand already; never duplicate.
+		if s.main.lookup(cand) != nil {
+			continue
+		}
+		var old line
+		if s.pseudoAssoc {
+			old = s.columnInstall(cand)
+		} else {
+			vw := s.main.victimWay(cand, s.cfg.TemporalPriorityReplacement)
+			old = s.main.install(vw, cand)
+		}
+		if cand == la {
+			l := s.main.lookup(cand)
+			if write {
+				s.storeUpdateOnFill(&l.dirty)
+			}
+			s.setTemporal(&l.temporal, temporal)
+		}
+		if old.valid {
+			dirtyWB += s.evictMainLine(old, fetch)
+		}
+	}
+
+	penalty := s.memory.Fetch(len(fetch), s.cfg.LineSize, 0, dirtyWB)
+
+	if s.sb != nil {
+		// A demand miss (re)allocates the LRU stream buffer to prefetch
+		// the lines following the miss (Jouppi's scheme): the stream's
+		// lines arrive behind the demand line, one bus transfer apart.
+		completion := s.curIssue + uint64(s.cfg.HitCycles+penalty)
+		bytes := s.sb.allocate(la, completion, 0)
+		if bytes > 0 {
+			s.memory.PrefetchFetch(bytes/s.cfg.LineSize, s.cfg.LineSize)
+			s.stats.StreamBufferAllocations++
+		}
+	}
+
+	if s.cfg.Prefetch.Enabled && (spatial || !s.cfg.Prefetch.SoftwareGuided) {
+		// Prefetch the physical line(s) consecutive to the fetched block.
+		var next uint64
+		if spatial && nv > 1 {
+			next = (la &^ uint64(nv-1)) + uint64(nv)
+		} else {
+			next = la + 1
+		}
+		s.issuePrefetch(next, s.prefDegree, true)
+	}
+
+	return s.cfg.HitCycles + penalty
+}
+
+// evictMainLine routes a line displaced from the main cache: into the
+// bounce-back cache when one exists (and the admission policy allows),
+// otherwise to the write buffer if dirty. It returns the number of dirty
+// writebacks to hide under the in-flight miss.
+func (s *Simulator) evictMainLine(old line, inflight []uint64) int {
+	if s.bb == nil || (s.cfg.TemporalOnlyAdmission && !old.temporal) {
+		if old.dirty {
+			return 1
+		}
+		return 0
+	}
+	victim := s.bb.victimFor(old.tag, false, 0)
+	displaced := s.bb.install(victim, bbEntry{tag: old.tag, dirty: old.dirty, temporal: old.temporal})
+	return s.handleBBEviction(displaced, inflight, true)
+}
+
+// handleBBEviction decides the fate of an entry leaving the bounce-back
+// cache: bounce it back into the main cache when its temporal bit is set
+// and the mechanism is active, otherwise discard it (via the write buffer
+// if dirty). underMiss selects whether dirty writebacks are hidden under
+// the current miss (returned count) or go through the write buffer on their
+// own. The returned value is the number of dirty writebacks to hide.
+func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss bool) int {
+	if !e.valid {
+		return 0
+	}
+	if e.prefetched {
+		s.stats.PrefetchDiscarded++
+	}
+	if s.cfg.BounceBackEnabled && e.temporal {
+		if contains(inflight, e.tag) {
+			// The entry maps onto a line of the in-flight miss: the
+			// bounce-back is canceled to avoid ping-pong (§2.2).
+			s.stats.BounceBackCanceled++
+			return s.discard(e, underMiss)
+		}
+		vw := s.main.victimWay(e.tag, s.cfg.TemporalPriorityReplacement)
+		if vw.valid && contains(inflight, vw.tag) {
+			// The target way holds a line just fetched by the miss in
+			// flight; erasing it would waste the fetch.
+			s.stats.BounceBackCanceled++
+			return s.discard(e, underMiss)
+		}
+		if vw.valid && vw.dirty {
+			// Bouncing back over a dirty line needs a write-buffer slot;
+			// when the buffer is full the transfer is aborted (§2.2).
+			if !s.memory.WritebackOutsideMiss() {
+				s.stats.BounceBackAborted++
+				return s.discard(e, underMiss)
+			}
+		}
+		s.main.install(vw, e.tag)
+		vw.dirty = e.dirty
+		vw.temporal = false // the temporal bit is reset after a bounce-back
+		s.stats.BouncedBack++
+		return 0
+	}
+	return s.discard(e, underMiss)
+}
+
+// discard drops a bounce-back entry, routing its contents to the write
+// buffer if dirty.
+func (s *Simulator) discard(e bbEntry, underMiss bool) int {
+	if !e.dirty {
+		return 0
+	}
+	if underMiss {
+		return 1
+	}
+	s.memory.WritebackOutsideMiss()
+	return 0
+}
+
+// issuePrefetch fetches n consecutive physical lines starting at line
+// address la into the bounce-back cache, marked prefetched. Lines already
+// resident anywhere are skipped (the software hint already filtered useless
+// prefetches, §4.4, so prefetch-on-miss filtering is not needed — this
+// residence check only avoids duplication).
+func (s *Simulator) issuePrefetch(la uint64, n int, underMiss bool) {
+	for i := 0; i < n; i++ {
+		cand := la + uint64(i)
+		if s.main.lookup(cand) != nil || s.bb.lookup(cand) != nil {
+			continue
+		}
+		s.memory.PrefetchFetch(1, s.cfg.LineSize)
+		s.stats.PrefetchesIssued++
+		victim := s.bb.victimFor(cand, true, s.maxPrefetch)
+		displaced := s.bb.install(victim, bbEntry{tag: cand, prefetched: true})
+		s.handleBBEviction(displaced, nil, underMiss)
+	}
+}
+
+func contains(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LineWhere reports where the line containing byte address addr currently
+// resides. It exists for tests and the example programs that dissect the
+// mechanism's behaviour.
+type LineWhere int
+
+const (
+	// Absent means the line is in neither structure.
+	Absent LineWhere = iota
+	// InMain means the line is in the main cache.
+	InMain
+	// InBounceBack means the line is in the bounce-back cache.
+	InBounceBack
+)
+
+func (w LineWhere) String() string {
+	switch w {
+	case Absent:
+		return "absent"
+	case InMain:
+		return "main"
+	case InBounceBack:
+		return "bounce-back"
+	default:
+		return "?"
+	}
+}
+
+// LineInfo is a snapshot of one line's metadata for inspection.
+type LineInfo struct {
+	Where      LineWhere
+	Dirty      bool
+	Temporal   bool
+	Prefetched bool
+}
+
+// Inspect returns the current state of the line containing addr.
+func (s *Simulator) Inspect(addr uint64) LineInfo {
+	la := s.main.lineAddr(addr)
+	if l := s.main.lookup(la); l != nil {
+		return LineInfo{Where: InMain, Dirty: l.dirty, Temporal: l.temporal}
+	}
+	if s.bb != nil {
+		if e := s.bb.lookup(la); e != nil {
+			return LineInfo{Where: InBounceBack, Dirty: e.dirty, Temporal: e.temporal, Prefetched: e.prefetched}
+		}
+	}
+	return LineInfo{Where: Absent}
+}
+
+// CheckInvariants verifies structural invariants (no line resident in both
+// caches, no duplicate tags within a structure) and returns a description
+// of the first violation, or "" if all hold. Used by property-based tests.
+func (s *Simulator) CheckInvariants() string {
+	seenMain := make(map[uint64]bool)
+	for i := range s.main.lines {
+		l := &s.main.lines[i]
+		if !l.valid {
+			continue
+		}
+		if seenMain[l.tag] {
+			return "duplicate line in main cache"
+		}
+		seenMain[l.tag] = true
+		if s.main.setIndex(l.tag)*s.main.ways > i || i >= (s.main.setIndex(l.tag)+1)*s.main.ways {
+			return "main-cache line stored in wrong set"
+		}
+	}
+	if s.bb != nil {
+		seenBB := make(map[uint64]bool)
+		for i := range s.bb.entries {
+			e := &s.bb.entries[i]
+			if !e.valid {
+				continue
+			}
+			if seenBB[e.tag] {
+				return "duplicate line in bounce-back cache"
+			}
+			seenBB[e.tag] = true
+			if seenMain[e.tag] {
+				return "line resident in both main and bounce-back caches"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softcache/internal/mem"
+	"softcache/internal/timing"
+	"softcache/internal/trace"
+)
+
+// randomTrace builds a reproducible random reference stream confined to a
+// small address region so that conflicts, bounce-backs, swaps, virtual
+// fills and prefetches all trigger frequently.
+func randomTrace(seed uint64, n int, region uint64) []trace.Record {
+	rng := timing.NewRNG(seed)
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{
+			Addr:     (rng.Uint64() % region) &^ 7,
+			Size:     8,
+			Gap:      uint8(1 + rng.Intn(5)),
+			Write:    rng.Intn(4) == 0,
+			Temporal: rng.Intn(3) == 0,
+			Spatial:  rng.Intn(2) == 0,
+			RefID:    uint32(rng.Intn(16)),
+		}
+	}
+	return out
+}
+
+// propertyConfigs is the set of designs the invariant properties must hold
+// for.
+func propertyConfigs() map[string]Config {
+	small := Config{
+		CacheSize: 512, LineSize: 32, Assoc: 1, HitCycles: 1,
+		Memory: mem.Config{LatencyCycles: 10, BusBytesPerCycle: 16, WriteBufferEntries: 4, VictimTransferCycles: 2},
+	}
+	soft := small
+	soft.VirtualLineSize = 128
+	soft.BounceBackLines = 4
+	soft.BounceBackCycles = 3
+	soft.SwapLockCycles = 2
+	soft.BounceBackEnabled = true
+	soft.UseTemporalTags = true
+	soft.UseSpatialTags = true
+
+	assoc := soft
+	assoc.Assoc = 2
+	assoc.TemporalPriorityReplacement = true
+
+	prefetch := soft
+	prefetch.Prefetch = PrefetchConfig{Enabled: true, SoftwareGuided: true, Degree: 2, MaxResident: 2}
+
+	victim := soft
+	victim.BounceBackEnabled = false
+
+	bypass := small
+	bypass.UseTemporalTags = true
+	bypass.Bypass = BypassBuffered
+	bypass.BypassBufferLines = 2
+
+	admission := soft
+	admission.TemporalOnlyAdmission = true
+
+	noCoh := soft
+	noCoh.NoCoherenceChecks = true
+
+	return map[string]Config{
+		"small": small, "soft": soft, "assoc": assoc, "prefetch": prefetch,
+		"victim": victim, "bypass": bypass, "admission": admission, "nocoherence": noCoh,
+	}
+}
+
+// TestInvariantsUnderRandomTraffic drives every design with random traffic
+// and checks the structural invariants after every access.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	for name, cfg := range propertyConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range randomTrace(7, 4000, 4096) {
+				s.Access(r)
+				if msg := s.CheckInvariants(); msg != "" {
+					t.Fatalf("after access %d (%v): %s", i, r, msg)
+				}
+			}
+			st := s.Stats()
+			if st.MainHits+st.BounceBackHits+st.BypassBufferHits+st.StreamBufferHits+st.Misses != st.References {
+				t.Fatalf("hit/miss accounting broken: %+v", st)
+			}
+		})
+	}
+}
+
+// TestPropertyCostsPositive uses testing/quick: every access costs at least
+// the hit time and the clock never goes backwards.
+func TestPropertyCostsPositive(t *testing.T) {
+	cfgs := propertyConfigs()
+	f := func(seed uint64, pick uint8) bool {
+		names := []string{"small", "soft", "assoc", "prefetch", "victim", "bypass"}
+		cfg := cfgs[names[int(pick)%len(names)]]
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		lastNow := uint64(0)
+		for _, r := range randomTrace(seed, 300, 2048) {
+			if cost := s.Access(r); cost < cfg.HitCycles {
+				return false
+			}
+			if s.now < lastNow {
+				return false
+			}
+			lastNow = s.now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism: the simulator is a pure function of (config,
+// trace).
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := propertyConfigs()["prefetch"]
+		tr := randomTrace(seed, 1000, 4096)
+		run := func() Stats {
+			s, _ := New(cfg)
+			for _, r := range tr {
+				s.Access(r)
+			}
+			return s.Stats()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTagMonotonicity: on every design without bypass or prefetch,
+// honouring the software tags must not *increase* the miss count versus
+// ignoring them on the very same trace (the paper's "software-assisted
+// caches appear to be safe" claim, in its strongest per-trace form for the
+// bounce-back mechanism alone).
+func TestPropertyTagSafetyBounceBack(t *testing.T) {
+	base := propertyConfigs()["soft"]
+	base.VirtualLineSize = 0 // isolate the temporal mechanism
+	f := func(seed uint64) bool {
+		tr := randomTrace(seed, 2000, 8192)
+		withTags, _ := New(base)
+		noTags := base
+		noTags.UseTemporalTags = false
+		without, _ := New(noTags)
+		for _, r := range tr {
+			withTags.Access(r)
+			without.Access(r)
+		}
+		// Not a strict theorem for adversarial traces, but random traffic
+		// must not show systematic harm: allow a 10% slack.
+		return float64(withTags.Stats().Misses) <= 1.10*float64(without.Stats().Misses)+8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBounceBackCancelOnInflight reproduces the §2.2 ping-pong guard: a
+// bounce-back whose target line is part of the in-flight miss is canceled.
+func TestBounceBackCancelOnInflight(t *testing.T) {
+	cfg := Config{
+		CacheSize: 512, LineSize: 32, Assoc: 1, HitCycles: 1,
+		BounceBackLines: 1, BounceBackCycles: 3, SwapLockCycles: 2,
+		BounceBackEnabled: true, UseTemporalTags: true, UseSpatialTags: true,
+		Memory: mem.Config{LatencyCycles: 10, BusBytesPerCycle: 16, WriteBufferEntries: 4, VictimTransferCycles: 2},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 0 (temporal) parked in the single-entry BB cache.
+	s.Access(recT(0))
+	s.Access(rec(512)) // 0 -> BB
+	if s.Inspect(0).Where != InBounceBack {
+		t.Fatal("setup failed")
+	}
+	// Miss on line 0's own set again: the displaced victim (512) pushes
+	// line 0 out of the BB cache; its bounce-back target (set 0) is the
+	// very line being fetched -> canceled.
+	s.Access(rec(1024))
+	if got := s.Stats().BounceBackCanceled; got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if s.Inspect(0).Where != Absent {
+		t.Fatalf("canceled bounce-back should discard the entry, got %v", s.Inspect(0).Where)
+	}
+}
+
+// TestBounceBackAbortOnFullWriteBuffer: bouncing onto a dirty line needs a
+// write-buffer slot; with the buffer full the transfer is aborted.
+func TestBounceBackAbortOnFullWriteBuffer(t *testing.T) {
+	cfg := Config{
+		CacheSize: 512, LineSize: 32, Assoc: 1, HitCycles: 1,
+		BounceBackLines: 1, BounceBackCycles: 3, SwapLockCycles: 2,
+		BounceBackEnabled: true, UseTemporalTags: true,
+		Memory: mem.Config{LatencyCycles: 10, BusBytesPerCycle: 16, WriteBufferEntries: 0, VictimTransferCycles: 2},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(recT(0))  // temporal line, set 0
+	s.Access(rec(512)) // 0 -> BB (set 0 now holds 512)
+	w := recW(512)
+	s.Access(w) // dirty the occupant of set 0
+	// Now force the BB entry (line 0) out: a victim from set 1 enters BB.
+	s.Access(rec(32))
+	s.Access(rec(512 + 32)) // 32 -> BB, line 0 must bounce onto dirty set 0
+	st := s.Stats()
+	if st.BounceBackAborted != 1 {
+		t.Fatalf("aborted = %d, want 1 (write buffer has 0 entries)", st.BounceBackAborted)
+	}
+	if s.Inspect(0).Where != Absent {
+		t.Fatal("aborted bounce-back should discard the entry")
+	}
+}
+
+// TestFourWayBounceBack exercises the set-associative bounce-back variant.
+func TestFourWayBounceBack(t *testing.T) {
+	cfg := propertyConfigs()["soft"]
+	cfg.BounceBackLines = 8
+	cfg.BounceBackAssoc = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range randomTrace(11, 3000, 4096) {
+		s.Access(r)
+		if msg := s.CheckInvariants(); msg != "" {
+			t.Fatalf("after access %d: %s", i, msg)
+		}
+	}
+	if s.Stats().BounceBackHits == 0 {
+		t.Fatal("expected some bounce-back hits under random conflict traffic")
+	}
+}

@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"testing"
+
+	"softcache/internal/trace"
+)
+
+func varVLConfig() Config {
+	c := softTestConfig()
+	c.VariableVirtualLines = true
+	return c
+}
+
+func recSV(addr uint64, vlBytes int) trace.Record {
+	r := recS(addr)
+	r.VirtualHint = trace.EncodeVirtualHint(vlBytes)
+	return r
+}
+
+func TestVariableVLHonoursHint(t *testing.T) {
+	s := mustSim(t, varVLConfig())
+	// 256-byte hint: the whole aligned 8-line block is fetched.
+	s.Access(recSV(0, 256))
+	for off := uint64(0); off < 256; off += 32 {
+		if s.Inspect(off).Where != InMain {
+			t.Fatalf("line at %d should be resident after a 256B fill", off)
+		}
+	}
+	if s.Inspect(256).Where != Absent {
+		t.Fatal("fill must stop at the hinted length")
+	}
+	if got := s.Stats().Mem.BytesFetched; got != 256 {
+		t.Fatalf("bytes = %d, want 256", got)
+	}
+}
+
+func TestVariableVLDefaultsWithoutHint(t *testing.T) {
+	s := mustSim(t, varVLConfig())
+	s.Access(recS(0)) // hint 0: the configured 64-byte default applies
+	if s.Inspect(32).Where != InMain || s.Inspect(64).Where != Absent {
+		t.Fatal("hint-less spatial miss must use the default virtual line")
+	}
+}
+
+func TestVariableVLDisabledIgnoresHint(t *testing.T) {
+	s := mustSim(t, softTestConfig()) // VariableVirtualLines off
+	s.Access(recSV(0, 256))
+	if s.Inspect(64).Where != Absent {
+		t.Fatal("hint must be ignored when the extension is disabled")
+	}
+}
+
+func TestVariableVLAlignment(t *testing.T) {
+	s := mustSim(t, varVLConfig())
+	// Miss in the middle of a 128-byte block: the aligned block is
+	// fetched, not a block starting at the miss address.
+	s.Access(recSV(96, 128))
+	if s.Inspect(0).Where != InMain || s.Inspect(127).Where != InMain {
+		t.Fatal("aligned 128B block should be resident")
+	}
+	if s.Inspect(128).Where != Absent {
+		t.Fatal("fill crossed the aligned block boundary")
+	}
+}
+
+func TestVariableVLHintSmallerThanDefault(t *testing.T) {
+	cfg := varVLConfig()
+	cfg.VirtualLineSize = 256 // default is large...
+	s := mustSim(t, cfg)
+	s.Access(recSV(0, 64)) // ...but the reference asks for 64 bytes
+	if s.Inspect(32).Where != InMain {
+		t.Fatal("the hinted 64B should be fetched")
+	}
+	if s.Inspect(64).Where != Absent {
+		t.Fatal("a short hint must shrink the fill below the default")
+	}
+}
+
+func TestVariableVLValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.VariableVirtualLines = true // no virtual-line mechanism
+	if _, err := New(cfg); err == nil {
+		t.Fatal("VariableVirtualLines without virtual lines must be rejected")
+	}
+}
+
+func TestEncodeVirtualHintRoundTrip(t *testing.T) {
+	for _, bytes := range []int{64, 128, 256} {
+		if got := trace.VirtualHintBytes(trace.EncodeVirtualHint(bytes)); got != bytes {
+			t.Fatalf("round trip %d -> %d", bytes, got)
+		}
+	}
+	for _, odd := range []int{0, 32, 100, 512} {
+		if trace.EncodeVirtualHint(odd) != 0 {
+			t.Fatalf("length %d should encode to the default hint", odd)
+		}
+	}
+	if trace.VirtualHintBytes(0) != 0 {
+		t.Fatal("hint 0 means default")
+	}
+}
+
+func recPF(addr uint64) trace.Record {
+	return trace.Record{Addr: addr, Size: 8, Gap: 1, SoftwarePrefetch: true}
+}
+
+func TestSoftwarePrefetchFillsBounceBack(t *testing.T) {
+	s := mustSim(t, softTestConfig())
+	if got := s.Access(recPF(0)); got != 1 {
+		t.Fatalf("prefetch issue cost = %d, want 1", got)
+	}
+	info := s.Inspect(0)
+	if info.Where != InBounceBack || !info.Prefetched {
+		t.Fatalf("prefetched line state = %+v", info)
+	}
+	st := s.Stats()
+	if st.SoftwarePrefetches != 1 || st.PrefetchesIssued != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.References != 0 || st.CostCycles != 0 {
+		t.Fatal("prefetch instructions must not enter the AMAT accounting")
+	}
+	// A later demand access hits the prefetched line in the BB cache.
+	if got := s.Access(rec(0)); got != 3 {
+		t.Fatalf("demand access after prefetch = %d, want 3 (BB hit)", got)
+	}
+}
+
+func TestSoftwarePrefetchSkipsResidentLines(t *testing.T) {
+	s := mustSim(t, softTestConfig())
+	s.Access(rec(0)) // demand fill
+	before := s.Stats().Mem.BytesFetched
+	s.Access(recPF(0))
+	if s.Stats().Mem.BytesFetched != before {
+		t.Fatal("prefetch of a resident line must not refetch it")
+	}
+}
+
+func TestSoftwarePrefetchWithoutBufferIsNop(t *testing.T) {
+	s := mustSim(t, testConfig()) // no bounce-back structure
+	if got := s.Access(recPF(0)); got != 1 {
+		t.Fatalf("cost = %d, want 1", got)
+	}
+	if s.Inspect(0).Where != Absent {
+		t.Fatal("no prefetch buffer: nothing should be fetched")
+	}
+	if s.Stats().Mem.BytesFetched != 0 {
+		t.Fatal("no traffic expected")
+	}
+}

@@ -1,0 +1,100 @@
+package cache
+
+import "testing"
+
+func TestWriteThroughNeverDirties(t *testing.T) {
+	cfg := testConfig()
+	cfg.Writes = WriteThroughAllocate
+	s := mustSim(t, cfg)
+	s.Access(recW(0)) // store miss: allocates, posts the word
+	if s.Inspect(0).Where != InMain {
+		t.Fatal("write-through-allocate must allocate on a store miss")
+	}
+	if s.Inspect(0).Dirty {
+		t.Fatal("write-through lines must never be dirty")
+	}
+	s.Access(recW(8)) // store hit: posts again
+	st := s.Stats()
+	if st.Mem.BytesWritten != 16 {
+		t.Fatalf("bytes written = %d, want 16", st.Mem.BytesWritten)
+	}
+	// Evicting the line must not produce a writeback (it is clean).
+	wbBefore := st.Mem.Writebacks
+	s.Access(rec(1024))
+	if got := s.Stats().Mem.Writebacks; got != wbBefore {
+		t.Fatalf("clean eviction caused a writeback: %d -> %d", wbBefore, got)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Writes = WriteThroughNoAllocate
+	s := mustSim(t, cfg)
+	cost := s.Access(recW(0))
+	if cost != 1 {
+		t.Fatalf("no-allocate store miss cost = %d, want 1 (write buffer absorbs it)", cost)
+	}
+	if s.Inspect(0).Where != Absent {
+		t.Fatal("no-allocate store miss must not allocate")
+	}
+	st := s.Stats()
+	if st.Mem.BytesFetched != 0 {
+		t.Fatal("no fetch traffic expected")
+	}
+	if st.Mem.BytesWritten != 8 {
+		t.Fatalf("bytes written = %d, want 8", st.Mem.BytesWritten)
+	}
+	// Loads still allocate.
+	s.Access(rec(0))
+	if s.Inspect(0).Where != InMain {
+		t.Fatal("load miss must still allocate")
+	}
+}
+
+func TestWriteThroughBufferFullStalls(t *testing.T) {
+	cfg := testConfig()
+	cfg.Writes = WriteThroughNoAllocate
+	cfg.Memory.WriteBufferEntries = 1
+	cfg.Memory.VictimTransferCycles = 8 // slow drain
+	s := mustSim(t, cfg)
+	// Back-to-back stores with 1-cycle gaps: the 8-cycle drain cannot
+	// keep up, so some stores stall.
+	totalCost := 0
+	for i := 0; i < 8; i++ {
+		totalCost += s.Access(recW(uint64(8 * i)))
+	}
+	if s.Stats().Mem.WriteThroughStalls == 0 {
+		t.Fatal("expected write-through stalls with a tiny buffer")
+	}
+	if totalCost <= 8 {
+		t.Fatalf("total cost %d should exceed 8 pure hits", totalCost)
+	}
+}
+
+func TestWriteBackDefaultUnchanged(t *testing.T) {
+	// The zero value of WritePolicy must be the paper's write-back
+	// design, keeping every existing configuration's behaviour.
+	var p WritePolicy
+	if p != WriteBackAllocate {
+		t.Fatal("zero WritePolicy must be write-back-allocate")
+	}
+	if WriteBackAllocate.String() != "write-back" ||
+		WriteThroughAllocate.String() != "write-through" ||
+		WriteThroughNoAllocate.String() != "write-through-no-allocate" {
+		t.Fatal("WritePolicy.String broken")
+	}
+}
+
+func TestWritePolicyInvariants(t *testing.T) {
+	for _, pol := range []WritePolicy{WriteThroughAllocate, WriteThroughNoAllocate} {
+		cfg := softTestConfig()
+		cfg.Writes = pol
+		s := mustSim(t, cfg)
+		for i, r := range randomTrace(31, 3000, 4096) {
+			s.Access(r)
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Fatalf("%v: after access %d: %s", pol, i, msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package core is the public face of the software-assisted cache library.
+// It ties together the trace format, the cache/memory model and the
+// canonical configurations evaluated in the paper, so that a user can write
+//
+//	res := core.Simulate(core.Soft(), tr)
+//	fmt.Println(res.AMAT())
+//
+// without touching the lower layers. The configuration constructors mirror
+// the paper's named design points:
+//
+//	Standard()        8 KiB direct-mapped, 32 B lines — the DEC Alpha /
+//	                  R4000 / Pentium-class baseline ("Stand.")
+//	Soft()            Standard + 64 B virtual lines + 256 B bounce-back
+//	                  cache, both hints active ("Soft.")
+//	SoftTemporal()    bounce-back only ("Soft. for Temp. only")
+//	SoftSpatial()     virtual lines only ("Soft. for Spat. only")
+//	Victim()          Standard + 256 B victim cache (fig. 3b)
+//	BypassPlain()     classic bypass (fig. 3a)
+//	BypassBuffered()  bypass through a small line buffer (fig. 3a)
+//	SetAssoc(n)       n-way variants of the above (fig. 9b)
+//
+// plus the extensions and related-work baselines: SoftVariable() (§3.2
+// variable-length virtual lines), StandardStreamBuffers() and
+// ColumnAssociative() (§5), Subblocked() (§2.1's contrast case), and the
+// WithPrefetch/WithWritePolicy/WithLatency/WithGeometry modifiers.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"softcache/internal/cache"
+	"softcache/internal/mem"
+	"softcache/internal/trace"
+)
+
+// Paper-wide default parameters (§3.1, "Notations and Parameters").
+const (
+	DefaultCacheSize   = 8 * 1024
+	DefaultLineSize    = 32
+	DefaultVirtualLine = 64
+	DefaultBounceBack  = 8 // lines (256 bytes of 32-byte lines)
+	DefaultLatency     = 20
+	DefaultBusBytes    = 16
+)
+
+// Config is re-exported so callers only import core.
+type Config = cache.Config
+
+// Result bundles the statistics of one simulation.
+type Result struct {
+	Trace  string
+	Config string
+	Stats  cache.Stats
+}
+
+// AMAT returns the average memory access time of the run.
+func (r Result) AMAT() float64 { return r.Stats.AMAT() }
+
+// MissRatio returns the run's miss ratio.
+func (r Result) MissRatio() float64 { return r.Stats.MissRatio() }
+
+func baseConfig() Config {
+	return Config{
+		CacheSize: DefaultCacheSize,
+		LineSize:  DefaultLineSize,
+		Assoc:     1,
+		HitCycles: 1,
+		Memory: mem.Config{
+			LatencyCycles:        DefaultLatency,
+			BusBytesPerCycle:     DefaultBusBytes,
+			WriteBufferEntries:   8,
+			VictimTransferCycles: 2,
+		},
+	}
+}
+
+// Standard returns the baseline cache of the paper ("Stand.").
+func Standard() Config { return baseConfig() }
+
+// Victim returns Standard plus a 256-byte victim cache (bounce-back
+// structure with the bounce-back mechanism disabled).
+func Victim() Config {
+	c := baseConfig()
+	c.BounceBackLines = DefaultBounceBack
+	c.BounceBackCycles = 3
+	c.SwapLockCycles = 2
+	return c
+}
+
+// Soft returns the full software-assisted design ("Soft."): 64-byte virtual
+// lines plus the 256-byte bounce-back cache, both hints honoured.
+func Soft() Config {
+	c := Victim()
+	c.BounceBackEnabled = true
+	c.VirtualLineSize = DefaultVirtualLine
+	c.UseTemporalTags = true
+	c.UseSpatialTags = true
+	return c
+}
+
+// SoftVariable returns the §3.2 extension of Soft: spatial references carry
+// a 2-bit length hint and the cache fetches 64-, 128- or 256-byte virtual
+// lines accordingly (references without a hint use the 64-byte default).
+func SoftVariable() Config {
+	c := Soft()
+	c.VariableVirtualLines = true
+	return c
+}
+
+// SoftTemporal returns the temporal-only design (bounce-back cache active,
+// no virtual lines).
+func SoftTemporal() Config {
+	c := Soft()
+	c.VirtualLineSize = 0
+	c.UseSpatialTags = false
+	return c
+}
+
+// SoftSpatial returns the spatial-only design (virtual lines active, the
+// on-chip buffer demoted to a plain victim cache).
+func SoftSpatial() Config {
+	c := Soft()
+	c.BounceBackEnabled = false
+	c.UseTemporalTags = false
+	return c
+}
+
+// StandardStreamBuffers returns Standard plus Jouppi-style stream buffers
+// (§5 related work): four buffers of depth four, the configuration of the
+// original paper.
+func StandardStreamBuffers() Config {
+	c := baseConfig()
+	c.StreamBuffers = 4
+	c.StreamBufferDepth = 4
+	return c
+}
+
+// ColumnAssociative returns the §5 related-work column-associative
+// organisation: a direct-mapped cache whose lines may also live at a
+// second, slower hashed location.
+func ColumnAssociative() Config {
+	c := baseConfig()
+	c.ColumnAssociative = true
+	return c
+}
+
+// Subblocked returns the §2.1 contrast case to virtual lines: a cache with
+// 64-byte physical lines sectored into 32-byte subblocks (the PowerPC
+// organisation §3.2 cites). The directory is half the size of a 32-byte-
+// line cache's, but misses refill only the referenced subblock.
+func Subblocked() Config {
+	c := baseConfig()
+	c.LineSize = 2 * DefaultLineSize
+	c.SubblockSize = DefaultLineSize
+	return c
+}
+
+// BypassPlain returns the classic-bypass baseline of fig. 3a: references
+// without the temporal hint go straight to memory, word by word.
+func BypassPlain() Config {
+	c := baseConfig()
+	c.Bypass = cache.BypassPlain
+	c.UseTemporalTags = true
+	return c
+}
+
+// BypassBuffered returns the bypass-through-a-buffer baseline of fig. 3a.
+func BypassBuffered() Config {
+	c := BypassPlain()
+	c.Bypass = cache.BypassBuffered
+	c.BypassBufferLines = 8
+	return c
+}
+
+// SetAssoc converts cfg to an n-way organisation of the same capacity.
+func SetAssoc(cfg Config, ways int) Config {
+	cfg.Assoc = ways
+	return cfg
+}
+
+// SimplifiedSoftAssoc returns the fig. 9b "simplified soft" design: an
+// n-way cache with virtual lines and temporal-priority LRU replacement but
+// no bounce-back cache.
+func SimplifiedSoftAssoc(ways int) Config {
+	c := baseConfig()
+	c.Assoc = ways
+	c.VirtualLineSize = DefaultVirtualLine
+	c.UseSpatialTags = true
+	c.UseTemporalTags = true
+	c.TemporalPriorityReplacement = true
+	return c
+}
+
+// WithPrefetch enables §4.4 prefetching on cfg. softwareGuided selects the
+// paper's hint-driven scheme; false prefetches on every miss. The
+// configuration must include a bounce-back structure (it is the prefetch
+// buffer); for Standard-like configs a victim-cache-sized buffer is added
+// automatically.
+func WithPrefetch(cfg Config, softwareGuided bool) Config {
+	if cfg.BounceBackLines == 0 {
+		cfg.BounceBackLines = DefaultBounceBack
+		cfg.BounceBackCycles = 3
+		cfg.SwapLockCycles = 2
+	}
+	cfg.Prefetch = cache.PrefetchConfig{
+		Enabled:        true,
+		SoftwareGuided: softwareGuided,
+		Degree:         1,
+	}
+	return cfg
+}
+
+// WithWritePolicy sets the store policy (default write-back/allocate).
+func WithWritePolicy(cfg Config, p cache.WritePolicy) Config {
+	cfg.Writes = p
+	return cfg
+}
+
+// WithLatency sets the memory latency in cycles.
+func WithLatency(cfg Config, cycles int) Config {
+	cfg.Memory.LatencyCycles = cycles
+	return cfg
+}
+
+// WithGeometry sets cache size, physical line size and virtual line size
+// (virtual 0 keeps the mechanism off).
+func WithGeometry(cfg Config, cacheSize, lineSize, virtualLine int) Config {
+	cfg.CacheSize = cacheSize
+	cfg.LineSize = lineSize
+	cfg.VirtualLineSize = virtualLine
+	return cfg
+}
+
+// NewSimulator builds a simulator for cfg.
+func NewSimulator(cfg Config) (*cache.Simulator, error) { return cache.New(cfg) }
+
+// Simulate runs the whole trace through a fresh simulator built from cfg.
+func Simulate(cfg Config, t *trace.Trace) (Result, error) {
+	sim, err := cache.New(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	stats := sim.Run(t)
+	return Result{Trace: t.Name, Config: Describe(cfg), Stats: stats}, nil
+}
+
+// SimulateWarm runs the trace like Simulate but resets the statistics
+// after the first warmup records, so the result reflects steady-state
+// behaviour (cold compulsory misses excluded). warmup is clamped to the
+// trace length.
+func SimulateWarm(cfg Config, t *trace.Trace, warmup int) (Result, error) {
+	sim, err := cache.New(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	if warmup > len(t.Records) {
+		warmup = len(t.Records)
+	}
+	for _, r := range t.Records[:warmup] {
+		sim.Access(r)
+	}
+	sim.ResetStats()
+	for _, r := range t.Records[warmup:] {
+		sim.Access(r)
+	}
+	return Result{Trace: t.Name, Config: Describe(cfg), Stats: sim.Stats()}, nil
+}
+
+// Windows runs the trace and returns the AMAT of each consecutive window
+// of windowSize references — the phase profile of the workload under cfg
+// (a partial final window is included when at least one reference lands in
+// it). Software-prefetch records do not advance the window.
+func Windows(cfg Config, t *trace.Trace, windowSize int) ([]float64, error) {
+	if windowSize <= 0 {
+		return nil, fmt.Errorf("core: window size must be positive, got %d", windowSize)
+	}
+	sim, err := cache.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var out []float64
+	var prev cache.Stats
+	flush := func() {
+		cur := sim.Stats()
+		refs := cur.References - prev.References
+		if refs > 0 {
+			out = append(out, float64(cur.CostCycles-prev.CostCycles)/float64(refs))
+		}
+		prev = cur
+	}
+	inWindow := 0
+	for _, r := range t.Records {
+		sim.Access(r)
+		if r.SoftwarePrefetch {
+			continue
+		}
+		inWindow++
+		if inWindow == windowSize {
+			flush()
+			inWindow = 0
+		}
+	}
+	if inWindow > 0 {
+		flush()
+	}
+	return out, nil
+}
+
+// SimulateStream runs a serialised trace through a fresh simulator without
+// materialising it in memory, so multi-gigabyte trace files stream at I/O
+// speed.
+func SimulateStream(cfg Config, r *trace.Reader) (Result, error) {
+	sim, err := cache.New(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %w", err)
+		}
+		sim.Access(rec)
+	}
+	return Result{Trace: r.Name(), Config: Describe(cfg), Stats: sim.Stats()}, nil
+}
+
+// Describe renders a short human-readable identifier for cfg.
+func Describe(cfg Config) string {
+	s := fmt.Sprintf("%dK/%dB/%d-way", cfg.CacheSize/1024, cfg.LineSize, cfg.Assoc)
+	if cfg.VirtualLineSize > cfg.LineSize {
+		if cfg.VariableVirtualLines {
+			s += "+vlvar"
+		} else {
+			s += fmt.Sprintf("+vl%d", cfg.VirtualLineSize)
+		}
+	}
+	if cfg.BounceBackLines > 0 {
+		if cfg.BounceBackEnabled {
+			s += fmt.Sprintf("+bb%d", cfg.BounceBackLines)
+		} else {
+			s += fmt.Sprintf("+vc%d", cfg.BounceBackLines)
+		}
+	}
+	if cfg.TemporalPriorityReplacement {
+		s += "+tpr"
+	}
+	if cfg.StreamBuffers > 0 {
+		s += fmt.Sprintf("+sb%d", cfg.StreamBuffers)
+	}
+	if cfg.ColumnAssociative {
+		s += "+colassoc"
+	}
+	if cfg.SubblockSize > 0 {
+		s += fmt.Sprintf("+sub%d", cfg.SubblockSize)
+	}
+	switch cfg.Bypass {
+	case cache.BypassPlain:
+		s += "+bypass"
+	case cache.BypassBuffered:
+		s += "+bypassbuf"
+	}
+	if cfg.Prefetch.Enabled {
+		if cfg.Prefetch.SoftwareGuided {
+			s += "+pf(sw)"
+		} else {
+			s += "+pf"
+		}
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"softcache/internal/locality"
+	"softcache/internal/loopir"
+	"softcache/internal/tracegen"
+)
+
+const mvSource = `
+# The paper's matrix-vector multiply, written in the source language.
+program mv
+array A(96, 96)
+array X(96)
+array Y(96)
+do j1 = 0, 95
+  load Y(j1)
+  do j2 = 0, 95
+    load A(j2, j1)
+    load X(j2)
+  end
+  store Y(j1)
+end
+`
+
+func TestParseMV(t *testing.T) {
+	p, err := Parse(mvSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mv" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if len(p.Accesses()) != 4 {
+		t.Fatalf("accesses = %d", len(p.Accesses()))
+	}
+	// The analysis over the parsed program must match the hand-built MV:
+	// A spatial-only, X and Y temporal+spatial.
+	tags, err := locality.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := locality.Summarize(tags)
+	if sum.TemporalSites != 3 || sum.SpatialSites != 4 {
+		t.Fatalf("tag summary = %+v", sum)
+	}
+	// And it must generate a trace.
+	tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 96*(2+2*96) {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+}
+
+func TestParseSparseWithDirectives(t *testing.T) {
+	src := `
+program spmv
+array A(300)
+array X(40)
+array Y(40)
+index Idx = random(0, 40, 300) seed 7
+index D = [0, 100, 200, 300]
+do j1 = 0, 2
+  load Y(j1) tags(temporal, spatial)
+  do j2 = D[j1], D[j1+1] - 1
+    load Idx(j2) tags(spatial)
+    load A(j2) tags(spatial)
+    load X(Idx[j2]) tags(temporal)
+  end
+  store Y(j1) tags(temporal, spatial)
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rows x (2 Y refs) + 300 inner iterations x 3 refs.
+	if tr.Len() != 3*2+300*3 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+	c := tr.CountTags()
+	if c.TemporalOnly == 0 || c.SpatialOnly == 0 || c.Both == 0 {
+		t.Fatalf("directive tags missing: %+v", c)
+	}
+}
+
+func TestParseDriverCallPrefetchStep(t *testing.T) {
+	src := `
+program features
+array X(64)
+driver t = 0, 2
+  do i = 0, 60 step 4
+    load X(i)
+    prefetch X(i + 8)
+  end
+  call helper
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := p.Body[0].(*loopir.Loop)
+	if !ok || !outer.Opaque {
+		t.Fatalf("driver loop not opaque: %+v", p.Body[0])
+	}
+	inner := outer.Body[0].(*loopir.Loop)
+	if inner.Step != 4 {
+		t.Fatalf("step = %d", inner.Step)
+	}
+	if _, ok := inner.Body[1].(*loopir.Prefetch); !ok {
+		t.Fatalf("prefetch statement missing: %T", inner.Body[1])
+	}
+	if _, ok := outer.Body[1].(*loopir.Call); !ok {
+		t.Fatalf("call statement missing: %T", outer.Body[1])
+	}
+	tr, err := tracegen.Generate(p, tracegen.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, pf := 0, 0
+	for _, r := range tr.Records {
+		if r.SoftwarePrefetch {
+			pf++
+		} else {
+			demand++
+		}
+	}
+	if demand != 3*16 || pf == 0 {
+		t.Fatalf("demand=%d prefetch=%d", demand, pf)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `
+program expr
+array A(100, 100)
+do i = 1, 9
+  do j = 1, 9
+    load A(2*i + j - 1, i)
+    load A(j, 3*i + 2)
+    store A(i - j + 50, j)
+  end
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := p.Accesses()
+	lin, err := p.LinearSubscript(accs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(2i+j-1, i) linearised: (2i+j-1) + 100i = 102i + j - 1.
+	if lin.Coef("i") != 102 || lin.Coef("j") != 1 || lin.Const != -1 {
+		t.Fatalf("linearised = %+v", lin)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no program", "array A(4)\n", `expected "program"`},
+		{"bad char", "program p\n@\n", "unexpected character"},
+		{"missing end", "program p\narray A(4)\ndo i = 0, 3\nload A(i)\n", "missing 'end'"},
+		{"stray end", "program p\nend\n", "'end' without"},
+		{"bad dims", "program p\narray A(x)\n", "expected number"},
+		{"undeclared", "program p\ndo i = 0, 3\nload B(i)\nend\n", "undeclared array"},
+		{"bad tag", "program p\narray A(4)\ndo i = 0, 3\nload A(i) tags(zzz)\nend\n", "unknown tag"},
+		{"double indirect", "program p\narray A(9)\ndata D = [1]\ndata E = [1]\ndo i = 0, 0\nload A(D[i] + E[i])\nend\n", "one indirect"},
+		{"bad random", "program p\ndata D = random(5, 2, 10)\n", "need lo < hi"},
+		{"junk after stmt", "program p\narray A(4) extra\n", "unexpected"},
+		{"bad initialiser", "program p\ndata D = what\n", "initialiser"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "line ") && tc.name != "undeclared" && tc.name != "double indirect" {
+			t.Fatalf("%s: error %q lacks a line number", tc.name, err)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	src := "PROGRAM up\nARRAY A(8)\nDO i = 0, 7\nLOAD A(i)\nEND\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParseAndStrip(t *testing.T) {
+	p := MustParse(Strip(`
+		program tiny
+		array A(4)
+		do i = 0, 3
+		  load A(i)
+		end
+	`))
+	if p.Name != "tiny" {
+		t.Fatal("Strip/MustParse broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad source")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+program c
+# a comment line
+array A(4)   ! trailing comment
+
+do i = 0, 3
+
+  load A(i)  # inline
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Accesses()) != 1 {
+		t.Fatal("comment handling broke the parse")
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	kinds := []tokKind{tokEOF, tokNewline, tokIdent, tokNumber, tokLParen,
+		tokRParen, tokLBracket, tokRBracket, tokComma, tokEquals, tokPlus,
+		tokMinus, tokStar, tokKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty String", int(k))
+		}
+	}
+}
+
+func TestNegativeConstantsAndScaledTerms(t *testing.T) {
+	src := `
+program neg
+array A(200)
+data D = [-3, 5]
+do i = 4, 99
+  load A(2*i - 4)
+  load A(-1*i + 100)
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := p.Accesses()
+	lin, _ := p.LinearSubscript(accs[0])
+	if lin.Coef("i") != 2 || lin.Const != -4 {
+		t.Fatalf("first subscript = %+v", lin)
+	}
+	lin2, _ := p.LinearSubscript(accs[1])
+	if lin2.Coef("i") != -1 || lin2.Const != 100 {
+		t.Fatalf("second subscript = %+v", lin2)
+	}
+	if p.Data["D"][0] != -3 {
+		t.Fatal("negative data literal lost")
+	}
+}
+
+func TestRandomInitialiserDeterminism(t *testing.T) {
+	src := "program r\nindex I = random(0, 50, 100) seed 9\n"
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Parse(src)
+	for i := range a.Data["I"] {
+		v := a.Data["I"][i]
+		if v < 0 || v >= 50 {
+			t.Fatalf("random value %d out of range", v)
+		}
+		if v != b.Data["I"][i] {
+			t.Fatal("random initialiser must be deterministic per seed")
+		}
+	}
+	c, _ := Parse("program r\nindex I = random(0, 50, 100) seed 10\n")
+	same := true
+	for i := range a.Data["I"] {
+		if a.Data["I"][i] != c.Data["I"][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}

@@ -1,0 +1,178 @@
+// Package lang provides a small Fortran-flavoured source language for loop
+// nests, compiled to loopir programs. It gives the repository the same
+// workflow the paper used — write the kernel as source, let the compiler
+// derive the locality tags, trace it — without writing Go:
+//
+//	program mv
+//	array A(768, 768)
+//	array X(768)
+//	array Y(768)
+//	do j1 = 0, 766
+//	  load Y(j1)
+//	  do j2 = 0, 766
+//	    load A(j2, j1)
+//	    load X(j2)
+//	  end
+//	  store Y(j1)
+//	end
+//
+// Statements: array/index/data declarations, do/driver…end loops (with
+// optional "step k"), load/store/prefetch references, call. Subscripts are
+// affine expressions over loop variables plus at most one indirect
+// component written data[expr]. A reference may carry a §4.1 user
+// directive: "tags(temporal)", "tags(spatial)", "tags(temporal, spatial)"
+// or "tags(none)". Comments run from "#" or "!" to end of line.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokEquals
+	tokPlus
+	tokMinus
+	tokStar
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for error reporting.
+type token struct {
+	kind tokKind
+	text string
+	num  int
+	line int
+}
+
+// lex splits src into tokens. Newlines are significant (statements are
+// line-oriented); consecutive blank lines collapse.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	runes := []rune(src)
+	emit := func(k tokKind, text string, num int) {
+		toks = append(toks, token{kind: k, text: text, num: num, line: line})
+	}
+	for i < len(runes) {
+		c := runes[i]
+		switch {
+		case c == '\n':
+			if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+				emit(tokNewline, "\\n", 0)
+			}
+			line++
+			i++
+		case c == '#' || c == '!':
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			emit(tokLParen, "(", 0)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", 0)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", 0)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", 0)
+			i++
+		case c == ',':
+			emit(tokComma, ",", 0)
+			i++
+		case c == '=':
+			emit(tokEquals, "=", 0)
+			i++
+		case c == '+':
+			emit(tokPlus, "+", 0)
+			i++
+		case c == '-':
+			emit(tokMinus, "-", 0)
+			i++
+		case c == '*':
+			emit(tokStar, "*", 0)
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			n := 0
+			for _, d := range runes[i:j] {
+				n = n*10 + int(d-'0')
+			}
+			emit(tokNumber, string(runes[i:j]), n)
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			emit(tokIdent, string(runes[i:j]), 0)
+			i = j
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+		toks = append(toks, token{kind: tokNewline, text: "\\n", line: line})
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// keyword reports whether an identifier token equals the keyword
+// (case-insensitive, Fortran style).
+func keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

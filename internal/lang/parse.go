@@ -1,0 +1,520 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"softcache/internal/loopir"
+	"softcache/internal/timing"
+)
+
+// Parse compiles source text into a finalized loopir program.
+func Parse(src string) (*loopir.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Finalize(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *loopir.Program
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) skipNL() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %v, got %q", k, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !keyword(t, kw) {
+		return p.errf(t, "expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) endOfLine() error {
+	t := p.next()
+	if t.kind != tokNewline && t.kind != tokEOF {
+		return p.errf(t, "unexpected %q at end of statement", t.text)
+	}
+	return nil
+}
+
+// parseProgram: "program NAME" followed by declarations and statements.
+func (p *parser) parseProgram() (*loopir.Program, error) {
+	p.skipNL()
+	if err := p.expectKeyword("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfLine(); err != nil {
+		return nil, err
+	}
+	p.prog = loopir.NewProgram(name.text)
+
+	body, err := p.parseBody(false)
+	if err != nil {
+		return nil, err
+	}
+	p.prog.Add(body...)
+	return p.prog, nil
+}
+
+// parseBody parses statements until "end" (when nested) or EOF.
+func (p *parser) parseBody(nested bool) ([]loopir.Stmt, error) {
+	var out []loopir.Stmt
+	for {
+		p.skipNL()
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			if nested {
+				return nil, p.errf(t, "missing 'end'")
+			}
+			return out, nil
+		case keyword(t, "end"):
+			if !nested {
+				return nil, p.errf(t, "'end' without an open loop")
+			}
+			p.next()
+			if err := p.endOfLine(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		case keyword(t, "array"), keyword(t, "index"), keyword(t, "data"):
+			if err := p.parseDecl(); err != nil {
+				return nil, err
+			}
+		case keyword(t, "do"), keyword(t, "driver"):
+			st, err := p.parseLoop()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		case keyword(t, "load"), keyword(t, "store"):
+			st, err := p.parseAccess()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		case keyword(t, "prefetch"):
+			st, err := p.parsePrefetch()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		case keyword(t, "call"):
+			p.next()
+			nm, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.endOfLine(); err != nil {
+				return nil, err
+			}
+			out = append(out, &loopir.Call{Name: nm.text})
+		default:
+			return nil, p.errf(t, "unexpected %q (want a declaration, do, load, store, prefetch, call or end)", t.text)
+		}
+	}
+}
+
+// parseDecl handles:
+//
+//	array NAME(d1, d2, ...)
+//	index NAME = random(lo, hi, count) seed N      (traced 4-byte ints)
+//	index NAME = [v1, v2, ...]
+//	data  NAME = random(...) seed N | [...]        (untraced ints)
+func (p *parser) parseDecl() error {
+	kind := p.next() // array | index | data
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if keyword(kind, "array") {
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		var dims []int
+		for {
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			dims = append(dims, n.num)
+			t := p.next()
+			if t.kind == tokRParen {
+				break
+			}
+			if t.kind != tokComma {
+				return p.errf(t, "expected ',' or ')' in array dimensions")
+			}
+		}
+		p.prog.DeclareArray(name.text, dims...)
+		return p.endOfLine()
+	}
+
+	if _, err := p.expect(tokEquals); err != nil {
+		return err
+	}
+	values, err := p.parseDataInitialiser(name.text)
+	if err != nil {
+		return err
+	}
+	if keyword(kind, "index") {
+		p.prog.DeclareIndexArray(name.text, values)
+	} else {
+		p.prog.DeclareData(name.text, values)
+	}
+	return p.endOfLine()
+}
+
+// parseDataInitialiser parses "[1, 2, 3]" or "random(lo, hi, count) seed N".
+func (p *parser) parseDataInitialiser(name string) ([]int, error) {
+	t := p.peek()
+	if t.kind == tokLBracket {
+		p.next()
+		var values []int
+		for {
+			n, err := p.parseSignedNumber()
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, n)
+			nt := p.next()
+			if nt.kind == tokRBracket {
+				return values, nil
+			}
+			if nt.kind != tokComma {
+				return nil, p.errf(nt, "expected ',' or ']' in data literal")
+			}
+		}
+	}
+	if keyword(t, "random") {
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		count, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		seed := uint64(1)
+		if keyword(p.peek(), "seed") {
+			p.next()
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			seed = uint64(n.num)
+		}
+		if hi <= lo || count <= 0 {
+			return nil, p.errf(t, "random(%d, %d, %d): need lo < hi and count > 0", lo, hi, count)
+		}
+		rng := timing.NewRNG(seed)
+		values := make([]int, count)
+		for i := range values {
+			values[i] = lo + rng.Intn(hi-lo)
+		}
+		return values, nil
+	}
+	return nil, p.errf(t, "expected '[' literal or random(...) initialiser for %s", name)
+}
+
+func (p *parser) parseSignedNumber() (int, error) {
+	neg := false
+	if p.peek().kind == tokMinus {
+		p.next()
+		neg = true
+	}
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -n.num, nil
+	}
+	return n.num, nil
+}
+
+// parseLoop: "do VAR = lo, hi [step N]" … "end" (or "driver" for opaque
+// loops).
+func (p *parser) parseLoop() (loopir.Stmt, error) {
+	kw := p.next() // do | driver
+	v, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseSubscript()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseSubscript()
+	if err != nil {
+		return nil, err
+	}
+	step := 1
+	if keyword(p.peek(), "step") {
+		p.next()
+		step, err = p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfLine(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody(true)
+	if err != nil {
+		return nil, err
+	}
+	return &loopir.Loop{
+		Var: v.text, Lower: lo, Upper: hi, Step: step, Body: body,
+		Opaque: keyword(kw, "driver"),
+	}, nil
+}
+
+// parseAccess: "load ARRAY(sub, ...) [tags(...)]" or "store ...".
+func (p *parser) parseAccess() (loopir.Stmt, error) {
+	kw := p.next() // load | store
+	arr, subs, err := p.parseReference()
+	if err != nil {
+		return nil, err
+	}
+	acc := &loopir.Access{Array: arr, Index: subs, Write: keyword(kw, "store")}
+	if keyword(p.peek(), "tags") {
+		tags, err := p.parseTagsDirective()
+		if err != nil {
+			return nil, err
+		}
+		acc.Force = tags
+	}
+	if err := p.endOfLine(); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+func (p *parser) parsePrefetch() (loopir.Stmt, error) {
+	p.next() // prefetch
+	arr, subs, err := p.parseReference()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfLine(); err != nil {
+		return nil, err
+	}
+	return &loopir.Prefetch{Array: arr, Index: subs}, nil
+}
+
+// parseReference: ARRAY(sub {, sub}).
+func (p *parser) parseReference() (string, []loopir.Subscript, error) {
+	arr, err := p.expect(tokIdent)
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", nil, err
+	}
+	var subs []loopir.Subscript
+	for {
+		s, err := p.parseSubscript()
+		if err != nil {
+			return "", nil, err
+		}
+		subs = append(subs, s)
+		t := p.next()
+		if t.kind == tokRParen {
+			return arr.text, subs, nil
+		}
+		if t.kind != tokComma {
+			return "", nil, p.errf(t, "expected ',' or ')' in subscript list")
+		}
+	}
+}
+
+// parseTagsDirective: tags(temporal), tags(spatial), tags(temporal,
+// spatial) or tags(none).
+func (p *parser) parseTagsDirective() (*loopir.Tags, error) {
+	p.next() // tags
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	tags := &loopir.Tags{}
+	for {
+		t := p.next()
+		switch {
+		case keyword(t, "temporal"):
+			tags.Temporal = true
+		case keyword(t, "spatial"):
+			tags.Spatial = true
+		case keyword(t, "none"):
+			// explicit no-tags directive
+		default:
+			return nil, p.errf(t, "unknown tag %q (want temporal, spatial or none)", t.text)
+		}
+		nt := p.next()
+		if nt.kind == tokRParen {
+			return tags, nil
+		}
+		if nt.kind != tokComma {
+			return nil, p.errf(nt, "expected ',' or ')' in tags directive")
+		}
+	}
+}
+
+// parseSubscript parses an affine expression with at most one indirect
+// component: term { (+|-) term }, term = [N *] ident | N | ident[expr].
+func (p *parser) parseSubscript() (loopir.Subscript, error) {
+	sub, err := p.parseTerm(false)
+	if err != nil {
+		return loopir.Subscript{}, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return sub, nil
+		}
+		p.next()
+		term, err := p.parseTerm(t.kind == tokMinus)
+		if err != nil {
+			return loopir.Subscript{}, err
+		}
+		if sub.Ind != nil && term.Ind != nil {
+			return loopir.Subscript{}, p.errf(t, "at most one indirect component per subscript")
+		}
+		sub = loopir.Sum(sub, term)
+	}
+}
+
+// parseTerm parses one additive term, negated when neg is true.
+func (p *parser) parseTerm(neg bool) (loopir.Subscript, error) {
+	sign := 1
+	if neg {
+		sign = -1
+	}
+	t := p.next()
+	switch t.kind {
+	case tokMinus:
+		inner, err := p.parseTerm(!neg)
+		return inner, err
+	case tokNumber:
+		// Either a constant or a scaled variable N*v.
+		if p.peek().kind == tokStar {
+			p.next()
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return loopir.Subscript{}, err
+			}
+			return loopir.SV(sign*t.num, v.text), nil
+		}
+		return loopir.C(sign * t.num), nil
+	case tokIdent:
+		if p.peek().kind == tokLBracket {
+			// Indirect component: data[expr].
+			p.next()
+			inner, err := p.parseSubscript()
+			if err != nil {
+				return loopir.Subscript{}, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return loopir.Subscript{}, err
+			}
+			if sign < 0 {
+				return loopir.Subscript{}, p.errf(t, "negated indirect components are not supported")
+			}
+			return loopir.Load(t.text, inner), nil
+		}
+		return loopir.SV(sign, t.text), nil
+	default:
+		return loopir.Subscript{}, p.errf(t, "expected a subscript term, got %q", t.text)
+	}
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *loopir.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Strip is a helper for writing inline sources in Go string literals:
+// it removes the margin shared by all non-empty lines.
+func Strip(src string) string {
+	lines := strings.Split(src, "\n")
+	margin := -1
+	for _, l := range lines {
+		trimmed := strings.TrimLeft(l, " \t")
+		if trimmed == "" {
+			continue
+		}
+		indent := len(l) - len(trimmed)
+		if margin < 0 || indent < margin {
+			margin = indent
+		}
+	}
+	if margin <= 0 {
+		return src
+	}
+	for i, l := range lines {
+		if len(l) >= margin {
+			lines[i] = l[margin:]
+		}
+	}
+	return strings.Join(lines, "\n")
+}

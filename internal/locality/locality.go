@@ -1,0 +1,343 @@
+// Package locality implements the paper's compile-time locality analysis
+// (§2.3). The point the paper makes — and that this package preserves — is
+// that *elementary* techniques suffice:
+//
+//   - a reference is tagged SPATIAL when the coefficient of the innermost
+//     loop variable in its linearised subscript is a known constant smaller
+//     than 4 elements (4 doubles = one 32-byte line); stride 0 counts
+//     (fig. 5 tags Y(I) spatial inside DO J), while unknown — indirect —
+//     strides never do. Within a uniformly generated group only the
+//     leading reference keeps the spatial tag (fig. 5: B(J,I+1) is
+//     spatial, B(J,I) is not — its data was touched one iteration earlier
+//     by the leader, so its misses are covered);
+//
+//   - a reference is tagged TEMPORAL when it exhibits a temporal
+//     self-dependence (some enclosing loop variable is absent from its
+//     subscript — and from the bounds of the loops the subscript ranges
+//     over — so the same elements are revisited across that loop, like
+//     X(J) inside DO I / DO J) or a uniformly generated temporal
+//     group-dependence (another reference to the same array in the same
+//     loop body whose linearised subscript differs only by a constant,
+//     like B(J,I) and B(J,I+1), or the read/write pair on Y(I));
+//
+//   - a CALL in the loop body clears the tags of every reference in that
+//     body (no interprocedural analysis), and references outside any loop
+//     carry no tags;
+//
+//   - explicit user directives (Access.Force) override everything — the
+//     §4.1 mechanism for sparse codes where "no compiler support exists".
+package locality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softcache/internal/loopir"
+)
+
+// SpatialMaxCoef is the paper's threshold: an innermost-loop coefficient
+// smaller than this (in elements) makes a reference spatial.
+const SpatialMaxCoef = 4
+
+// Tagging maps access IDs (loopir.Access.ID) to their resolved tags.
+type Tagging map[int]loopir.Tags
+
+// Analyze derives the tags of every access site in the program. The
+// program must already be finalized.
+func Analyze(p *loopir.Program) (Tagging, error) {
+	tags := make(Tagging)
+	a := &analyzer{p: p, tags: tags}
+	if err := a.walk(p.Body, nil); err != nil {
+		return nil, err
+	}
+	return tags, nil
+}
+
+// analyzer carries the traversal state.
+type analyzer struct {
+	p    *loopir.Program
+	tags Tagging
+}
+
+// walk processes a statement list with the given enclosing loop stack
+// (outermost first).
+func (a *analyzer) walk(body []loopir.Stmt, loops []*loopir.Loop) error {
+	poisoned := len(loops) > 0 && subtreeHasCall(loops[len(loops)-1].Body)
+	group := collectAccesses(body)
+	if err := a.tagGroup(group, loops, poisoned); err != nil {
+		return err
+	}
+	for _, st := range body {
+		if l, ok := st.(*loopir.Loop); ok {
+			next := loops
+			if !l.Opaque {
+				// Full-slice expression: sibling loops must not alias
+				// the same backing array when extending the stack.
+				next = append(loops[:len(loops):len(loops)], l)
+			}
+			if err := a.walk(l.Body, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectAccesses returns the accesses directly in body (not inside nested
+// loops): they share the same innermost loop and form the scope for
+// group-dependence detection.
+func collectAccesses(body []loopir.Stmt) []*loopir.Access {
+	var out []*loopir.Access
+	for _, st := range body {
+		if acc, ok := st.(*loopir.Access); ok {
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+// subtreeHasCall reports whether a CALL appears anywhere below body.
+func subtreeHasCall(body []loopir.Stmt) bool {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *loopir.Call:
+			return true
+		case *loopir.Loop:
+			if subtreeHasCall(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tagGroup resolves the tags of all accesses sharing one loop body.
+func (a *analyzer) tagGroup(group []*loopir.Access, loops []*loopir.Loop, poisoned bool) error {
+	if len(group) == 0 {
+		return nil
+	}
+	lins := make([]loopir.Subscript, len(group))
+	for i, acc := range group {
+		lin, err := a.p.LinearSubscript(acc)
+		if err != nil {
+			return fmt.Errorf("locality: %w", err)
+		}
+		lins[i] = lin
+	}
+
+	resolved := make([]loopir.Tags, len(group))
+	for i, acc := range group {
+		resolved[i] = a.tagsFor(acc, lins[i], loops, group, lins, poisoned)
+	}
+
+	// Spatial-leader demotion (fig. 5): within each uniformly generated
+	// group, members trailing the leading constant lose the spatial tag.
+	// Directive-forced accesses are left untouched.
+	demoteTrailingSpatial(group, lins, resolved)
+
+	for i, acc := range group {
+		a.tags[acc.ID] = resolved[i]
+	}
+	return nil
+}
+
+// tagsFor derives the tags of one access with linearised subscript lin.
+func (a *analyzer) tagsFor(acc *loopir.Access, lin loopir.Subscript, loops []*loopir.Loop, group []*loopir.Access, lins []loopir.Subscript, poisoned bool) loopir.Tags {
+	// User directives win unconditionally (§4.1).
+	if acc.Force != nil {
+		return *acc.Force
+	}
+	// References outside loops, or in a body poisoned by a CALL, carry no
+	// tags (§2.3).
+	if len(loops) == 0 || poisoned {
+		return loopir.Tags{}
+	}
+
+	var t loopir.Tags
+	if !lin.HasIndirect() {
+		// Spatial rule: innermost coefficient known and < 4 elements
+		// (stride 0 included, per fig. 5).
+		innermost := loops[len(loops)-1]
+		if c := lin.Coef(innermost.Var); abs(c) < SpatialMaxCoef {
+			t.Spatial = true
+			t.VirtualBytes = virtualLengthFor(a.p, acc, lin, innermost)
+		}
+
+		// Temporal rule 1: self-dependence. An enclosing loop variable
+		// that appears neither in the subscript nor (transitively) in the
+		// bounds of the loops the subscript ranges over means the same
+		// elements are revisited on each of its iterations.
+		closure := boundsClosure(lin, loops)
+		for _, l := range loops {
+			if !closure[l.Var] {
+				t.Temporal = true
+				break
+			}
+		}
+
+		// Temporal rule 2: uniformly generated group-dependence.
+		if !t.Temporal {
+			for i, other := range group {
+				if other == acc || other.Array != acc.Array {
+					continue
+				}
+				if loopir.SameShape(lin, lins[i]) {
+					t.Temporal = true
+					break
+				}
+			}
+		}
+	}
+	return t
+}
+
+// virtualLengthFor implements the §3.2 extension: quantify the spatial
+// extent of a spatial reference and pick a virtual-line length for it. The
+// contiguous span the innermost loop covers is coef*(hi-lo)+1 elements
+// when the bounds are compile-time constants; the hint rounds it to the
+// supported lengths (64/128/256 bytes). Unknown extents (symbolic bounds)
+// return 0, i.e. the design default — the "complexity of the compiler
+// algorithm for determining the amount of spatial locality" the paper
+// flags as the limitation of this extension.
+func virtualLengthFor(p *loopir.Program, acc *loopir.Access, lin loopir.Subscript, innermost *loopir.Loop) int {
+	lo, hi := innermost.Lower, innermost.Upper
+	if len(lo.Terms) > 0 || lo.Ind != nil || len(hi.Terms) > 0 || hi.Ind != nil {
+		return 0
+	}
+	span := hi.Const - lo.Const
+	if span < 0 {
+		return 0
+	}
+	coef := abs(lin.Coef(innermost.Var))
+	elem := p.Arrays[acc.Array].ElemSize
+	spanBytes := (coef*span + 1) * elem
+	switch {
+	case spanBytes >= 256:
+		return 256
+	case spanBytes >= 128:
+		return 128
+	default:
+		return 64
+	}
+}
+
+// boundsClosure returns the set of loop variables the subscript's value
+// range depends on: the variables appearing in the subscript itself plus,
+// transitively, the variables appearing in the bounds of those loops.
+// A variable *outside* this closure iterates without changing the set of
+// elements touched — genuine temporal reuse.
+func boundsClosure(lin loopir.Subscript, loops []*loopir.Loop) map[string]bool {
+	closure := make(map[string]bool, len(loops))
+	for _, t := range lin.Terms {
+		closure[t.Var] = true
+	}
+	// Iterate to a fixed point (the stack is tiny).
+	for changed := true; changed; {
+		changed = false
+		for _, l := range loops {
+			if !closure[l.Var] {
+				continue
+			}
+			for _, v := range boundVars(l) {
+				if !closure[v] {
+					closure[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// boundVars lists the loop variables appearing in l's bounds, including
+// inside indirect bound components (data-dependent bounds such as CSR row
+// pointers depend on the indexing variable).
+func boundVars(l *loopir.Loop) []string {
+	var out []string
+	collect := func(s loopir.Subscript) {
+		for _, t := range s.Terms {
+			out = append(out, t.Var)
+		}
+		if s.Ind != nil {
+			for _, t := range s.Ind.Sub.Terms {
+				out = append(out, t.Var)
+			}
+		}
+	}
+	collect(l.Lower)
+	collect(l.Upper)
+	return out
+}
+
+// demoteTrailingSpatial clears the spatial tag of non-leading members of
+// each uniformly generated group (same array, same affine shape, differing
+// constants): the leader — the member with the largest constant, i.e. the
+// first to touch new data under forward traversal — keeps it.
+func demoteTrailingSpatial(group []*loopir.Access, lins []loopir.Subscript, resolved []loopir.Tags) {
+	maxConst := make(map[string]int)
+	for i, acc := range group {
+		if acc.Force != nil || lins[i].HasIndirect() {
+			continue
+		}
+		key := shapeKey(acc.Array, lins[i])
+		c, ok := maxConst[key]
+		if !ok || lins[i].Const > c {
+			maxConst[key] = lins[i].Const
+		}
+	}
+	for i, acc := range group {
+		if acc.Force != nil || lins[i].HasIndirect() || !resolved[i].Spatial {
+			continue
+		}
+		key := shapeKey(acc.Array, lins[i])
+		if lins[i].Const < maxConst[key] {
+			resolved[i].Spatial = false
+			resolved[i].VirtualBytes = 0
+		}
+	}
+}
+
+// shapeKey builds a map key identifying (array, affine shape).
+func shapeKey(array string, lin loopir.Subscript) string {
+	var b strings.Builder
+	b.WriteString(array)
+	terms := append([]loopir.Term(nil), lin.Terms...)
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "|%s*%d", t.Var, t.Coef)
+	}
+	return b.String()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Summary tallies a tagging the way fig. 4a reports it.
+type Summary struct {
+	Sites         int
+	TemporalSites int
+	SpatialSites  int
+}
+
+// Summarize counts tagged sites.
+func Summarize(t Tagging) Summary {
+	var s Summary
+	for _, tags := range t {
+		s.Sites++
+		if tags.Temporal {
+			s.TemporalSites++
+		}
+		if tags.Spatial {
+			s.SpatialSites++
+		}
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+package locality
+
+import (
+	"testing"
+
+	"softcache/internal/loopir"
+)
+
+func analyze(t *testing.T, p *loopir.Program) Tagging {
+	t.Helper()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tags
+}
+
+// TestPaperFigure5 reproduces the paper's fig. 5 example verbatim:
+//
+//	DO I=1,N
+//	  DO J=1,N
+//	    Y(I) = Y(I) + (A(I,J)+B(J,I)+B(J,I+1))*(X(J)+X(J))
+//
+// with the trace calls tagged (temporal, spatial):
+//
+//	A(I,J)   (0,0)   B(J,I)  (1,0)   B(J,I+1) (1,1)
+//	X(J)     (1,1)   Y(I) load (1,1) Y(I) store (1,1)
+func TestPaperFigure5(t *testing.T) {
+	const n = 100
+	p := loopir.NewProgram("fig5")
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("B", n, n+1)
+	p.DeclareArray("X", n)
+	p.DeclareArray("Y", n)
+
+	i, j := loopir.V("i"), loopir.V("j")
+	aRef := loopir.Read("A", i, j)
+	b0 := loopir.Read("B", j, i)
+	b1 := loopir.Read("B", j, loopir.Plus(i, 1))
+	x := loopir.Read("X", j)
+	yLoad := loopir.Read("Y", i)
+	yStore := loopir.Store("Y", i)
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(n-1),
+		loopir.Do("j", loopir.C(0), loopir.C(n-1),
+			aRef, b0, b1, x, yLoad, yStore,
+		),
+	))
+	tags := analyze(t, p)
+
+	want := map[*loopir.Access]loopir.Tags{
+		aRef:   {Temporal: false, Spatial: false},
+		b0:     {Temporal: true, Spatial: false},
+		b1:     {Temporal: true, Spatial: true},
+		x:      {Temporal: true, Spatial: true},
+		yLoad:  {Temporal: true, Spatial: true},
+		yStore: {Temporal: true, Spatial: true},
+	}
+	names := map[*loopir.Access]string{
+		aRef: "A(I,J)", b0: "B(J,I)", b1: "B(J,I+1)", x: "X(J)", yLoad: "Y(I) load", yStore: "Y(I) store",
+	}
+	for acc, w := range want {
+		got := tags[acc.ID]
+		if got.Temporal != w.Temporal || got.Spatial != w.Spatial {
+			t.Errorf("%s: got (%v,%v), want (%v,%v)", names[acc],
+				got.Temporal, got.Spatial, w.Temporal, w.Spatial)
+		}
+	}
+
+	// The §3.2 extension quantifies the spatial extent: the long-vector
+	// references ask for the maximum virtual line, the innermost-invariant
+	// Y(I) for the minimum.
+	if tags[x.ID].VirtualBytes != 256 {
+		t.Errorf("X(J) virtual length = %d, want 256", tags[x.ID].VirtualBytes)
+	}
+	if tags[yLoad.ID].VirtualBytes != 64 {
+		t.Errorf("Y(I) virtual length = %d, want 64", tags[yLoad.ID].VirtualBytes)
+	}
+	if tags[b0.ID].VirtualBytes != 0 {
+		t.Errorf("demoted B(J,I) must carry no length hint, got %d", tags[b0.ID].VirtualBytes)
+	}
+}
+
+// TestSpatialThreshold: the coefficient must be < 4 elements.
+func TestSpatialThreshold(t *testing.T) {
+	p := loopir.NewProgram("thr")
+	p.DeclareArray("A", 1000)
+	r3 := loopir.Read("A", loopir.SV(3, "i"))
+	r4 := loopir.Read("A", loopir.SV(4, "i"))
+	rm3 := loopir.Read("A", loopir.Plus(loopir.SV(-3, "i"), 900))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(99), r3, r4, rm3))
+	tags := analyze(t, p)
+	if !tags[r3.ID].Spatial {
+		t.Error("stride 3 should be spatial")
+	}
+	if tags[r4.ID].Spatial {
+		t.Error("stride 4 should not be spatial")
+	}
+	if !tags[rm3.ID].Spatial {
+		t.Error("stride -3 should be spatial")
+	}
+}
+
+// TestStrideZeroIsSpatial: fig. 5 tags Y(I) spatial inside DO J, i.e. a
+// coefficient of 0 w.r.t. the innermost loop satisfies "smaller than 4".
+func TestStrideZeroIsSpatial(t *testing.T) {
+	p := loopir.NewProgram("s0")
+	p.DeclareArray("Y", 100)
+	y := loopir.Read("Y", loopir.V("i"))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(9),
+		loopir.Do("j", loopir.C(0), loopir.C(9), y)))
+	tags := analyze(t, p)
+	if !tags[y.ID].Spatial {
+		t.Error("innermost-invariant reference should be spatial (fig. 5)")
+	}
+	if !tags[y.ID].Temporal {
+		t.Error("j-invariant reference should be temporal")
+	}
+}
+
+// TestIndirectNeverTagged: indirection disables both rules.
+func TestIndirectNeverTagged(t *testing.T) {
+	p := loopir.NewProgram("ind")
+	p.DeclareArray("X", 100)
+	p.DeclareData("Idx", make([]int, 100))
+	x := loopir.Read("X", loopir.Load("Idx", loopir.V("j")))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(9),
+		loopir.Do("j", loopir.C(0), loopir.C(9), x)))
+	tags := analyze(t, p)
+	if tags[x.ID].Spatial || tags[x.ID].Temporal {
+		t.Errorf("indirect reference must stay untagged, got %+v", tags[x.ID])
+	}
+}
+
+// TestDirectiveOverride: Force wins over the analysis, §4.1.
+func TestDirectiveOverride(t *testing.T) {
+	p := loopir.NewProgram("dir")
+	p.DeclareArray("X", 100)
+	p.DeclareData("Idx", make([]int, 100))
+	x := loopir.Read("X", loopir.Load("Idx", loopir.V("i"))).WithTags(true, false)
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(9), x))
+	tags := analyze(t, p)
+	if !tags[x.ID].Temporal || tags[x.ID].Spatial {
+		t.Errorf("directive should force (1,0), got %+v", tags[x.ID])
+	}
+}
+
+// TestCallPoisoning: a CALL anywhere under the innermost enclosing loop
+// clears the tags of the body's references (§2.3).
+func TestCallPoisoning(t *testing.T) {
+	p := loopir.NewProgram("call")
+	p.DeclareArray("X", 100)
+	x := loopir.Read("X", loopir.V("i"))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(9),
+		&loopir.Call{Name: "sub"},
+		x,
+	))
+	tags := analyze(t, p)
+	if tags[x.ID] != (loopir.Tags{}) {
+		t.Errorf("poisoned reference must be untagged, got %+v", tags[x.ID])
+	}
+}
+
+// TestCallPoisoningFromInnerLoop: a call in a nested loop poisons the outer
+// body too (the outer body "contains" the call).
+func TestCallPoisoningFromInnerLoop(t *testing.T) {
+	p := loopir.NewProgram("call2")
+	p.DeclareArray("X", 100)
+	outer := loopir.Read("X", loopir.V("i"))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(9),
+		outer,
+		loopir.Do("j", loopir.C(0), loopir.C(9), &loopir.Call{Name: "sub"}),
+	))
+	tags := analyze(t, p)
+	if tags[outer.ID] != (loopir.Tags{}) {
+		t.Errorf("outer body is poisoned by the inner call, got %+v", tags[outer.ID])
+	}
+}
+
+// TestOutsideLoopUntagged: references outside any loop carry no tags.
+func TestOutsideLoopUntagged(t *testing.T) {
+	p := loopir.NewProgram("out")
+	p.DeclareArray("X", 4)
+	x := loopir.Read("X", loopir.C(0))
+	p.Add(x)
+	tags := analyze(t, p)
+	if tags[x.ID] != (loopir.Tags{}) {
+		t.Errorf("outside-loop reference must be untagged, got %+v", tags[x.ID])
+	}
+}
+
+// TestBoundsClosureBlocksFalseTemporal: in blocked MV, A(j2,j1) must NOT be
+// temporal across the block loop jb, because j2's range depends on jb.
+func TestBoundsClosureBlocksFalseTemporal(t *testing.T) {
+	const n, b = 100, 10
+	p := loopir.NewProgram("blocked")
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("X", n)
+	a := loopir.Read("A", loopir.V("j2"), loopir.V("j1"))
+	x := loopir.Read("X", loopir.V("j2"))
+	p.Add(loopir.DoStep("jb", loopir.C(0), loopir.C(n-1), b,
+		loopir.Do("j1", loopir.C(0), loopir.C(n-1),
+			loopir.Do("j2", loopir.V("jb"), loopir.Plus(loopir.V("jb"), b-1),
+				a, x,
+			),
+		),
+	))
+	tags := analyze(t, p)
+	if tags[a.ID].Temporal {
+		t.Error("A(j2,j1) must not be temporal: j2's range depends on jb")
+	}
+	if !tags[x.ID].Temporal {
+		t.Error("X(j2) is temporal: it is reused across j1, whose bounds are independent")
+	}
+}
+
+// TestDataDependentBoundsBlockTemporal: CSR-style bounds (indirect through
+// a row-pointer array indexed by the outer variable) also join the closure.
+func TestDataDependentBoundsBlockTemporal(t *testing.T) {
+	p := loopir.NewProgram("csr")
+	p.DeclareArray("A", 100)
+	p.DeclareData("D", []int{0, 50, 100})
+	a := loopir.Read("A", loopir.V("j2"))
+	p.Add(loopir.Do("j1", loopir.C(0), loopir.C(1),
+		loopir.Do("j2",
+			loopir.Load("D", loopir.V("j1")),
+			loopir.Plus(loopir.Load("D", loopir.Plus(loopir.V("j1"), 1)), -1),
+			a,
+		),
+	))
+	tags := analyze(t, p)
+	if tags[a.ID].Temporal {
+		t.Error("A(j2) must not be temporal: j2's CSR range depends on j1")
+	}
+}
+
+// TestOpaqueDriverLoopGivesNoReuse: Driver loops are invisible to the
+// analysis (per-subroutine instrumentation), so they contribute no
+// self-dependence.
+func TestOpaqueDriverLoopGivesNoReuse(t *testing.T) {
+	p := loopir.NewProgram("drv")
+	p.DeclareArray("X", 100)
+	x := loopir.Read("X", loopir.V("i"))
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(9),
+		loopir.Do("i", loopir.C(0), loopir.C(9), x)))
+	tags := analyze(t, p)
+	if tags[x.ID].Temporal {
+		t.Error("reuse across an opaque driver loop must not produce a temporal tag")
+	}
+	if !tags[x.ID].Spatial {
+		t.Error("the inner stride-1 access is still spatial")
+	}
+}
+
+// TestGroupSpatialLeader: fig. 5's asymmetry — B(J,I) loses the spatial tag
+// to the leader B(J,I+1); equal constants (the Y(I) read/write pair) all
+// keep it.
+func TestGroupSpatialLeader(t *testing.T) {
+	p := loopir.NewProgram("leader")
+	p.DeclareArray("Z", 200)
+	lag := loopir.Read("Z", loopir.V("k"))
+	lead := loopir.Read("Z", loopir.Plus(loopir.V("k"), 1))
+	p.Add(loopir.Do("k", loopir.C(0), loopir.C(99), lag, lead))
+	tags := analyze(t, p)
+	if tags[lag.ID].Spatial {
+		t.Error("trailing group member should lose the spatial tag")
+	}
+	if !tags[lead.ID].Spatial {
+		t.Error("leading group member keeps the spatial tag")
+	}
+	if !tags[lag.ID].Temporal || !tags[lead.ID].Temporal {
+		t.Error("both group members are temporal")
+	}
+}
+
+// TestSummarize counts sites.
+func TestSummarize(t *testing.T) {
+	s := Summarize(Tagging{
+		1: {Temporal: true},
+		2: {Spatial: true},
+		3: {Temporal: true, Spatial: true},
+		4: {},
+	})
+	if s.Sites != 4 || s.TemporalSites != 2 || s.SpatialSites != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,98 @@
+package locality
+
+import (
+	"fmt"
+
+	"softcache/internal/loopir"
+)
+
+// InsertPrefetches implements the software side of the §4.4 extension: a
+// Mowry-style pass that inserts explicit PREFETCH instructions distance
+// iterations ahead of qualifying references. A reference qualifies when the
+// analysis tagged it spatial with a non-zero innermost stride (a stream
+// whose future addresses are predictable); one prefetch per uniformly
+// generated group suffices (trailing members already lost their spatial
+// tag). The inserted instruction prefetches the same subscripts with the
+// innermost variable advanced by distance, i.e. each dimension's constant
+// grows by distance times that dimension's innermost coefficient.
+//
+// It returns the number of prefetch instructions inserted. The program is
+// finalized (and analysed) as a side effect.
+func InsertPrefetches(p *loopir.Program, distance int) (int, error) {
+	if distance <= 0 {
+		return 0, fmt.Errorf("locality: prefetch distance must be positive, got %d", distance)
+	}
+	if err := p.Finalize(); err != nil {
+		return 0, err
+	}
+	tags, err := Analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	ins := &inserter{p: p, tags: tags, distance: distance}
+	p.Body = ins.rewrite(p.Body, nil)
+	return ins.count, nil
+}
+
+type inserter struct {
+	p        *loopir.Program
+	tags     Tagging
+	distance int
+	count    int
+}
+
+func (in *inserter) rewrite(body []loopir.Stmt, loops []*loopir.Loop) []loopir.Stmt {
+	out := make([]loopir.Stmt, 0, len(body))
+	for _, st := range body {
+		switch s := st.(type) {
+		case *loopir.Loop:
+			next := loops
+			if !s.Opaque {
+				next = append(loops[:len(loops):len(loops)], s)
+			}
+			s.Body = in.rewrite(s.Body, next)
+			out = append(out, s)
+		case *loopir.Access:
+			out = append(out, s)
+			if pf := in.prefetchFor(s, loops); pf != nil {
+				out = append(out, pf)
+				in.count++
+			}
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// prefetchFor builds the prefetch statement for a qualifying access, or nil.
+func (in *inserter) prefetchFor(acc *loopir.Access, loops []*loopir.Loop) *loopir.Prefetch {
+	if len(loops) == 0 {
+		return nil
+	}
+	t := in.tags[acc.ID]
+	if !t.Spatial {
+		return nil
+	}
+	innermost := loops[len(loops)-1].Var
+	step := loops[len(loops)-1].Step
+	if step == 0 {
+		step = 1
+	}
+	advanced := false
+	index := make([]loopir.Subscript, len(acc.Index))
+	for d, sub := range acc.Index {
+		if sub.HasIndirect() {
+			return nil // unpredictable future address
+		}
+		c := sub.Coef(innermost)
+		index[d] = loopir.Plus(sub, c*step*in.distance)
+		if c != 0 {
+			advanced = true
+		}
+	}
+	if !advanced {
+		return nil // innermost-invariant: nothing streams
+	}
+	return &loopir.Prefetch{Array: acc.Array, Index: index}
+}

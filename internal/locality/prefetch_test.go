@@ -1,0 +1,105 @@
+package locality
+
+import (
+	"testing"
+
+	"softcache/internal/loopir"
+)
+
+// pfProgram: DO i { DO j { load A(j,i); load X(j); load Y(i) } } — A and X
+// stream (qualify), Y is innermost-invariant (does not).
+func pfProgram() (*loopir.Program, *loopir.Access, *loopir.Access, *loopir.Access) {
+	p := loopir.NewProgram("pf")
+	p.DeclareArray("A", 32, 32)
+	p.DeclareArray("X", 32)
+	p.DeclareArray("Y", 32)
+	a := loopir.Read("A", loopir.V("j"), loopir.V("i"))
+	x := loopir.Read("X", loopir.V("j"))
+	y := loopir.Read("Y", loopir.V("i"))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(31),
+		loopir.Do("j", loopir.C(0), loopir.C(31), a, x, y),
+	))
+	return p, a, x, y
+}
+
+func TestInsertPrefetches(t *testing.T) {
+	p, _, _, _ := pfProgram()
+	n, err := InsertPrefetches(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // A and X qualify; Y is invariant
+		t.Fatalf("inserted %d prefetches, want 2", n)
+	}
+	// The prefetch subscripts are advanced by the distance.
+	inner := p.Body[0].(*loopir.Loop).Body[0].(*loopir.Loop)
+	var pfs []*loopir.Prefetch
+	for _, st := range inner.Body {
+		if pf, ok := st.(*loopir.Prefetch); ok {
+			pfs = append(pfs, pf)
+		}
+	}
+	if len(pfs) != 2 {
+		t.Fatalf("prefetch statements in body = %d", len(pfs))
+	}
+	if pfs[0].Array != "A" || pfs[0].Index[0].Const != 4 {
+		t.Fatalf("A prefetch = %+v", pfs[0])
+	}
+	if pfs[1].Array != "X" || pfs[1].Index[0].Const != 4 {
+		t.Fatalf("X prefetch = %+v", pfs[1])
+	}
+}
+
+func TestInsertPrefetchesRespectsStep(t *testing.T) {
+	p := loopir.NewProgram("step")
+	p.DeclareArray("X", 64)
+	x := loopir.Read("X", loopir.SV(1, "i"))
+	p.Add(loopir.DoStep("i", loopir.C(0), loopir.C(63), 2, x))
+	if _, err := InsertPrefetches(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	body := p.Body[0].(*loopir.Loop).Body
+	pf := body[1].(*loopir.Prefetch)
+	if pf.Index[0].Const != 6 { // distance 3 iterations of step 2
+		t.Fatalf("prefetch const = %d, want 6", pf.Index[0].Const)
+	}
+}
+
+func TestInsertPrefetchesSkipsIndirect(t *testing.T) {
+	p := loopir.NewProgram("ind")
+	p.DeclareArray("X", 64)
+	p.DeclareData("Idx", make([]int, 64))
+	p.Add(loopir.Do("i", loopir.C(0), loopir.C(63),
+		loopir.Read("X", loopir.Load("Idx", loopir.V("i"))).WithTags(false, true),
+	))
+	n, err := InsertPrefetches(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("indirect references have unpredictable futures; no prefetch")
+	}
+}
+
+func TestInsertPrefetchesGroupLeaderOnly(t *testing.T) {
+	p := loopir.NewProgram("grp")
+	p.DeclareArray("Z", 128)
+	p.Add(loopir.Do("k", loopir.C(0), loopir.C(99),
+		loopir.Read("Z", loopir.V("k")),
+		loopir.Read("Z", loopir.Plus(loopir.V("k"), 1)),
+	))
+	n, err := InsertPrefetches(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // the trailing member lost its spatial tag
+		t.Fatalf("inserted %d, want 1 (group leader only)", n)
+	}
+}
+
+func TestInsertPrefetchesBadDistance(t *testing.T) {
+	p, _, _, _ := pfProgram()
+	if _, err := InsertPrefetches(p, 0); err == nil {
+		t.Fatal("distance 0 must be rejected")
+	}
+}

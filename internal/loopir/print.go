@@ -1,0 +1,70 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in Fortran-flavoured pseudo-code, with the
+// resolved tags of each access when a tagging map is supplied through
+// StringTagged. It is used by examples and documentation.
+func (p *Program) String() string { return p.StringTagged(nil) }
+
+// StringTagged renders the program; tags, when non-nil, maps access IDs to
+// their resolved locality tags, which are shown as trailing comments in the
+// style of the paper's fig. 5 trace calls.
+func (p *Program) StringTagged(tags map[int]Tags) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", p.Name)
+	printBody(&b, p.Body, 1, tags)
+	return b.String()
+}
+
+func printBody(b *strings.Builder, body []Stmt, depth int, tags map[int]Tags) {
+	indent := strings.Repeat("  ", depth)
+	for _, st := range body {
+		switch s := st.(type) {
+		case *Loop:
+			fmt.Fprintf(b, "%sDO %s = %s, %s", indent, s.Var, s.Lower, s.Upper)
+			if s.Step > 1 {
+				fmt.Fprintf(b, ", %d", s.Step)
+			}
+			b.WriteByte('\n')
+			printBody(b, s.Body, depth+1, tags)
+			fmt.Fprintf(b, "%sENDDO\n", indent)
+		case *Access:
+			op := "load "
+			if s.Write {
+				op = "store"
+			}
+			subs := make([]string, len(s.Index))
+			for i, sub := range s.Index {
+				subs[i] = sub.String()
+			}
+			fmt.Fprintf(b, "%s%s %s(%s)", indent, op, s.Array, strings.Join(subs, ","))
+			if tags != nil {
+				t := tags[s.ID]
+				fmt.Fprintf(b, "  ! temporal=%d spatial=%d", b2i(t.Temporal), b2i(t.Spatial))
+			} else if s.Force != nil {
+				fmt.Fprintf(b, "  ! directive: temporal=%d spatial=%d",
+					b2i(s.Force.Temporal), b2i(s.Force.Spatial))
+			}
+			b.WriteByte('\n')
+		case *Call:
+			fmt.Fprintf(b, "%sCALL %s\n", indent, s.Name)
+		case *Prefetch:
+			subs := make([]string, len(s.Index))
+			for i, sub := range s.Index {
+				subs[i] = sub.String()
+			}
+			fmt.Fprintf(b, "%sprefetch %s(%s)\n", indent, s.Array, strings.Join(subs, ","))
+		}
+	}
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

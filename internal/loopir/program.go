@@ -1,0 +1,270 @@
+package loopir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Array declares a multi-dimensional array of fixed-size elements,
+// column-major (Fortran layout): the first subscript varies fastest in
+// memory.
+type Array struct {
+	Name string
+	// Dims are the extents of each dimension, in elements.
+	Dims []int
+	// ElemSize is the element size in bytes (8 for double precision).
+	ElemSize int
+	// Base is the byte address of element (0,0,...), assigned by
+	// Program.Finalize.
+	Base uint64
+}
+
+// Size returns the total number of elements.
+func (a *Array) Size() int {
+	n := 1
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Strides returns the element stride of each dimension (column-major).
+func (a *Array) Strides() []int {
+	s := make([]int, len(a.Dims))
+	acc := 1
+	for i, d := range a.Dims {
+		s[i] = acc
+		acc *= d
+	}
+	return s
+}
+
+// Program is a complete kernel: declarations plus a statement list.
+type Program struct {
+	Name   string
+	Arrays map[string]*Array
+	// Data holds the integer arrays backing indirect subscripts and
+	// data-dependent loop bounds (CSR row pointers, neighbour lists...).
+	Data map[string][]int
+	Body []Stmt
+
+	accesses  []*Access
+	finalized bool
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:   name,
+		Arrays: make(map[string]*Array),
+		Data:   make(map[string][]int),
+	}
+}
+
+// DeclareArray registers an array of float-like elements (8 bytes each) and
+// returns its name for convenience.
+func (p *Program) DeclareArray(name string, dims ...int) string {
+	p.Arrays[name] = &Array{Name: name, Dims: dims, ElemSize: 8}
+	return name
+}
+
+// DeclareData registers an integer data array used for indirection. The
+// data participates in the address stream through the accesses that load
+// it; declare a matching Array with DeclareIndexArray when those loads
+// should be traced.
+func (p *Program) DeclareData(name string, values []int) string {
+	p.Data[name] = values
+	return name
+}
+
+// DeclareIndexArray registers an integer array both as data (for
+// indirection) and as a traced 4-byte-element array, so references to it
+// appear in the trace like the Index array of the paper's SpMV loop.
+func (p *Program) DeclareIndexArray(name string, values []int) string {
+	p.Data[name] = values
+	p.Arrays[name] = &Array{Name: name, Dims: []int{len(values)}, ElemSize: 4}
+	return name
+}
+
+// Add appends statements to the program body.
+func (p *Program) Add(stmts ...Stmt) { p.Body = append(p.Body, stmts...) }
+
+const (
+	layoutBase  = 0x0010_0000 // first array base address
+	layoutAlign = 64          // arrays are packed near-contiguously,
+	// aligned only to the largest virtual-line-relevant boundary a real
+	// Fortran COMMON block would give; page alignment would artificially
+	// alias every small array onto the same cache sets.
+)
+
+// Finalize validates the program, assigns array base addresses
+// (page-aligned, in sorted name order for determinism) and numbers the
+// access sites. It must be called once before analysis or generation.
+func (p *Program) Finalize() error {
+	if p.finalized {
+		return nil
+	}
+	names := make([]string, 0, len(p.Arrays))
+	for n, a := range p.Arrays {
+		if n != a.Name {
+			return fmt.Errorf("loopir: array registered under %q but named %q", n, a.Name)
+		}
+		if len(a.Dims) == 0 {
+			return fmt.Errorf("loopir: array %s has no dimensions", n)
+		}
+		for _, d := range a.Dims {
+			if d <= 0 {
+				return fmt.Errorf("loopir: array %s has non-positive dimension %d", n, d)
+			}
+		}
+		if a.ElemSize <= 0 {
+			return fmt.Errorf("loopir: array %s has non-positive element size", n)
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	base := uint64(layoutBase)
+	for _, n := range names {
+		a := p.Arrays[n]
+		a.Base = base
+		bytes := uint64(a.Size() * a.ElemSize)
+		base += (bytes + layoutAlign - 1) / layoutAlign * layoutAlign
+	}
+
+	p.accesses = p.accesses[:0]
+	if err := p.walk(p.Body, map[string]bool{}); err != nil {
+		return err
+	}
+	for i, a := range p.accesses {
+		a.ID = i + 1
+	}
+	p.finalized = true
+	return nil
+}
+
+// walk validates statements recursively, checking that every subscript
+// refers to declared arrays/data and in-scope loop variables, and collects
+// the access sites in program order.
+func (p *Program) walk(body []Stmt, scope map[string]bool) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *Loop:
+			if s.Var == "" {
+				return fmt.Errorf("loopir: loop with empty variable name")
+			}
+			if scope[s.Var] {
+				return fmt.Errorf("loopir: loop variable %s shadows an enclosing loop", s.Var)
+			}
+			if s.Step < 0 {
+				return fmt.Errorf("loopir: loop %s has negative step %d", s.Var, s.Step)
+			}
+			if err := p.checkSub(s.Lower, scope); err != nil {
+				return fmt.Errorf("loop %s lower bound: %w", s.Var, err)
+			}
+			if err := p.checkSub(s.Upper, scope); err != nil {
+				return fmt.Errorf("loop %s upper bound: %w", s.Var, err)
+			}
+			scope[s.Var] = true
+			if err := p.walk(s.Body, scope); err != nil {
+				return err
+			}
+			delete(scope, s.Var)
+		case *Access:
+			arr, ok := p.Arrays[s.Array]
+			if !ok {
+				return fmt.Errorf("loopir: access to undeclared array %s", s.Array)
+			}
+			if len(s.Index) != len(arr.Dims) {
+				return fmt.Errorf("loopir: access to %s with %d subscripts, array has %d dims",
+					s.Array, len(s.Index), len(arr.Dims))
+			}
+			for _, sub := range s.Index {
+				if err := p.checkSub(sub, scope); err != nil {
+					return fmt.Errorf("access to %s: %w", s.Array, err)
+				}
+			}
+			p.accesses = append(p.accesses, s)
+		case *Call:
+			// Opaque; nothing to validate.
+		case *Prefetch:
+			arr, ok := p.Arrays[s.Array]
+			if !ok {
+				return fmt.Errorf("loopir: prefetch of undeclared array %s", s.Array)
+			}
+			if len(s.Index) != len(arr.Dims) {
+				return fmt.Errorf("loopir: prefetch of %s with %d subscripts, array has %d dims",
+					s.Array, len(s.Index), len(arr.Dims))
+			}
+			for _, sub := range s.Index {
+				if err := p.checkSub(sub, scope); err != nil {
+					return fmt.Errorf("prefetch of %s: %w", s.Array, err)
+				}
+			}
+		default:
+			return fmt.Errorf("loopir: unknown statement type %T", st)
+		}
+	}
+	return nil
+}
+
+func (p *Program) checkSub(s Subscript, scope map[string]bool) error {
+	for _, t := range s.Terms {
+		if !scope[t.Var] {
+			return fmt.Errorf("variable %s not in scope", t.Var)
+		}
+	}
+	if s.Ind != nil {
+		if _, ok := p.Data[s.Ind.Array]; !ok {
+			return fmt.Errorf("indirect through undeclared data array %s", s.Ind.Array)
+		}
+		if s.Ind.Sub.Ind != nil {
+			return fmt.Errorf("nested indirection is not supported")
+		}
+		return p.checkSub(s.Ind.Sub, scope)
+	}
+	return nil
+}
+
+// Accesses returns the access sites in program order. Finalize must have
+// succeeded.
+func (p *Program) Accesses() []*Access {
+	if !p.finalized {
+		panic("loopir: Accesses before Finalize")
+	}
+	return p.accesses
+}
+
+// LinearSubscript returns the linearised (element-index) subscript of the
+// access: Σ dims Index[d] * stride[d]. Indirect components are preserved on
+// their scaled dimension; at most one dimension may be indirect.
+func (p *Program) LinearSubscript(a *Access) (Subscript, error) {
+	arr := p.Arrays[a.Array]
+	if arr == nil {
+		return Subscript{}, fmt.Errorf("loopir: unknown array %s", a.Array)
+	}
+	strides := arr.Strides()
+	lin := Subscript{}
+	for d, sub := range a.Index {
+		scaled := scaleSub(sub, strides[d])
+		if scaled.Ind != nil && lin.Ind != nil {
+			return Subscript{}, fmt.Errorf("loopir: access to %s has two indirect dimensions", a.Array)
+		}
+		lin = Sum(lin, scaled)
+	}
+	return lin, nil
+}
+
+func scaleSub(s Subscript, k int) Subscript {
+	out := Subscript{Const: s.Const * k}
+	for _, t := range s.Terms {
+		out.Terms = append(out.Terms, Term{Var: t.Var, Coef: t.Coef * k})
+	}
+	if s.Ind != nil {
+		// The indirect component is kept unscaled: the generator applies
+		// dimension strides itself, and for analysis any indirection
+		// already disables tagging, so only its presence matters here.
+		ind := *s.Ind
+		out.Ind = &ind
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package loopir
+
+// Tags are the software hints a load/store instruction carries. The paper's
+// base design uses two 1-bit hints (temporal, spatial); the §3.2 extension
+// ("allowing virtual lines of different lengths") adds a 2-bit length hint,
+// carried here as VirtualBytes.
+type Tags struct {
+	Temporal bool
+	Spatial  bool
+	// VirtualBytes is the desired virtual-line length in bytes for this
+	// reference (0 = the design's default length). Only meaningful when
+	// Spatial is set and the cache enables variable-length virtual lines.
+	VirtualBytes int
+}
+
+// Stmt is a statement of a loop-nest program: Loop, Access or Call.
+type Stmt interface{ isStmt() }
+
+// Loop is a Fortran-style DO loop: Var runs from Lower to Upper inclusive
+// with the given positive Step (0 means 1). Bounds may depend on enclosing
+// loop variables, parameters and integer data arrays (e.g. CSR row
+// pointers).
+type Loop struct {
+	Var   string
+	Lower Subscript
+	Upper Subscript
+	Step  int
+	Body  []Stmt
+	// Opaque marks a driver loop the per-subroutine locality analysis
+	// cannot see — typically the timestep loop in the caller of the
+	// instrumented subroutine. The trace generator executes it normally,
+	// but the analyser excludes it from the enclosing-loop stack, so it
+	// never contributes self-dependence (temporal) reuse or an innermost
+	// stride. This mirrors the paper's setting: instrumentation and
+	// analysis are per source subroutine, while real reuse across driver
+	// iterations still happens at run time.
+	Opaque bool
+}
+
+func (*Loop) isStmt() {}
+
+// Access is one static array reference site (one load or store
+// instruction). Index holds one subscript per array dimension, column-major
+// as in Fortran: A(I,J) has Index[0] for I.
+type Access struct {
+	Array string
+	Index []Subscript
+	Write bool
+	// Force overrides the locality analysis for this reference (the §4.1
+	// user directives for sparse codes). Nil means "derive".
+	Force *Tags
+	// ID is the static reference-site identifier, assigned by
+	// Program.Finalize; it becomes trace.Record.RefID.
+	ID int
+}
+
+func (*Access) isStmt() {}
+
+// Call is an opaque subroutine call. Per the paper (§2.3, no
+// interprocedural analysis), a CALL poisons its enclosing loop body: every
+// reference whose innermost enclosing loop contains a call anywhere in its
+// subtree loses its tags.
+type Call struct{ Name string }
+
+func (*Call) isStmt() {}
+
+// Prefetch is an explicit software-prefetch instruction (§4.4 extension):
+// it names a future element of an array. The generator emits a
+// SoftwarePrefetch trace record for it; out-of-bounds addresses are
+// silently dropped, as real non-faulting prefetch instructions are.
+// Prefetch statements are invisible to the locality analysis.
+type Prefetch struct {
+	Array string
+	Index []Subscript
+}
+
+func (*Prefetch) isStmt() {}
+
+// PrefetchOf builds a prefetch statement.
+func PrefetchOf(array string, index ...Subscript) *Prefetch {
+	return &Prefetch{Array: array, Index: index}
+}
+
+// Read builds a read access.
+func Read(array string, index ...Subscript) *Access {
+	return &Access{Array: array, Index: index}
+}
+
+// Store builds a write access.
+func Store(array string, index ...Subscript) *Access {
+	return &Access{Array: array, Index: index, Write: true}
+}
+
+// WithTags attaches a user directive to the access and returns it.
+func (a *Access) WithTags(temporal, spatial bool) *Access {
+	a.Force = &Tags{Temporal: temporal, Spatial: spatial}
+	return a
+}
+
+// Do builds a loop running lo..hi inclusive with step 1.
+func Do(v string, lo, hi Subscript, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lower: lo, Upper: hi, Step: 1, Body: body}
+}
+
+// DoStep builds a loop with an explicit step.
+func DoStep(v string, lo, hi Subscript, step int, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lower: lo, Upper: hi, Step: step, Body: body}
+}
+
+// Driver builds an opaque driver loop (see Loop.Opaque): executed by the
+// generator, invisible to the locality analysis.
+func Driver(v string, lo, hi Subscript, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lower: lo, Upper: hi, Step: 1, Body: body, Opaque: true}
+}

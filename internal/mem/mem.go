@@ -1,0 +1,217 @@
+// Package mem models the memory side of the hierarchy: a fixed-latency
+// pipelined main memory behind a bus of finite width, and a write buffer
+// that absorbs dirty victims.
+//
+// The model matches the paper's accounting (§2.1): fetching n physical lines
+// of LS bytes costs t_lat + n*LS/w_b cycles, i.e. the latency is paid once
+// and the bus then streams the lines back-to-back. Dirty-victim transfers to
+// the write buffer cost 2 cycles each and proceed while the miss request is
+// outstanding; only the portion that does not fit under the latency extends
+// the stall.
+package mem
+
+import "fmt"
+
+// Config describes the memory system.
+type Config struct {
+	// LatencyCycles is the time between issuing a miss request and the
+	// arrival of the first line (t_lat). The paper's default is 20.
+	LatencyCycles int
+	// BusBytesPerCycle is the memory bus bandwidth (w_b). The paper uses
+	// 16 bytes/cycle.
+	BusBytesPerCycle int
+	// WriteBufferEntries is the capacity of the write buffer; the paper
+	// assumes a small buffer and aborts bounce-backs onto dirty lines when
+	// it is full. 0 means "no write buffer": every dirty victim stalls.
+	WriteBufferEntries int
+	// VictimTransferCycles is the cost of moving one dirty line to the
+	// write buffer (2 cycles in the paper's design).
+	VictimTransferCycles int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("mem: negative latency %d", c.LatencyCycles)
+	}
+	if c.BusBytesPerCycle <= 0 {
+		return fmt.Errorf("mem: bus bandwidth must be positive, got %d", c.BusBytesPerCycle)
+	}
+	if c.WriteBufferEntries < 0 {
+		return fmt.Errorf("mem: negative write buffer size %d", c.WriteBufferEntries)
+	}
+	if c.VictimTransferCycles < 0 {
+		return fmt.Errorf("mem: negative victim transfer cost %d", c.VictimTransferCycles)
+	}
+	return nil
+}
+
+// DefaultConfig returns the paper's memory parameters.
+func DefaultConfig() Config {
+	return Config{
+		LatencyCycles:        20,
+		BusBytesPerCycle:     16,
+		WriteBufferEntries:   8,
+		VictimTransferCycles: 2,
+	}
+}
+
+// Stats accumulates memory-side counters.
+type Stats struct {
+	// BytesFetched is the total number of bytes read from memory.
+	BytesFetched uint64
+	// LinesFetched is the number of physical lines read from memory.
+	LinesFetched uint64
+	// Requests is the number of distinct miss requests (a virtual-line
+	// fill is one request even when it fetches several lines).
+	Requests uint64
+	// Writebacks is the number of dirty lines sent to the write buffer.
+	Writebacks uint64
+	// WritebackStallCycles is the added stall when victim transfers did
+	// not fit under the miss latency.
+	WritebackStallCycles uint64
+	// WriteBufferFullAborts counts operations (bounce-backs onto dirty
+	// lines) abandoned because the write buffer was full.
+	WriteBufferFullAborts uint64
+	// BytesWritten counts write-through traffic posted to memory.
+	BytesWritten uint64
+	// WriteThroughStalls counts stores that found the write buffer full
+	// and had to wait for it to drain.
+	WriteThroughStalls uint64
+}
+
+// System is the memory + bus + write buffer model. It is not a data store:
+// the simulator is trace-driven and only timing and traffic are modelled.
+type System struct {
+	cfg Config
+	// pending is the current write-buffer occupancy. The buffer drains
+	// one entry per miss request that reaches memory (a coarse but
+	// adequate drain model: the bus is otherwise idle between misses) and,
+	// for write-through posting, by elapsed bus time (see PostWrite).
+	pending   int
+	lastDrain uint64 // cycle of the last time-based drain
+	stats     Stats
+}
+
+// NewSystem builds a memory system; the configuration must be valid.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// ResetStats clears the accumulated counters; write-buffer occupancy and
+// drain state are preserved (they are machine state, not statistics).
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// TransferCycles returns the bus time for n bytes, rounding up to whole
+// cycles.
+func (s *System) TransferCycles(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + s.cfg.BusBytesPerCycle - 1) / s.cfg.BusBytesPerCycle
+}
+
+// Fetch models a miss request that reads the given physical lines from
+// memory while sending dirtyVictims lines to the write buffer. lineBytes is
+// the physical line size; lines is the number of lines actually fetched
+// (after coherence checks); extraBytes covers odd-sized transfers such as a
+// single bypassed word. It returns the miss penalty in cycles (excluding
+// the 1-cycle cache probe that discovered the miss).
+func (s *System) Fetch(lines, lineBytes, extraBytes, dirtyVictims int) int {
+	s.stats.Requests++
+	bytes := lines*lineBytes + extraBytes
+	s.stats.BytesFetched += uint64(bytes)
+	s.stats.LinesFetched += uint64(lines)
+
+	penalty := s.cfg.LatencyCycles + s.TransferCycles(bytes)
+
+	// Victim transfers proceed while the request is outstanding; only the
+	// excess beyond the latency window extends the stall (paper §2.1).
+	if dirtyVictims > 0 {
+		s.stats.Writebacks += uint64(dirtyVictims)
+		transfer := dirtyVictims * s.cfg.VictimTransferCycles
+		if transfer > s.cfg.LatencyCycles {
+			extra := transfer - s.cfg.LatencyCycles
+			penalty += extra
+			s.stats.WritebackStallCycles += uint64(extra)
+		}
+		s.bufferPut(dirtyVictims)
+	}
+
+	// Each request gives the write buffer a chance to drain.
+	if s.pending > 0 {
+		s.pending--
+	}
+	return penalty
+}
+
+// PrefetchFetch accounts for lines fetched by the prefetch engine. The
+// processor does not wait for them (they ride the idle bus behind a miss or
+// a swap), so no penalty is returned, but the traffic is real and shows up
+// in fig. 7a-style measurements.
+func (s *System) PrefetchFetch(lines, lineBytes int) {
+	s.stats.BytesFetched += uint64(lines * lineBytes)
+	s.stats.LinesFetched += uint64(lines)
+}
+
+// PostWrite records a write-through store of the given size at cycle now.
+// The write buffer drains one entry per VictimTransferCycles of elapsed
+// time (the bus is free between misses); a store finding it full waits one
+// transfer for a slot and that stall is returned in cycles.
+func (s *System) PostWrite(bytes int, now uint64) int {
+	s.stats.BytesWritten += uint64(bytes)
+	// Time-based drain.
+	if s.cfg.VictimTransferCycles > 0 && now > s.lastDrain {
+		drained := int(now-s.lastDrain) / s.cfg.VictimTransferCycles
+		if drained > 0 {
+			s.pending -= drained
+			if s.pending < 0 {
+				s.pending = 0
+			}
+			s.lastDrain = now
+		}
+	}
+	s.stats.Writebacks++
+	if s.cfg.WriteBufferEntries == 0 || s.pending >= s.cfg.WriteBufferEntries {
+		s.stats.WriteThroughStalls++
+		return s.cfg.VictimTransferCycles
+	}
+	s.pending++
+	return 0
+}
+
+// WritebackOutsideMiss records a dirty line sent to the write buffer outside
+// a miss window (e.g. a bounce-back evicting a dirty main-cache line). It
+// returns false if the write buffer is full, in which case the caller must
+// abort the operation (paper §2.2: "the transfer is aborted if the write
+// buffer is full").
+func (s *System) WritebackOutsideMiss() bool {
+	if s.cfg.WriteBufferEntries == 0 || s.pending >= s.cfg.WriteBufferEntries {
+		s.stats.WriteBufferFullAborts++
+		return false
+	}
+	s.pending++
+	s.stats.Writebacks++
+	return true
+}
+
+// WriteBufferOccupancy returns the current number of buffered writebacks.
+func (s *System) WriteBufferOccupancy() int { return s.pending }
+
+func (s *System) bufferPut(n int) {
+	s.pending += n
+	if s.cfg.WriteBufferEntries > 0 && s.pending > s.cfg.WriteBufferEntries {
+		// Overflow during a miss is already accounted for by the stall
+		// model; clamp occupancy to capacity.
+		s.pending = s.cfg.WriteBufferEntries
+	}
+}

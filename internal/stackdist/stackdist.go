@@ -1,0 +1,166 @@
+// Package stackdist computes LRU stack distances (Mattson's algorithm) and
+// the classic three-C miss classification — compulsory, capacity,
+// conflict — that the paper's analysis leans on throughout ("a major share
+// of cache misses removed are compulsory and capacity misses corresponding
+// to vector accesses", §3.2).
+//
+// The stack distance of a reference is the number of *distinct* lines
+// touched since the previous access to the same line. A fully-associative
+// LRU cache of C lines misses exactly the references with distance >= C
+// (plus first touches), so one pass yields the miss ratio of every cache
+// size at once. The implementation uses a Fenwick tree over access
+// timestamps: O(log n) per reference.
+package stackdist
+
+import "softcache/internal/trace"
+
+// Analyzer computes stack distances online, one line address at a time.
+type Analyzer struct {
+	lastUse map[uint64]int // line -> timestamp of previous access
+	tree    []int          // Fenwick tree over timestamps: 1 = line's latest access
+	now     int
+}
+
+// NewAnalyzer returns an analyzer sized for about n accesses (the
+// structure grows if exceeded).
+func NewAnalyzer(n int) *Analyzer {
+	if n < 16 {
+		n = 16
+	}
+	return &Analyzer{
+		lastUse: make(map[uint64]int, n/4),
+		tree:    make([]int, n+1),
+	}
+}
+
+// Access records a reference to the given line address and returns its
+// stack distance; first is true for a first touch (infinite distance).
+func (a *Analyzer) Access(line uint64) (distance int, first bool) {
+	a.now++
+	if a.now >= len(a.tree) {
+		// A Fenwick tree cannot grow by zero-extension (the new upper
+		// nodes must cover sums of earlier ranges): rebuild from the
+		// current markers — one per resident line, in lastUse.
+		a.tree = make([]int, 2*len(a.tree))
+		for _, ts := range a.lastUse {
+			a.update(ts, 1)
+		}
+	}
+	last, seen := a.lastUse[line]
+	if seen {
+		// Distinct lines touched in (last, now): each has exactly one
+		// "latest access" marker in that window.
+		distance = a.query(a.now-1) - a.query(last)
+		a.update(last, -1)
+	}
+	a.update(a.now, 1)
+	a.lastUse[line] = a.now
+	return distance, !seen
+}
+
+// DistinctLines returns the number of distinct lines seen so far.
+func (a *Analyzer) DistinctLines() int { return len(a.lastUse) }
+
+func (a *Analyzer) update(i, delta int) {
+	for ; i < len(a.tree); i += i & (-i) {
+		a.tree[i] += delta
+	}
+}
+
+func (a *Analyzer) query(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += a.tree[i]
+	}
+	return s
+}
+
+// Profile is the result of a full-trace stack-distance pass at line
+// granularity.
+type Profile struct {
+	// Histogram[d] counts references with stack distance exactly d, for
+	// d < len(Histogram)-1; the last bucket aggregates larger distances.
+	Histogram []uint64
+	// Compulsory counts first touches.
+	Compulsory uint64
+	// References is the number of accesses profiled.
+	References uint64
+}
+
+// Analyze runs Mattson's algorithm over the trace at the given line size.
+// maxTracked bounds the histogram's resolution (distances beyond it land
+// in the overflow bucket); it should exceed the largest cache size of
+// interest in lines.
+func Analyze(t *trace.Trace, lineSize, maxTracked int) Profile {
+	if lineSize <= 0 {
+		lineSize = 32
+	}
+	if maxTracked <= 0 {
+		maxTracked = 1 << 14
+	}
+	a := NewAnalyzer(t.Len())
+	p := Profile{Histogram: make([]uint64, maxTracked+1)}
+	for _, r := range t.Records {
+		if r.SoftwarePrefetch {
+			continue
+		}
+		d, first := a.Access(r.Addr / uint64(lineSize))
+		p.References++
+		if first {
+			p.Compulsory++
+			continue
+		}
+		if d > maxTracked {
+			d = maxTracked
+		}
+		p.Histogram[d]++
+	}
+	return p
+}
+
+// FullyAssociativeMisses returns how many references miss in a
+// fully-associative LRU cache of the given capacity in lines: first
+// touches plus references whose distance is >= capacity.
+func (p Profile) FullyAssociativeMisses(capacityLines int) uint64 {
+	misses := p.Compulsory
+	if capacityLines < 0 {
+		capacityLines = 0
+	}
+	for d := capacityLines; d < len(p.Histogram); d++ {
+		misses += p.Histogram[d]
+	}
+	return misses
+}
+
+// MissRatio returns the fully-associative LRU miss ratio at the capacity.
+func (p Profile) MissRatio(capacityLines int) float64 {
+	if p.References == 0 {
+		return 0
+	}
+	return float64(p.FullyAssociativeMisses(capacityLines)) / float64(p.References)
+}
+
+// Classification is the three-C decomposition of an observed miss count.
+type Classification struct {
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+}
+
+// Total returns the sum of the three classes.
+func (c Classification) Total() uint64 { return c.Compulsory + c.Capacity + c.Conflict }
+
+// Classify splits observedMisses (measured on a real cache of
+// capacityLines lines) into the three Cs using the profile: compulsory =
+// first touches, capacity = further fully-associative LRU misses at the
+// same capacity, conflict = the remainder. Anomalies (an observed count
+// below the fully-associative one, possible for adversarial patterns and
+// non-LRU effects) clamp conflict at zero.
+func (p Profile) Classify(capacityLines int, observedMisses uint64) Classification {
+	c := Classification{Compulsory: p.Compulsory}
+	c.Capacity = p.FullyAssociativeMisses(capacityLines) - p.Compulsory
+	if fa := c.Compulsory + c.Capacity; observedMisses > fa {
+		c.Conflict = observedMisses - fa
+	}
+	return c
+}

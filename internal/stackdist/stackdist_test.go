@@ -1,0 +1,154 @@
+package stackdist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softcache/internal/timing"
+	"softcache/internal/trace"
+)
+
+func TestAnalyzerBasic(t *testing.T) {
+	a := NewAnalyzer(16)
+	// Stream: A B C A  -> A's second access has distance 2 (B, C).
+	if _, first := a.Access(1); !first {
+		t.Fatal("A is a first touch")
+	}
+	a.Access(2)
+	a.Access(3)
+	d, first := a.Access(1)
+	if first || d != 2 {
+		t.Fatalf("distance = %d first=%v, want 2 false", d, first)
+	}
+	// Immediate re-access: distance 0.
+	if d, _ := a.Access(1); d != 0 {
+		t.Fatalf("re-access distance = %d, want 0", d)
+	}
+	if a.DistinctLines() != 3 {
+		t.Fatalf("distinct = %d", a.DistinctLines())
+	}
+}
+
+func TestAnalyzerGrows(t *testing.T) {
+	a := NewAnalyzer(4)
+	for i := 0; i < 1000; i++ {
+		a.Access(uint64(i))
+	}
+	d, first := a.Access(0)
+	if first || d != 999 {
+		t.Fatalf("distance = %d first=%v, want 999 false", d, first)
+	}
+}
+
+// TestAnalyzerMatchesNaive cross-checks the Fenwick implementation against
+// a brute-force LRU stack on random streams.
+func TestAnalyzerMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := timing.NewRNG(seed)
+		a := NewAnalyzer(64)
+		var stack []uint64 // most recent last
+		for i := 0; i < 500; i++ {
+			line := uint64(rng.Intn(40))
+			// Naive distance: position from the top of the stack.
+			naive, found := -1, false
+			for j := len(stack) - 1; j >= 0; j-- {
+				if stack[j] == line {
+					naive = len(stack) - 1 - j
+					found = true
+					stack = append(stack[:j], stack[j+1:]...)
+					break
+				}
+			}
+			stack = append(stack, line)
+			d, first := a.Access(line)
+			if first == found {
+				return false
+			}
+			if found && d != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkTrace(lines ...uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	for _, l := range lines {
+		tr.Append(trace.Record{Addr: l * 32, Size: 8})
+	}
+	return tr
+}
+
+func TestAnalyzeProfile(t *testing.T) {
+	// A B A B C C: compulsory 3; distances: A=1, B=1, C=0.
+	p := Analyze(mkTrace(1, 2, 1, 2, 3, 3), 32, 16)
+	if p.Compulsory != 3 || p.References != 6 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Histogram[1] != 2 || p.Histogram[0] != 1 {
+		t.Fatalf("histogram = %v", p.Histogram[:4])
+	}
+	// Capacity 1: misses = compulsory + distances >= 1 = 3 + 2.
+	if got := p.FullyAssociativeMisses(1); got != 5 {
+		t.Fatalf("FA misses(1) = %d, want 5", got)
+	}
+	// Capacity 2: everything with distance < 2 hits: misses = 3.
+	if got := p.FullyAssociativeMisses(2); got != 3 {
+		t.Fatalf("FA misses(2) = %d, want 3", got)
+	}
+	if r := p.MissRatio(2); r != 0.5 {
+		t.Fatalf("miss ratio = %v", r)
+	}
+}
+
+func TestAnalyzeSkipsPrefetches(t *testing.T) {
+	tr := mkTrace(1, 2)
+	tr.Append(trace.Record{Addr: 96, Size: 8, SoftwarePrefetch: true})
+	p := Analyze(tr, 32, 16)
+	if p.References != 2 {
+		t.Fatalf("prefetch records must not be profiled: %+v", p)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	// Ping-pong between two lines that a 2-line FA cache holds easily:
+	// the FA misses are the 2 first touches; a direct-mapped cache where
+	// they conflict observes 10 misses -> 8 conflict misses.
+	lines := []uint64{0, 32, 0, 32, 0, 32, 0, 32, 0, 32}
+	p := Analyze(mkTrace(lines...), 32, 16)
+	c := p.Classify(2, 10)
+	if c.Compulsory != 2 || c.Capacity != 0 || c.Conflict != 8 {
+		t.Fatalf("classification = %+v", c)
+	}
+	if c.Total() != 10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	// Clamping: observed below fully-associative.
+	c2 := p.Classify(1, 1)
+	if c2.Conflict != 0 {
+		t.Fatalf("conflict must clamp at 0: %+v", c2)
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	// 100 distinct lines then a re-access: distance 99 lands in the
+	// overflow bucket when maxTracked is 10.
+	var lines []uint64
+	for i := uint64(0); i < 100; i++ {
+		lines = append(lines, i)
+	}
+	lines = append(lines, 0)
+	p := Analyze(mkTrace(lines...), 32, 10)
+	if p.Histogram[10] != 1 {
+		t.Fatalf("overflow bucket = %d", p.Histogram[10])
+	}
+	// The overflow reference must still count as a miss for any capacity
+	// up to maxTracked.
+	if got := p.FullyAssociativeMisses(10); got != 101 {
+		t.Fatalf("FA misses = %d, want 101", got)
+	}
+}

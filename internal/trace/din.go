@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDin imports a trace in the classic Dinero ("din") format used by
+// generations of cache simulators: one access per line,
+//
+//	<label> <address-hex>
+//
+// with label 0 = data read, 1 = data write, 2 = instruction fetch.
+// Instruction fetches are skipped (this repository models a data cache, as
+// the paper does). Addresses may carry an optional 0x prefix; blank lines
+// and lines starting with '#' are ignored.
+//
+// Imported references carry no software tags — exactly the situation of a
+// binary-only workload — so they exercise the Standard/Victim designs, or
+// Soft with its tag gates off.
+func ReadDin(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	lineNo := 0
+	first := true
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+		}
+		label, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: din line %d: bad label %q", lineNo, fields[0])
+		}
+		switch label {
+		case 0, 1:
+		case 2:
+			continue // instruction fetch: not a data reference
+		default:
+			return nil, fmt.Errorf("trace: din line %d: unknown label %d", lineNo, label)
+		}
+		addrText := strings.TrimPrefix(strings.ToLower(fields[1]), "0x")
+		addr, err := strconv.ParseUint(addrText, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: din line %d: bad address %q", lineNo, fields[1])
+		}
+		gap := uint8(1)
+		if first {
+			gap = 0
+			first = false
+		}
+		t.Append(Record{
+			Addr:  addr,
+			Size:  4, // the din format carries no size; one word
+			Gap:   gap,
+			Write: label == 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading din input: %w", err)
+	}
+	return t, nil
+}
+
+// WriteDin exports the trace in Dinero format (software tags and timing are
+// lost — the format cannot carry them). Software-prefetch records are
+// skipped.
+func WriteDin(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, r := range t.Records {
+		if r.SoftwarePrefetch {
+			continue
+		}
+		label := byte('0')
+		if r.Write {
+			label = '1'
+		}
+		if _, err := fmt.Fprintf(bw, "%c %x\n", label, r.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

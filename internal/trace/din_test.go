@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadDin(t *testing.T) {
+	src := `
+# a comment
+0 1000
+1 0x1008
+2 4000
+0 2000
+`
+	tr, err := ReadDin(strings.NewReader(src), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 { // the ifetch is skipped
+		t.Fatalf("records = %d, want 3", tr.Len())
+	}
+	if tr.Records[0].Addr != 0x1000 || tr.Records[0].Write {
+		t.Fatalf("record 0 = %+v", tr.Records[0])
+	}
+	if tr.Records[1].Addr != 0x1008 || !tr.Records[1].Write {
+		t.Fatalf("record 1 = %+v", tr.Records[1])
+	}
+	if tr.Records[0].Gap != 0 || tr.Records[1].Gap != 1 {
+		t.Fatal("gap assignment wrong")
+	}
+	if c := tr.CountTags(); c.None != 3 {
+		t.Fatal("din imports must carry no tags")
+	}
+}
+
+func TestReadDinErrors(t *testing.T) {
+	cases := []string{
+		"0\n",      // missing address
+		"x 1000\n", // bad label
+		"7 1000\n", // unknown label
+		"0 zzzz\n", // bad address
+	}
+	for _, src := range cases {
+		if _, err := ReadDin(strings.NewReader(src), "bad"); err == nil {
+			t.Fatalf("input %q should fail", src)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("error %q lacks line number", err)
+		}
+	}
+}
+
+func TestDinRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "rt", Records: []Record{
+		{Addr: 0x10, Size: 8},
+		{Addr: 0x20, Size: 8, Write: true, Gap: 2},
+		{Addr: 0x30, Size: 8, SoftwarePrefetch: true}, // dropped on export
+	}}
+	var buf bytes.Buffer
+	if err := WriteDin(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDin(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip records = %d, want 2", got.Len())
+	}
+	if got.Records[0].Addr != 0x10 || got.Records[1].Addr != 0x20 || !got.Records[1].Write {
+		t.Fatalf("round trip lost data: %+v", got.Records)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace parser: it must never panic
+// and must either fail cleanly or return a structurally valid trace.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, &Trace{
+		Name: "seed",
+		Records: []Record{
+			{Addr: 0x1000, RefID: 1, Size: 8, Temporal: true},
+			{Addr: 0x2000, RefID: 2, Size: 8, Spatial: true, Write: true},
+		},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("SCTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		// A parsed trace must be internally consistent.
+		if len(tr.Records) != tr.Len() {
+			t.Fatal("Len disagrees with Records")
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	header:  magic "SCTR" | version uint16 | name length uint16 | name bytes |
+//	         record count uint64
+//	record:  addr uint64 | refID uint32 | gap uint8 | size uint8 | flags uint8
+//
+// Flags bit layout: bit0 = write, bit1 = temporal, bit2 = spatial,
+// bits 3-4 = virtual-line length hint (format v2; always 0 in v1).
+// All integers are little-endian. The format is deliberately flat so that a
+// multi-million-entry trace streams at memory bandwidth.
+
+const (
+	magic = "SCTR"
+	// formatVersion 2 added the 2-bit virtual-line hint in flags bits
+	// 3-4; version-1 streams (hint always 0) remain readable.
+	formatVersion    = 2
+	minReadVersion   = 1
+	virtualHintShift = 3
+	virtualHintMask  = 0b11 << virtualHintShift
+
+	flagWrite      = 1 << 0
+	flagTemporal   = 1 << 1
+	flagSpatial    = 1 << 2
+	flagSWPrefetch = 1 << 5
+
+	recordSize = 8 + 4 + 1 + 1 + 1
+)
+
+// ErrBadFormat is returned when a trace stream does not start with the
+// expected magic bytes or uses an unsupported version.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write serialises the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	if len(t.Name) > 0xffff {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(t.Name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Records)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint64(buf[0:8], r.Addr)
+		binary.LittleEndian.PutUint32(buf[8:12], r.RefID)
+		buf[12] = r.Gap
+		buf[13] = r.Size
+		buf[14] = packFlags(r)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func packFlags(r Record) byte {
+	var f byte
+	if r.Write {
+		f |= flagWrite
+	}
+	if r.Temporal {
+		f |= flagTemporal
+	}
+	if r.Spatial {
+		f |= flagSpatial
+	}
+	f |= (r.VirtualHint & 0b11) << virtualHintShift
+	if r.SoftwarePrefetch {
+		f |= flagSWPrefetch
+	}
+	return f
+}
+
+// Reader streams a serialised trace record by record, so multi-gigabyte
+// traces can be simulated without holding them in memory. Create one with
+// NewReader and pull records with Next until io.EOF.
+type Reader struct {
+	br        *bufio.Reader
+	name      string
+	remaining uint64
+	total     uint64
+	buf       [recordSize]byte
+}
+
+// NewReader parses the stream header and positions the reader at the first
+// record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic)+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, ErrBadFormat
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v < minReadVersion || v > formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(head[6:8]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	return &Reader{br: br, name: string(name), remaining: n, total: n}, nil
+}
+
+// Name returns the trace name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// Len returns the total number of records announced by the header.
+func (r *Reader) Len() int { return int(r.total) }
+
+// Next returns the next record, or io.EOF after the last one. A stream
+// shorter than its header's count yields io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Record, error) {
+	if r.remaining == 0 {
+		return Record{}, io.EOF
+	}
+	if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	r.remaining--
+	buf := r.buf[:]
+	return Record{
+		Addr:             binary.LittleEndian.Uint64(buf[0:8]),
+		RefID:            binary.LittleEndian.Uint32(buf[8:12]),
+		Gap:              buf[12],
+		Size:             buf[13],
+		Write:            buf[14]&flagWrite != 0,
+		Temporal:         buf[14]&flagTemporal != 0,
+		Spatial:          buf[14]&flagSpatial != 0,
+		VirtualHint:      (buf[14] & virtualHintMask) >> virtualHintShift,
+		SoftwarePrefetch: buf[14]&flagSWPrefetch != 0,
+	}, nil
+}
+
+// Read deserialises a whole trace previously written with Write.
+func Read(r io.Reader) (*Trace, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 31
+	if sr.total > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d exceeds limit", sr.total)
+	}
+	// Cap the preallocation: a corrupt or hostile header must not be able
+	// to demand gigabytes before a single record has been read.
+	prealloc := sr.total
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, prealloc)}
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+}

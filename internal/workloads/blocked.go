@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"softcache/internal/loopir"
+)
+
+// BlockedMVSize returns the vector length used by BlockedMV at this scale.
+func BlockedMVSize(s Scale) int { return pick(s, 200, 1000) }
+
+// BlockedMV builds the §4.2 blocked matrix-vector multiply: the X vector is
+// blocked so a block stays cached across the j1 sweep. block must divide
+// the problem size (BlockedMVSize). Software control lets larger blocks
+// survive pollution (fig. 11a).
+//
+//	DO jb = 0,N-1,B
+//	  DO j1 = 0,N-1
+//	    reg = Y(j1)
+//	    DO j2 = jb,jb+B-1
+//	      reg += A(j2,j1) * X(j2)
+//	    Y(j1) = reg
+func BlockedMV(s Scale, block int) (*loopir.Program, error) {
+	n := BlockedMVSize(s)
+	if block <= 0 || n%block != 0 {
+		return nil, fmt.Errorf("workloads: block %d must divide N=%d", block, n)
+	}
+	p := loopir.NewProgram(fmt.Sprintf("BlockedMV-b%d", block))
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("X", n)
+	p.DeclareArray("Y", n)
+
+	jb, j1, j2 := loopir.V("jb"), loopir.V("j1"), loopir.V("j2")
+	p.Add(
+		loopir.DoStep("jb", loopir.C(0), loopir.C(n-1), block,
+			loopir.Do("j1", loopir.C(0), loopir.C(n-1),
+				loopir.Read("Y", j1),
+				loopir.Do("j2", jb, loopir.Plus(jb, block-1),
+					loopir.Read("A", j2, j1),
+					loopir.Read("X", j2),
+				),
+				loopir.Store("Y", j1),
+			),
+		),
+	)
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BlockedMMSize returns (N, BK): matrix order and k-block size at this
+// scale.
+func BlockedMMSize(s Scale) (n, bk int) {
+	if s == ScalePaper {
+		return 72, 24
+	}
+	return 24, 8
+}
+
+// BlockedMM builds the §4.3 blocked matrix-matrix multiply used in the
+// data-copying experiment (fig. 11b). ld is the leading dimension of the A
+// matrix (the experiment sweeps 116..126 to expose self-interference
+// pathologies); copying selects the variant that first copies each A block
+// into a contiguous buffer TA.
+func BlockedMM(s Scale, ld int, copying bool) (*loopir.Program, error) {
+	n, bk := BlockedMMSize(s)
+	if ld < n {
+		return nil, fmt.Errorf("workloads: leading dimension %d smaller than order %d", ld, n)
+	}
+	name := fmt.Sprintf("BlockedMM-ld%d", ld)
+	if copying {
+		name += "-copy"
+	}
+	p := loopir.NewProgram(name)
+	p.DeclareArray("A", ld, n) // only rows 0..n-1 are touched
+	p.DeclareArray("B", n, n)
+	p.DeclareArray("C", ld, n)
+	if copying {
+		p.DeclareArray("TA", n, bk)
+	}
+
+	kb, j, k, i := loopir.V("kb"), loopir.V("j"), loopir.V("k"), loopir.V("i")
+
+	var blockBody []loopir.Stmt
+	if copying {
+		// Refill loop: streams A into the contiguous local-memory array.
+		// Under software control the refill exploits virtual lines and the
+		// temporally-tagged TA resists being flushed by the stream (§4.3).
+		copyLoop := loopir.Do("kc", kb, loopir.Plus(kb, bk-1),
+			loopir.Do("ic", loopir.C(0), loopir.C(n-1),
+				loopir.Read("A", loopir.V("ic"), loopir.V("kc")),
+				loopir.Store("TA", loopir.V("ic"), loopir.Sum(loopir.V("kc"), loopir.SV(-1, "kb"))),
+			),
+		)
+		compute := loopir.Do("j", loopir.C(0), loopir.C(n-1),
+			loopir.Do("k", loopir.C(0), loopir.C(bk-1),
+				loopir.Do("i", loopir.C(0), loopir.C(n-1),
+					loopir.Read("C", i, j),
+					// TA is the local-memory array: mark it temporal so
+					// the bounce-back cache protects it. The analyser
+					// derives this too (j is absent); the explicit tag
+					// mirrors the paper's directive-style usage.
+					loopir.Read("TA", i, k).WithTags(true, true),
+					loopir.Read("B", loopir.Sum(k, kb), j),
+					loopir.Store("C", i, j),
+				),
+			),
+		)
+		blockBody = []loopir.Stmt{copyLoop, compute}
+	} else {
+		compute := loopir.Do("j", loopir.C(0), loopir.C(n-1),
+			loopir.Do("k", kb, loopir.Plus(kb, bk-1),
+				loopir.Do("i", loopir.C(0), loopir.C(n-1),
+					loopir.Read("C", i, j),
+					loopir.Read("A", i, k),
+					loopir.Read("B", k, j),
+					loopir.Store("C", i, j),
+				),
+			),
+		)
+		blockBody = []loopir.Stmt{compute}
+	}
+
+	p.Add(loopir.DoStep("kb", loopir.C(0), loopir.C(n-1), bk, blockBody...))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

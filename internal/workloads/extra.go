@@ -1,0 +1,89 @@
+package workloads
+
+import "softcache/internal/loopir"
+
+// Two extra workloads beyond the paper's suite, exposed for users of the
+// library and exercised by the test suite: a strided butterfly pattern in
+// the style of an in-place FFT, and a matrix transpose. Both are classic
+// stress cases for the spatial mechanism — the FFT's large power-of-two
+// strides defeat the spatial rule at the early stages and alias badly in a
+// direct-mapped cache, while the transpose is spatial on exactly one side.
+
+func init() {
+	register(Definition{
+		Name:        "FFT",
+		Description: "in-place FFT-style butterflies: power-of-two strides, pathological aliasing",
+		Build:       buildFFT,
+	})
+	register(Definition{
+		Name:        "Transpose",
+		Description: "matrix transpose: stride-1 reads, stride-N writes",
+		Build:       buildTranspose,
+	})
+}
+
+// buildFFT models log2(n) butterfly stages over a complex vector (stored
+// as two real vectors). Stage s pairs elements stride 2^s apart: the first
+// two stages are spatial (stride < 4 elements); later stages are not, and
+// at stride >= cache-size the pairs alias in a direct-mapped cache.
+func buildFFT(s Scale) (*loopir.Program, error) {
+	logN := pick(s, 10, 13) // 1K / 8K complex points
+	n := 1 << logN
+	p := loopir.NewProgram("FFT")
+	p.DeclareArray("RE", n)
+	p.DeclareArray("IM", n)
+
+	for stage := 0; stage < logN; stage++ {
+		stride := 1 << stage
+		half := n / 2
+		iv := loopir.V("i" + suffix(stage))
+		// Pair index: for butterfly k of this stage, the two elements are
+		// at base = (k/stride)*2*stride + k%stride and base+stride. We
+		// model the address stream with a dense walk over the lower
+		// element plus its partner (a faithful stand-in for the access
+		// pattern without integer div/mod in the IR): i and i+stride for
+		// i in [0, half).
+		body := []loopir.Stmt{
+			loopir.Read("RE", iv),
+			loopir.Read("RE", loopir.Plus(iv, stride)),
+			loopir.Read("IM", iv),
+			loopir.Read("IM", loopir.Plus(iv, stride)),
+			loopir.Store("RE", iv),
+			loopir.Store("IM", loopir.Plus(iv, stride)),
+		}
+		p.Add(loopir.Do("i"+suffix(stage), loopir.C(0), loopir.C(half-1), body...))
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func suffix(i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return digits[i : i+1]
+	}
+	return digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// buildTranspose is B = A^T with A walked in its storage order: reads are
+// stride-1 (spatial), writes stride-N (no tags). Software assistance can
+// only help the read side — a useful asymmetric case.
+func buildTranspose(s Scale) (*loopir.Program, error) {
+	n := pick(s, 64, 256)
+	p := loopir.NewProgram("Transpose")
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("B", n, n)
+	i, j := loopir.V("i"), loopir.V("j")
+	p.Add(loopir.Do("j", loopir.C(0), loopir.C(n-1),
+		loopir.Do("i", loopir.C(0), loopir.C(n-1),
+			loopir.Read("A", i, j),
+			loopir.Store("B", j, i),
+		),
+	))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,84 @@
+package workloads
+
+import "softcache/internal/loopir"
+
+func init() {
+	register(Definition{
+		Name:        "LIV",
+		Description: "Livermore-loops-style vector kernel medley",
+		Build:       buildLIV,
+	})
+}
+
+// buildLIV strings together kernels in the style of the classic Livermore
+// loops, each wrapped in a small repetition loop as the original benchmark
+// does. The mix produces long stride-one streams (spatial tags nearly
+// everywhere) with cross-repetition reuse (temporal tags via the absent
+// repetition variable), and a working set of a few vectors around twice the
+// 8 KiB cache — the profile fig. 1 shows for LIV.
+func buildLIV(s Scale) (*loopir.Program, error) {
+	n := pick(s, 256, 2000)
+	reps := pick(s, 2, 6)
+
+	p := loopir.NewProgram("LIV")
+	for _, a := range []string{"X", "Y", "Z", "U", "V", "W"} {
+		p.DeclareArray(a, n+16)
+	}
+
+	k := loopir.V("k")
+
+	// Kernel 1 — hydro fragment: X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11)).
+	k1 := loopir.Do("l", loopir.C(0), loopir.C(reps-1),
+		loopir.Do("k", loopir.C(0), loopir.C(n-1),
+			loopir.Read("Y", k),
+			loopir.Read("Z", loopir.Plus(k, 10)),
+			loopir.Read("Z", loopir.Plus(k, 11)),
+			loopir.Store("X", k),
+		),
+	)
+
+	// Kernel 3 — inner product: Q += Z(k)*X(k).
+	k3 := loopir.Do("l3", loopir.C(0), loopir.C(reps-1),
+		loopir.Do("k", loopir.C(0), loopir.C(n-1),
+			loopir.Read("Z", k),
+			loopir.Read("X", k),
+		),
+	)
+
+	// Kernel 5 — tri-diagonal elimination: X(k) = Z(k)*(Y(k) - X(k-1)).
+	k5 := loopir.Do("l5", loopir.C(0), loopir.C(reps-1),
+		loopir.Do("k", loopir.C(1), loopir.C(n-1),
+			loopir.Read("Z", k),
+			loopir.Read("Y", k),
+			loopir.Read("X", loopir.Plus(k, -1)),
+			loopir.Store("X", k),
+		),
+	)
+
+	// Kernel 7 — equation of state fragment: many operands per point.
+	k7 := loopir.Do("l7", loopir.C(0), loopir.C(reps-1),
+		loopir.Do("k", loopir.C(0), loopir.C(n-1),
+			loopir.Read("U", k),
+			loopir.Read("Z", loopir.Plus(k, 3)),
+			loopir.Read("Y", k),
+			loopir.Read("U", loopir.Plus(k, 2)),
+			loopir.Read("U", loopir.Plus(k, 6)),
+			loopir.Store("W", k),
+		),
+	)
+
+	// Kernel 12 — first difference: X(k) = Y(k+1) - Y(k).
+	k12 := loopir.Do("l12", loopir.C(0), loopir.C(reps-1),
+		loopir.Do("k", loopir.C(0), loopir.C(n-1),
+			loopir.Read("Y", loopir.Plus(k, 1)),
+			loopir.Read("Y", k),
+			loopir.Store("X", k),
+		),
+	)
+
+	p.Add(k1, k3, k5, k7, k12)
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

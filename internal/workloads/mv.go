@@ -1,0 +1,48 @@
+package workloads
+
+import "softcache/internal/loopir"
+
+func init() {
+	register(Definition{
+		Name:        "MV",
+		Description: "dense matrix-vector multiply (paper §2.2 motivating loop)",
+		Build:       buildMV,
+	})
+}
+
+// buildMV is the paper's matrix-vector loop:
+//
+//	DO j1 = 0,N-1
+//	  reg = Y(j1)
+//	  DO j2 = 0,N-1
+//	    reg += A(j2,j1) * X(j2)
+//	  ENDDO
+//	  Y(j1) = reg
+//	ENDDO
+//
+// N is chosen so that X fits in the 8 KiB cache (no capacity miss for X
+// alone) but each column of A sweeps most of the cache, flushing X between
+// its reuses — the pollution scenario §2.2 analyses. The locality analyser
+// tags A spatial-only, X temporal+spatial, Y temporal+spatial, exactly as
+// the paper describes.
+func buildMV(s Scale) (*loopir.Program, error) {
+	n := pick(s, 96, 768)
+	p := loopir.NewProgram("MV")
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("X", n)
+	p.DeclareArray("Y", n)
+	p.Add(
+		loopir.Do("j1", loopir.C(0), loopir.C(n-1),
+			loopir.Read("Y", loopir.V("j1")),
+			loopir.Do("j2", loopir.C(0), loopir.C(n-1),
+				loopir.Read("A", loopir.V("j2"), loopir.V("j1")),
+				loopir.Read("X", loopir.V("j2")),
+			),
+			loopir.Store("Y", loopir.V("j1")),
+		),
+	)
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"softcache/internal/loopir"
+	"softcache/internal/timing"
+)
+
+func init() {
+	register(Definition{
+		Name:        "NAS",
+		Description: "NAS-CG-style iteration: sparse matrix-vector product plus vector updates",
+		Build:       buildNAS,
+	})
+}
+
+// buildNAS models one conjugate-gradient-style iteration in the spirit of
+// the NAS CG benchmark: a sparse matrix-vector product (indirect accesses,
+// user-directed tags as in §4.1) followed by analysable dense vector
+// updates (daxpy-like, dot products). The dense phases carry full
+// compiler-derived tags, the sparse phase only directives — giving NAS the
+// mid-range tag fractions of fig. 4a and the dominant vector-access misses
+// §3.2 attributes to it.
+func buildNAS(s Scale) (*loopir.Program, error) {
+	n := pick(s, 200, 1400)
+	nnzPerRow := pick(s, 8, 16)
+	iters := pick(s, 2, 4)
+
+	rng := timing.NewRNG(0x0a5c_91d7)
+	rowPtr := make([]int, n+1)
+	var cols []int
+	for i := 0; i < n; i++ {
+		rowPtr[i] = len(cols)
+		nnz := 1 + rng.Intn(2*nnzPerRow-1)
+		for k := 0; k < nnz; k++ {
+			cols = append(cols, rng.Intn(n))
+		}
+	}
+	rowPtr[n] = len(cols)
+
+	p := loopir.NewProgram("NAS")
+	p.DeclareArray("Aval", len(cols))
+	for _, a := range []string{"Pvec", "Qvec", "Rvec", "Xvec", "Zvec"} {
+		p.DeclareArray(a, n)
+	}
+	p.DeclareIndexArray("Col", cols)
+	p.DeclareIndexArray("Row", rowPtr)
+
+	i, j := loopir.V("i"), loopir.V("j")
+
+	spmv := loopir.Do("i", loopir.C(0), loopir.C(n-1),
+		loopir.Read("Row", i).WithTags(false, true),
+		loopir.Do("j",
+			loopir.Load("Row", i),
+			loopir.Plus(loopir.Load("Row", loopir.Plus(i, 1)), -1),
+			loopir.Read("Col", j).WithTags(false, true),
+			loopir.Read("Aval", j).WithTags(false, true),
+			loopir.Read("Pvec", loopir.Load("Col", j)).WithTags(true, false),
+		),
+		loopir.Store("Qvec", i).WithTags(false, true),
+	)
+
+	// rho = r.r ; alpha scaling of x and r ; p update — dense, analysable.
+	dots := loopir.Do("i2", loopir.C(0), loopir.C(n-1),
+		loopir.Read("Rvec", loopir.V("i2")),
+		loopir.Read("Rvec", loopir.V("i2")),
+	)
+	axpy1 := loopir.Do("i3", loopir.C(0), loopir.C(n-1),
+		loopir.Read("Xvec", loopir.V("i3")),
+		loopir.Read("Pvec", loopir.V("i3")),
+		loopir.Store("Xvec", loopir.V("i3")),
+	)
+	axpy2 := loopir.Do("i4", loopir.C(0), loopir.C(n-1),
+		loopir.Read("Rvec", loopir.V("i4")),
+		loopir.Read("Qvec", loopir.V("i4")),
+		loopir.Store("Rvec", loopir.V("i4")),
+	)
+	pupd := loopir.Do("i5", loopir.C(0), loopir.C(n-1),
+		loopir.Read("Rvec", loopir.V("i5")),
+		loopir.Read("Pvec", loopir.V("i5")),
+		loopir.Store("Pvec", loopir.V("i5")),
+		loopir.Store("Zvec", loopir.V("i5")),
+	)
+
+	p.Add(loopir.Do("it", loopir.C(0), loopir.C(iters-1), spmv, dots, axpy1, axpy2, pupd))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,403 @@
+package workloads
+
+import (
+	"softcache/internal/loopir"
+	"softcache/internal/timing"
+)
+
+// The Perfect-Club-style codes. Each models the trace-level profile the
+// paper reports for its namesake (fig. 1, fig. 4a): small working sets, a
+// sizable share of references without tags (CALL-poisoned loop bodies,
+// indirect/aliased subscripts, references outside loops), and a hot
+// computational kernel. The "-kernel" variants reproduce the fig. 10a
+// experiment: the most time-consuming subroutine manually instrumented and
+// traced alone, with the compiler limitations (calls, aliasing, bad loop
+// order) removed.
+
+func init() {
+	register(Definition{
+		Name:        "MDG",
+		Description: "molecular-dynamics-style code: neighbour lists (indirect), call-poisoned intra-molecular loop, tagged integration",
+		Build:       buildMDG,
+	})
+	register(Definition{
+		Name:        "MDG-kernel",
+		Description: "MDG hot pairwise-force loop with subscripts expanded (fig. 10a)",
+		Build:       buildMDGKernel,
+		Kernel:      true,
+	})
+	register(Definition{
+		Name:        "BDN",
+		Description: "PDE-style code with one badly-ordered (non-stride-1) sweep, call-poisoned boundaries and a tagged relaxation",
+		Build:       buildBDN,
+	})
+	register(Definition{
+		Name:        "BDN-kernel",
+		Description: "BDN relaxation with loops re-ordered stride-1 (fig. 10a)",
+		Build:       buildBDNKernel,
+		Kernel:      true,
+	})
+	register(Definition{
+		Name:        "DYF",
+		Description: "dynamics-style code: large per-step streams polluting small, cyclically reused state vectors",
+		Build:       buildDYF,
+	})
+	register(Definition{
+		Name:        "DYF-kernel",
+		Description: "DYF state-update loops traced alone (fig. 10a)",
+		Build:       buildDYFKernel,
+		Kernel:      true,
+	})
+	register(Definition{
+		Name:        "TRF",
+		Description: "transport/factorisation-style code: short stride-1 vector runs plus a small triangular factorisation",
+		Build:       buildTRF,
+	})
+	register(Definition{
+		Name:        "TRF-kernel",
+		Description: "TRF vector-run and factorisation kernel traced alone (fig. 10a)",
+		Build:       buildTRFKernel,
+		Kernel:      true,
+	})
+}
+
+// --- MDG -----------------------------------------------------------------
+
+func mdgNeighbours(nm, deg int) []int {
+	rng := timing.NewRNG(0x3d6f_aa21)
+	nl := make([]int, nm*deg)
+	for i := range nl {
+		nl[i] = rng.Intn(nm)
+	}
+	return nl
+}
+
+func buildMDG(s Scale) (*loopir.Program, error) {
+	nm := pick(s, 48, 400)
+	deg := 12
+	steps := pick(s, 2, 6)
+
+	p := loopir.NewProgram("MDG")
+	for _, a := range []string{"PX", "PY", "PZ", "FX", "FY", "FZ", "VX", "VY", "VZ"} {
+		p.DeclareArray(a, nm)
+	}
+	p.DeclareIndexArray("NL", mdgNeighbours(nm, deg))
+
+	i, l := loopir.V("i"), loopir.V("l")
+	nlSub := loopir.Sum(loopir.SV(deg, "i"), l) // NL(deg*i + l)
+
+	// Inter-molecular forces through the neighbour list: the NL load is
+	// analysable (stride 1), the position loads are indirect — no tags.
+	inter := loopir.Do("i", loopir.C(0), loopir.C(nm-1),
+		loopir.Do("l", loopir.C(0), loopir.C(deg-1),
+			loopir.Read("NL", nlSub),
+			loopir.Read("PX", loopir.Load("NL", nlSub)),
+			loopir.Read("PY", loopir.Load("NL", nlSub)),
+			loopir.Read("PZ", loopir.Load("NL", nlSub)),
+			loopir.Read("PX", i), // molecule's own position: temporal
+			loopir.Store("FX", i),
+		),
+	)
+
+	// Intra-molecular terms behind a CALL: the body is poisoned, so every
+	// reference loses its tags (§2.3, no interprocedural analysis).
+	intra := loopir.Do("i2", loopir.C(0), loopir.C(nm-1),
+		&loopir.Call{Name: "waterintra"},
+		loopir.Read("PX", loopir.V("i2")),
+		loopir.Read("PY", loopir.V("i2")),
+		loopir.Read("PZ", loopir.V("i2")),
+		loopir.Store("FY", loopir.V("i2")),
+		loopir.Store("FZ", loopir.V("i2")),
+	)
+
+	// Leapfrog integration: fully analysable.
+	integ := loopir.Do("i3", loopir.C(0), loopir.C(nm-1),
+		loopir.Read("VX", loopir.V("i3")),
+		loopir.Read("FX", loopir.V("i3")),
+		loopir.Store("VX", loopir.V("i3")),
+		loopir.Read("PX", loopir.V("i3")),
+		loopir.Store("PX", loopir.V("i3")),
+	)
+
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), inter, intra, integ))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildMDGKernel(s Scale) (*loopir.Program, error) {
+	nm := pick(s, 64, 480)
+	w := 16 // interaction window after subscript expansion
+	steps := pick(s, 2, 6)
+
+	p := loopir.NewProgram("MDG-kernel")
+	for _, a := range []string{"PX", "PY", "PZ", "FX"} {
+		p.DeclareArray(a, nm+w+1)
+	}
+	i, j := loopir.V("i"), loopir.V("j")
+
+	// The pairwise loop with the indirection replaced by a dense window:
+	// every reference is analysable and tagged.
+	pair := loopir.Do("i", loopir.C(0), loopir.C(nm-1),
+		loopir.Do("j", loopir.Plus(i, 1), loopir.Plus(i, w),
+			loopir.Read("PX", i), // j absent: temporal
+			loopir.Read("PX", j), // i absent: temporal; stride 1: spatial
+			loopir.Read("PY", j),
+			loopir.Read("PZ", j),
+			loopir.Read("FX", i),
+			loopir.Store("FX", i),
+		),
+	)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), pair))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- BDN -----------------------------------------------------------------
+
+func buildBDN(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 144)
+	iters := pick(s, 1, 2)
+
+	p := loopir.NewProgram("BDN")
+	p.DeclareArray("G", n, n)
+	p.DeclareArray("H", n, n)
+	p.DeclareArray("K", n, n)
+	p.DeclareArray("BND", 4*n)
+
+	i, j := loopir.V("i"), loopir.V("j")
+
+	// Badly-ordered sweep: innermost j walks G with stride n — the
+	// coefficient is >= 4, so no spatial tag; no reuse either.
+	badSweep := loopir.Do("i", loopir.C(0), loopir.C(n-1),
+		loopir.Do("j", loopir.C(0), loopir.C(n-1),
+			loopir.Read("G", i, j),
+			loopir.Store("H", i, j),
+		),
+	)
+
+	// Boundary handling with a CALL: poisoned.
+	boundary := loopir.Do("b", loopir.C(0), loopir.C(4*n-1),
+		&loopir.Call{Name: "applybc"},
+		loopir.Read("BND", loopir.V("b")),
+		loopir.Store("BND", loopir.V("b")),
+	)
+
+	// Stride-1 relaxation: spatial everywhere, temporal only on the
+	// G(i2)/G(i2+1) group pair — the K coefficient stream and the H
+	// result carry just the spatial tag, keeping BDN's temporal share
+	// modest as in fig. 4a.
+	relax := loopir.Do("j2", loopir.C(0), loopir.C(n-1),
+		loopir.Do("i2", loopir.C(1), loopir.C(n-2),
+			loopir.Read("G", loopir.V("i2"), loopir.V("j2")),
+			loopir.Read("G", loopir.Plus(loopir.V("i2"), 1), loopir.V("j2")),
+			loopir.Read("K", loopir.V("i2"), loopir.V("j2")),
+			loopir.Store("H", loopir.V("i2"), loopir.V("j2")),
+		),
+	)
+
+	p.Add(loopir.Driver("it", loopir.C(0), loopir.C(iters-1), badSweep, boundary, relax))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildBDNKernel(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 160)
+	iters := pick(s, 2, 3)
+
+	p := loopir.NewProgram("BDN-kernel")
+	p.DeclareArray("G", n, n)
+	p.DeclareArray("H", n, n)
+
+	// The same sweeps with loops interchanged to stride-1 order and the
+	// boundary call inlined away: everything is tagged.
+	sweep := loopir.Do("j", loopir.C(0), loopir.C(n-1),
+		loopir.Do("i", loopir.C(0), loopir.C(n-1),
+			loopir.Read("G", loopir.V("i"), loopir.V("j")),
+			loopir.Store("H", loopir.V("i"), loopir.V("j")),
+		),
+	)
+	relax := loopir.Do("j2", loopir.C(0), loopir.C(n-1),
+		loopir.Do("i2", loopir.C(1), loopir.C(n-2),
+			loopir.Read("G", loopir.V("i2"), loopir.V("j2")),
+			loopir.Read("G", loopir.Plus(loopir.V("i2"), 1), loopir.V("j2")),
+			loopir.Read("G", loopir.Plus(loopir.V("i2"), -1), loopir.V("j2")),
+			loopir.Read("H", loopir.V("i2"), loopir.V("j2")),
+			loopir.Store("H", loopir.V("i2"), loopir.V("j2")),
+		),
+	)
+	p.Add(loopir.Driver("it", loopir.C(0), loopir.C(iters-1), sweep, relax))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- DYF -----------------------------------------------------------------
+
+// dyfBody builds the core DYF phase structure shared by the full and
+// kernel variants: per chunk, a slice of a large per-step stream pollutes
+// the cache, then the small state vectors are swept again. The state
+// references are temporal by self-dependence (the chunk variable is absent
+// from their subscripts) and the reuse distance — one stream chunk — is
+// longer than a line's cache lifetime: the cyclic-reuse pattern where plain
+// LRU fails and the bounce-back mechanism shines (§2.2).
+func dyfBody(nbig, chunk, nsm int) loopir.Stmt {
+	t, i, k := loopir.V("t"), loopir.V("i"), loopir.V("k")
+	nchunk := nbig / chunk
+	stream := loopir.Do("i", loopir.C(0), loopir.C(chunk-1),
+		// BIG(i + c*chunk, t): fresh data per chunk and step — spatial
+		// only.
+		loopir.Read("BIG", loopir.Sum(i, loopir.SV(chunk, "c")), t),
+	)
+	state := loopir.Do("k", loopir.C(0), loopir.C(nsm-1),
+		loopir.Read("S1", k),
+		loopir.Read("S2", k),
+		loopir.Read("S3", k),
+		loopir.Store("S1", k),
+	)
+	return loopir.Do("c", loopir.C(0), loopir.C(nchunk-1), stream, state)
+}
+
+func buildDYF(s Scale) (*loopir.Program, error) {
+	steps := pick(s, 3, 6)
+	nbig := pick(s, 1024, 4096)
+	chunk := pick(s, 256, 512)
+	nsm := pick(s, 96, 256)
+
+	p := loopir.NewProgram("DYF")
+	p.DeclareArray("BIG", nbig, steps)
+	for _, a := range []string{"S1", "S2", "S3"} {
+		p.DeclareArray(a, nsm)
+	}
+	p.DeclareArray("AUX", 2*nsm)
+
+	// A call-poisoned control loop keeps a realistic untagged share.
+	control := loopir.Do("w", loopir.C(0), loopir.C(2*nsm-1),
+		&loopir.Call{Name: "control"},
+		loopir.Read("AUX", loopir.V("w")),
+		loopir.Store("AUX", loopir.V("w")),
+	)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1),
+		dyfBody(nbig, chunk, nsm), control))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildDYFKernel(s Scale) (*loopir.Program, error) {
+	steps := pick(s, 3, 8)
+	nbig := pick(s, 1024, 4096)
+	chunk := pick(s, 256, 512)
+	nsm := pick(s, 96, 256)
+
+	p := loopir.NewProgram("DYF-kernel")
+	p.DeclareArray("BIG", nbig, steps)
+	for _, a := range []string{"S1", "S2", "S3"} {
+		p.DeclareArray(a, nsm)
+	}
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1),
+		dyfBody(nbig, chunk, nsm)))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- TRF -----------------------------------------------------------------
+
+func buildTRF(s Scale) (*loopir.Program, error) {
+	const runLen, runPad = 12, 16 // short stride-1 runs: 96 B, deliberately not a multiple
+	// of the 64 B virtual line, so virtual fills over-fetch a little —
+	// the paper notes TRF is the one code whose traffic grows (fig. 7a).
+	m := pick(s, 96, 800)
+	nf := pick(s, 12, 28)
+	reps := pick(s, 2, 4)
+
+	p := loopir.NewProgram("TRF")
+	p.DeclareArray("R", runPad, m) // padded rows: the tail of a virtual
+	// fill lands in the unused pad, so traffic grows slightly under Soft
+	p.DeclareArray("S", runPad, m)
+	p.DeclareArray("F", nf, nf)
+	p.DeclareArray("WRK", 2*m)
+
+	i, j, k := loopir.V("i"), loopir.V("j"), loopir.V("k")
+
+	// Vector-run phase: spatial, no reuse.
+	runs := loopir.Do("j", loopir.C(0), loopir.C(m-1),
+		loopir.Do("i", loopir.C(0), loopir.C(runLen-1),
+			loopir.Read("R", i, j),
+			loopir.Store("S", i, j),
+		),
+	)
+
+	// Small triangular factorisation (hot kernel): tags as in LU.
+	factor := loopir.Do("k", loopir.C(0), loopir.C(nf-2),
+		loopir.Do("j2", loopir.Plus(k, 1), loopir.C(nf-1),
+			loopir.Do("i2", loopir.Plus(k, 1), loopir.C(nf-1),
+				loopir.Read("F", loopir.V("i2"), loopir.V("j2")),
+				loopir.Read("F", loopir.V("i2"), k),
+				loopir.Read("F", k, loopir.V("j2")),
+				loopir.Store("F", loopir.V("i2"), loopir.V("j2")),
+			),
+		),
+	)
+
+	// Call-poisoned workspace shuffle.
+	shuffle := loopir.Do("w", loopir.C(0), loopir.C(2*m-1),
+		&loopir.Call{Name: "pack"},
+		loopir.Read("WRK", loopir.V("w")),
+		loopir.Store("WRK", loopir.V("w")),
+	)
+
+	// The factorisation runs once; the transport sweeps repeat. This
+	// keeps TRF's profile spatial-dominated (fig. 4a: the spatial bit is
+	// set in well over half of its entries, the temporal bit in few).
+	p.Add(factor)
+	p.Add(loopir.Driver("rep", loopir.C(0), loopir.C(reps-1), runs, shuffle))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildTRFKernel(s Scale) (*loopir.Program, error) {
+	const runLen, runPad = 12, 16
+	m := pick(s, 64, 420)
+	nf := pick(s, 24, 52)
+	reps := pick(s, 2, 4)
+
+	p := loopir.NewProgram("TRF-kernel")
+	p.DeclareArray("R", runPad, m)
+	p.DeclareArray("S", runPad, m)
+	p.DeclareArray("F", nf, nf)
+
+	i, j, k := loopir.V("i"), loopir.V("j"), loopir.V("k")
+	runs := loopir.Do("j", loopir.C(0), loopir.C(m-1),
+		loopir.Do("i", loopir.C(0), loopir.C(runLen-1),
+			loopir.Read("R", i, j),
+			loopir.Store("S", i, j),
+		),
+	)
+	factor := loopir.Do("k", loopir.C(0), loopir.C(nf-2),
+		loopir.Do("j2", loopir.Plus(k, 1), loopir.C(nf-1),
+			loopir.Do("i2", loopir.Plus(k, 1), loopir.C(nf-1),
+				loopir.Read("F", loopir.V("i2"), loopir.V("j2")),
+				loopir.Read("F", loopir.V("i2"), k),
+				loopir.Read("F", k, loopir.V("j2")),
+				loopir.Store("F", loopir.V("i2"), loopir.V("j2")),
+			),
+		),
+	)
+	p.Add(loopir.Driver("rep", loopir.C(0), loopir.C(reps-1), runs, factor))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

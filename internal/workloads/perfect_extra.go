@@ -1,0 +1,207 @@
+package workloads
+
+import "softcache/internal/loopir"
+
+// ADM, ARC and FLO appear only in the fig. 10a experiment (hot subroutines
+// of Perfect Club codes traced alone), but full variants are registered too
+// so the CLI tools can exercise them.
+
+func init() {
+	register(Definition{
+		Name:        "ADM",
+		Description: "air-pollution-model-style code: vertical diffusion stencil plus poisoned periphery",
+		Build:       buildADM,
+	})
+	register(Definition{
+		Name:        "ADM-kernel",
+		Description: "ADM vertical diffusion sweep traced alone (fig. 10a)",
+		Build:       buildADMKernel,
+		Kernel:      true,
+	})
+	register(Definition{
+		Name:        "ARC",
+		Description: "2-D fluid-code-style ADI sweeps: one stride-1 direction, one strided direction",
+		Build:       buildARC,
+	})
+	register(Definition{
+		Name:        "ARC-kernel",
+		Description: "ARC ADI sweeps traced alone (fig. 10a)",
+		Build:       buildARCKernel,
+		Kernel:      true,
+	})
+	register(Definition{
+		Name:        "FLO",
+		Description: "transonic-flow-style 5-point stencil with uniformly generated group dependences",
+		Build:       buildFLO,
+	})
+	register(Definition{
+		Name:        "FLO-kernel",
+		Description: "FLO stencil update traced alone (fig. 10a)",
+		Build:       buildFLOKernel,
+		Kernel:      true,
+	})
+}
+
+// admDiffusion builds the vertical diffusion stencil shared by the full and
+// kernel ADM variants: C(i,k) updated from C(i,k±1) with a per-column
+// coefficient D(i).
+func admDiffusion(nx, nz int) loopir.Stmt {
+	i, k := loopir.V("i"), loopir.V("k")
+	return loopir.Do("k", loopir.C(1), loopir.C(nz-2),
+		loopir.Do("i", loopir.C(0), loopir.C(nx-1),
+			loopir.Read("CC", i, k),
+			loopir.Read("CC", i, loopir.Plus(k, 1)),
+			loopir.Read("CC", i, loopir.Plus(k, -1)),
+			loopir.Read("DD", i),
+			loopir.Store("CC", i, k),
+		),
+	)
+}
+
+func buildADM(s Scale) (*loopir.Program, error) {
+	nx := pick(s, 48, 160)
+	nz := pick(s, 8, 16)
+	steps := pick(s, 2, 6)
+
+	p := loopir.NewProgram("ADM")
+	p.DeclareArray("CC", nx, nz)
+	p.DeclareArray("DD", nx)
+	p.DeclareArray("EM", 2*nx)
+
+	emissions := loopir.Do("e", loopir.C(0), loopir.C(2*nx-1),
+		&loopir.Call{Name: "chemistry"},
+		loopir.Read("EM", loopir.V("e")),
+		loopir.Store("EM", loopir.V("e")),
+	)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), admDiffusion(nx, nz), emissions))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildADMKernel(s Scale) (*loopir.Program, error) {
+	nx := pick(s, 64, 224)
+	nz := pick(s, 8, 16)
+	steps := pick(s, 2, 8)
+
+	p := loopir.NewProgram("ADM-kernel")
+	p.DeclareArray("CC", nx, nz)
+	p.DeclareArray("DD", nx)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), admDiffusion(nx, nz)))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// arcSweeps builds the two ADI half-sweeps: the x sweep is stride-1
+// (spatial), the y sweep walks the grid with stride n (no tags).
+func arcSweeps(n int) []loopir.Stmt {
+	i, j := loopir.V("i"), loopir.V("j")
+	xsweep := loopir.Do("j", loopir.C(0), loopir.C(n-1),
+		loopir.Do("i", loopir.C(1), loopir.C(n-2),
+			loopir.Read("U", i, j),
+			loopir.Read("U", loopir.Plus(i, 1), j),
+			loopir.Read("U", loopir.Plus(i, -1), j),
+			loopir.Store("UT", i, j),
+		),
+	)
+	ysweep := loopir.Do("i2", loopir.C(0), loopir.C(n-1),
+		loopir.Do("j2", loopir.C(1), loopir.C(n-2),
+			loopir.Read("UT", loopir.V("i2"), loopir.V("j2")),
+			loopir.Read("UT", loopir.V("i2"), loopir.Plus(loopir.V("j2"), 1)),
+			loopir.Read("UT", loopir.V("i2"), loopir.Plus(loopir.V("j2"), -1)),
+			loopir.Store("U", loopir.V("i2"), loopir.V("j2")),
+		),
+	)
+	return []loopir.Stmt{xsweep, ysweep}
+}
+
+func buildARC(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 128)
+	steps := pick(s, 1, 3)
+
+	p := loopir.NewProgram("ARC")
+	p.DeclareArray("U", n, n)
+	p.DeclareArray("UT", n, n)
+	p.DeclareArray("RES", 2*n)
+
+	body := arcSweeps(n)
+	residual := loopir.Do("r", loopir.C(0), loopir.C(2*n-1),
+		&loopir.Call{Name: "norm"},
+		loopir.Read("RES", loopir.V("r")),
+		loopir.Store("RES", loopir.V("r")),
+	)
+	body = append(body, residual)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), body...))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildARCKernel(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 144)
+	steps := pick(s, 1, 4)
+	p := loopir.NewProgram("ARC-kernel")
+	p.DeclareArray("U", n, n)
+	p.DeclareArray("UT", n, n)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), arcSweeps(n)...))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// floStencil builds the 5-point stencil update: the P(i±1,j), P(i,j±1)
+// group makes every P reference temporal by uniform generation, and the
+// unit innermost stride makes them spatial — the best case for the combined
+// mechanism.
+func floStencil(n int) loopir.Stmt {
+	i, j := loopir.V("i"), loopir.V("j")
+	return loopir.Do("j", loopir.C(1), loopir.C(n-2),
+		loopir.Do("i", loopir.C(1), loopir.C(n-2),
+			loopir.Read("P", i, j),
+			loopir.Read("P", loopir.Plus(i, 1), j),
+			loopir.Read("P", loopir.Plus(i, -1), j),
+			loopir.Read("P", i, loopir.Plus(j, 1)),
+			loopir.Read("P", i, loopir.Plus(j, -1)),
+			loopir.Store("PN", i, j),
+		),
+	)
+}
+
+func buildFLO(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 128)
+	steps := pick(s, 1, 3)
+
+	p := loopir.NewProgram("FLO")
+	p.DeclareArray("P", n, n)
+	p.DeclareArray("PN", n, n)
+	p.DeclareArray("FLX", 3*n)
+
+	flux := loopir.Do("f", loopir.C(0), loopir.C(3*n-1),
+		&loopir.Call{Name: "farfield"},
+		loopir.Read("FLX", loopir.V("f")),
+		loopir.Store("FLX", loopir.V("f")),
+	)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), floStencil(n), flux))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func buildFLOKernel(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 144)
+	steps := pick(s, 1, 4)
+	p := loopir.NewProgram("FLO-kernel")
+	p.DeclareArray("P", n, n)
+	p.DeclareArray("PN", n, n)
+	p.Add(loopir.Driver("t", loopir.C(0), loopir.C(steps-1), floStencil(n)))
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import "softcache/internal/loopir"
+
+func init() {
+	register(Definition{
+		Name:        "Slalom",
+		Description: "Slalom-style dense LU factorisation (right-looking, no pivoting)",
+		Build:       buildSlalom,
+	})
+}
+
+// buildSlalom models the LU solver at the heart of the Slalom benchmark:
+//
+//	DO k = 0,N-2
+//	  DO j = k+1,N-1
+//	    DO i = k+1,N-1
+//	      A(i,j) = A(i,j) - A(i,k) * A(k,j)
+//
+// The triangular nest exercises affine bounds in enclosing loop variables.
+// The analyser tags A(i,j) spatial (unit innermost stride, via the group
+// dependence also temporal), A(i,k) temporal+spatial (j absent), A(k,j)
+// temporal (i absent, innermost-invariant). The matrix is several times
+// the 8 KiB cache, so pollution limits the temporal reuse — the pattern
+// blocked algorithms (§4.2) attack.
+func buildSlalom(s Scale) (*loopir.Program, error) {
+	n := pick(s, 48, 104)
+	p := loopir.NewProgram("Slalom")
+	p.DeclareArray("A", n, n)
+	p.DeclareArray("B", n)
+
+	i, j, k := loopir.V("i"), loopir.V("j"), loopir.V("k")
+
+	factor := loopir.Do("k", loopir.C(0), loopir.C(n-2),
+		loopir.Do("j", loopir.Plus(k, 1), loopir.C(n-1),
+			loopir.Do("i", loopir.Plus(k, 1), loopir.C(n-1),
+				loopir.Read("A", i, j),
+				loopir.Read("A", i, k),
+				loopir.Read("A", k, j),
+				loopir.Store("A", i, j),
+			),
+		),
+	)
+
+	// Forward substitution sweep: B(i) -= A(i,k)*B(k).
+	solve := loopir.Do("k2", loopir.C(0), loopir.C(n-2),
+		loopir.Do("i2", loopir.Plus(loopir.V("k2"), 1), loopir.C(n-1),
+			loopir.Read("A", loopir.V("i2"), loopir.V("k2")),
+			loopir.Read("B", loopir.V("k2")),
+			loopir.Read("B", loopir.V("i2")),
+			loopir.Store("B", loopir.V("i2")),
+		),
+	)
+
+	p.Add(factor, solve)
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
