@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func writeLoop(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.loop")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFig5Deps: the §2.2/fig. 5 loop's dependence groups and tags — the
+// internal/locality Example, surfaced on the command line.
+func TestFig5Deps(t *testing.T) {
+	path := writeLoop(t, `
+program fig5
+array A(100, 100)
+array B(100, 101)
+array X(100)
+array Y(100)
+do i = 0, 99
+  do j = 0, 99
+    load Y(i)
+    load A(i, j)
+    load B(j, i)
+    load B(j, i + 1)
+    load X(j)
+    store Y(i)
+  end
+end
+`)
+	out, errb, code := runTool(t, "-source", path, "-deps")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{
+		// The exact tags of the locality Example.
+		"load Y(i)#1              temporal=true  spatial=true",
+		"load A(i,j)#2            temporal=false spatial=false",
+		"load B(j,i)#3            temporal=true  spatial=false",
+		"load B(j,i+1)#4          temporal=true  spatial=true",
+		"load X(j)#5              temporal=true  spatial=true",
+		"store Y(i)#6             temporal=true  spatial=true",
+		// The two uniformly generated groups and their leaders.
+		"uniformly generated groups (2)",
+		"B shape", "(leader load B(j,i+1)#4)",
+		"Y shape", "(leader load Y(i)#1)",
+		// The B group's carried dependence and the stride warning on A.
+		"load B(j,i+1)#4 -> load B(j,i)#3",
+		"stride 100 elements",
+		"interchanging DO i inward",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestInterchangeFlagged: flipping the MV loop order gets the advisory.
+func TestInterchangeFlagged(t *testing.T) {
+	path := writeLoop(t, `
+program mv_flipped
+array A(96, 96)
+array X(96)
+array Y(96)
+do j2 = 0, 95
+  do j1 = 0, 95
+    load A(j2, j1)
+  end
+end
+`)
+	out, _, code := runTool(t, "-source", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "interchanging DO j2 inward would make this reference stride-1") {
+		t.Fatalf("no interchange advisory:\n%s", out)
+	}
+}
+
+// TestErrorExit: error-severity findings (a provable out-of-bounds
+// subscript) make the tool exit nonzero.
+func TestErrorExit(t *testing.T) {
+	path := writeLoop(t, `
+program oob
+array A(10)
+do i = 0, 10
+  load A(i)
+end
+`)
+	out, _, code := runTool(t, "-source", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "error [bounds]") {
+		t.Fatalf("no bounds error in output:\n%s", out)
+	}
+}
+
+// TestWarningsDoNotFail: stencil-style call poisoning is a warning only.
+func TestWarningsDoNotFail(t *testing.T) {
+	path := writeLoop(t, `
+program warned
+array X(100)
+do i = 0, 99
+  do j = 0, 99
+    load X(j)
+    call helper
+  end
+end
+`)
+	out, _, code := runTool(t, "-source", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "warning [callpoison]") {
+		t.Fatalf("no callpoison warning:\n%s", out)
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable result with the audit.
+func TestJSONOutput(t *testing.T) {
+	out, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-audit", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	var res struct {
+		Program  string `json:"program"`
+		Findings []struct {
+			Pass     string `json:"pass"`
+			Severity string `json:"severity"`
+		} `json:"findings"`
+		Audit *struct {
+			Temporal struct {
+				Precision float64 `json:"precision"`
+			} `json:"temporal"`
+			Spatial struct {
+				Precision float64 `json:"precision"`
+			} `json:"spatial"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.Program != "MV" {
+		t.Fatalf("program = %q", res.Program)
+	}
+	if res.Audit == nil {
+		t.Fatal("no audit in JSON")
+	}
+	if res.Audit.Temporal.Precision < 0.9 || res.Audit.Spatial.Precision < 0.9 {
+		t.Fatalf("MV precision below 0.9: %+v", res.Audit)
+	}
+}
+
+// TestAllWorkloads: -workload all vets the nine benchmarks and prints the
+// audit summary table.
+func TestAllWorkloads(t *testing.T) {
+	out, errb, code := runTool(t, "-workload", "all", "-scale", "test", "-audit")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, name := range []string{"MDG", "BDN", "DYF", "TRF", "NAS", "Slalom", "LIV", "MV", "SpMV"} {
+		if !strings.Contains(out, "== "+name+" ==") {
+			t.Fatalf("workload %s missing:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "tag-precision audit: all workloads") {
+		t.Fatalf("no summary table:\n%s", out)
+	}
+}
+
+// TestPassesListing: -passes documents the registry.
+func TestPassesListing(t *testing.T) {
+	out, _, code := runTool(t, "-passes")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, p := range []string{"bounds", "deadstore", "stride", "callpoison", "indirect", "tagaudit"} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("pass %s missing from listing:\n%s", p, out)
+		}
+	}
+}
+
+// TestUsageErrors: bad flag combinations exit 2.
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runTool(t); code != 2 {
+		t.Fatalf("no input: exit %d, want 2", code)
+	}
+	if _, _, code := runTool(t, "-workload", "MV", "-source", "x.loop"); code != 2 {
+		t.Fatalf("both inputs: exit %d, want 2", code)
+	}
+	if _, _, code := runTool(t, "-workload", "MV", "-scale", "huge"); code != 2 {
+		t.Fatalf("bad scale: exit %d, want 2", code)
+	}
+}

@@ -13,7 +13,7 @@ var sharedCtx = NewContext(workloads.ScaleTest, 1)
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"1a", "1b", "3a", "3b", "3c", "4a", "4b", "6a", "6b",
 		"7a", "7b", "8a", "8b", "9a", "9b", "10a", "10b", "11a", "11b", "12",
-		"12sw", "related", "issue", "ablations", "summary"}
+		"12sw", "related", "issue", "ablations", "summary", "tag-audit"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)

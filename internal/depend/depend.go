@@ -1,0 +1,636 @@
+// Package depend builds an explicit data-dependence representation over a
+// loopir.Program, making the structure the paper's §2.3 locality analysis
+// exploits — uniformly generated sets and the self/group dependences inside
+// them — a first-class, queryable artifact instead of logic inlined in the
+// tagger.
+//
+// The model is deliberately *elementary*, matching the paper's central
+// claim that elementary techniques suffice:
+//
+//   - every access site is linearised to Const + Σ Coef_i*Var_i (+ an
+//     opaque indirect component);
+//   - two sites in the same loop body referencing the same array with
+//     identical affine terms form a *uniformly generated* pair: their
+//     address streams differ by a compile-time constant;
+//   - a *self* dependence arises when some enclosing loop variable is
+//     absent from a subscript's bounds closure (the same elements are
+//     revisited on every iteration of that loop — temporal), or when the
+//     innermost stride is a small known constant (successive iterations
+//     touch neighbouring elements — spatial);
+//   - a *group* dependence connects two uniformly generated sites; when
+//     the constant difference is attributable to a whole number of
+//     iterations of one enclosing loop it is temporal (the same elements
+//     are retouched that many iterations later, the carrying loop), and
+//     when it is not attributable but smaller than a virtual line it is
+//     spatial (distinct but adjacent elements).
+//
+// What the elementary model gives up — coupled subscripts, dependences
+// carried by combinations of loops, symbolic distances — is exactly where
+// the paper falls back to user directives (§4.1); package vet reports that
+// boundary instead of silently dropping it.
+//
+// Package locality derives the temporal/spatial tags from this graph, and
+// package vet uses it for its diagnostics passes.
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softcache/internal/loopir"
+)
+
+// SpatialMaxCoef is the paper's elementary spatial threshold: an innermost
+// stride smaller than this many elements (4 doubles = one 32-byte line)
+// counts as spatial locality. It also bounds the constant difference at
+// which an unattributable group dependence still counts as spatial reuse.
+const SpatialMaxCoef = 4
+
+// Class says what kind of reuse a dependence carries.
+type Class int
+
+const (
+	// Temporal dependences retouch the *same* elements.
+	Temporal Class = iota
+	// Spatial dependences touch distinct but neighbouring elements.
+	Spatial
+)
+
+func (c Class) String() string {
+	if c == Spatial {
+		return "spatial"
+	}
+	return "temporal"
+}
+
+// Kind is the classic dependence taxonomy, derived from the read/write
+// direction of the two endpoints.
+type Kind int
+
+const (
+	// Input: read after read.
+	Input Kind = iota
+	// Flow: read after write (true dependence).
+	Flow
+	// Anti: write after read.
+	Anti
+	// Output: write after write.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	default:
+		return "input"
+	}
+}
+
+// Ref is one analysed static reference site.
+type Ref struct {
+	// Access is the underlying IR site (Access.ID is the stable key).
+	Access *loopir.Access
+	// Lin is the linearised (element-index) subscript.
+	Lin loopir.Subscript
+	// Loops is the enclosing non-opaque loop stack, outermost first.
+	// Opaque driver loops are excluded, as in the paper's per-subroutine
+	// analysis.
+	Loops []*loopir.Loop
+	// Body identifies the statement list the access appears in; group
+	// dependences are only formed between refs of the same body.
+	Body int
+	// Poisoned is true when a CALL appears anywhere under the innermost
+	// enclosing loop: the paper's no-interprocedural-analysis rule erases
+	// the tags of such references.
+	Poisoned bool
+	// Indirect is true when the linearised subscript contains an indirect
+	// (data-dependent) component, which defeats affine analysis.
+	Indirect bool
+
+	group    *Group
+	selfDeps []*Dep
+	deps     []*Dep // group edges incident to this ref (either endpoint)
+}
+
+// Depth returns the number of enclosing (non-opaque) loops.
+func (r *Ref) Depth() int { return len(r.Loops) }
+
+// Innermost returns the innermost enclosing non-opaque loop, or nil.
+func (r *Ref) Innermost() *loopir.Loop {
+	if len(r.Loops) == 0 {
+		return nil
+	}
+	return r.Loops[len(r.Loops)-1]
+}
+
+// InnermostCoef returns the coefficient of the innermost loop variable in
+// the linearised subscript — the quantity the paper's spatial rule
+// thresholds. known is false when there is no enclosing loop or the
+// subscript is indirect (the coefficient is not a compile-time constant).
+func (r *Ref) InnermostCoef() (coef int, known bool) {
+	in := r.Innermost()
+	if in == nil || r.Indirect {
+		return 0, false
+	}
+	return r.Lin.Coef(in.Var), true
+}
+
+// InnermostStride returns the element distance between successive
+// innermost iterations (coefficient times loop step). known is false when
+// there is no enclosing loop or the subscript is indirect.
+func (r *Ref) InnermostStride() (stride int, known bool) {
+	coef, known := r.InnermostCoef()
+	if !known {
+		return 0, false
+	}
+	return coef * loopStep(r.Innermost()), true
+}
+
+// SelfDeps returns the self-dependences of the reference (temporal one per
+// invariant enclosing loop, spatial at the innermost loop).
+func (r *Ref) SelfDeps() []*Dep { return r.selfDeps }
+
+// GroupDeps returns the group dependences incident to the reference.
+func (r *Ref) GroupDeps() []*Dep { return r.deps }
+
+// Group returns the uniformly generated group the reference belongs to, or
+// nil (indirect subscripts and singleton shapes have no group).
+func (r *Ref) Group() *Group { return r.group }
+
+// String renders the site compactly, e.g. "load A(j2,j1)#3".
+func (r *Ref) String() string {
+	op := "load"
+	if r.Access.Write {
+		op = "store"
+	}
+	subs := make([]string, len(r.Access.Index))
+	for i, s := range r.Access.Index {
+		subs[i] = s.String()
+	}
+	return fmt.Sprintf("%s %s(%s)#%d", op, r.Access.Array, strings.Join(subs, ","), r.Access.ID)
+}
+
+// Group is a uniformly generated set: two or more references to the same
+// array, in the same loop body, whose linearised subscripts share the same
+// affine terms and differ only by compile-time constants.
+type Group struct {
+	Array string
+	// Shape is the canonical affine-terms key (array + sorted var*coef).
+	Shape string
+	// Body is the statement-list scope shared by the members.
+	Body int
+	// Refs are the members in program order.
+	Refs []*Ref
+}
+
+// Leader returns the member with the largest constant — under forward
+// traversal the first to touch new data, hence the one that keeps the
+// spatial tag in the paper's fig. 5 (B(J,I+1) leads B(J,I)).
+func (g *Group) Leader() *Ref {
+	lead := g.Refs[0]
+	for _, r := range g.Refs[1:] {
+		if r.Lin.Const > lead.Lin.Const {
+			lead = r
+		}
+	}
+	return lead
+}
+
+// Dep is one dependence edge. For self dependences Src == Dst.
+type Dep struct {
+	// Src touches an element (or line) first in time; Dst retouches it.
+	Src, Dst *Ref
+	// Class says whether the reuse is of the same elements (temporal) or
+	// of neighbouring elements (spatial).
+	Class Class
+	// Kind is the read/write taxonomy (flow, anti, output, input).
+	Kind Kind
+	// Distance is the element distance Src.Lin.Const - Dst.Lin.Const for
+	// group edges (how far ahead in memory the source runs), the innermost
+	// stride for self-spatial edges, and 0 for self-temporal edges.
+	Distance int
+	// Carrier is the loop whose iterations realise the reuse; nil for
+	// loop-independent dependences (same iteration).
+	Carrier *loopir.Loop
+	// Level is the 1-based depth of Carrier in the shared loop stack
+	// (1 = outermost); 0 means loop-independent; -1 means the constant
+	// difference is not attributable to any single enclosing loop
+	// (the boundary of the elementary analysis).
+	Level int
+	// IterDist is the number of Carrier iterations between the two
+	// touches (1 for self dependences, Distance/Coef for attributed group
+	// dependences, 0 otherwise).
+	IterDist int
+	// Vector is the iteration-distance vector over the shared loop stack
+	// (outermost first): all zeros for loop-independent edges, IterDist at
+	// the carrier position for attributed edges, nil when unattributable.
+	Vector []int
+}
+
+// Self reports whether the edge is a self dependence.
+func (d *Dep) Self() bool { return d.Src == d.Dst }
+
+// String renders the edge, e.g.
+// "temporal group dep B(j,i+1)#4 -> B(j,i)#3 carried by DO i (level 1, distance 1 iter)".
+func (d *Dep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ", d.Class)
+	if d.Self() {
+		fmt.Fprintf(&b, "self dep %s", d.Src)
+	} else {
+		fmt.Fprintf(&b, "%s group dep %s -> %s", d.Kind, d.Src, d.Dst)
+	}
+	switch {
+	case d.Level > 0:
+		fmt.Fprintf(&b, " carried by DO %s (level %d, %d iter)", d.Carrier.Var, d.Level, d.IterDist)
+	case d.Level == 0:
+		b.WriteString(" (loop-independent)")
+	default:
+		fmt.Fprintf(&b, " (unattributable constant %d)", d.Distance)
+	}
+	return b.String()
+}
+
+// Graph is the dependence representation of one program.
+type Graph struct {
+	Prog   *loopir.Program
+	Refs   []*Ref   // program order
+	Groups []*Group // discovery order
+	Deps   []*Dep   // all group edges
+	byID   map[int]*Ref
+}
+
+// RefByID returns the analysed reference for an access ID (nil if unknown).
+func (g *Graph) RefByID(id int) *Ref { return g.byID[id] }
+
+// Analyze builds the dependence graph. The program must finalize cleanly
+// (Analyze finalizes it as a side effect).
+func Analyze(p *loopir.Program) (*Graph, error) {
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Prog: p, byID: make(map[int]*Ref)}
+	w := &walker{p: p, g: g}
+	if err := w.walk(p.Body, nil); err != nil {
+		return nil, err
+	}
+	for _, grp := range g.Groups {
+		g.connect(grp)
+	}
+	return g, nil
+}
+
+type walker struct {
+	p      *loopir.Program
+	g      *Graph
+	bodies int
+}
+
+// walk mirrors the traversal the tagger used: accesses directly in one
+// statement list share a body scope; opaque driver loops do not extend the
+// loop stack.
+func (w *walker) walk(body []loopir.Stmt, loops []*loopir.Loop) error {
+	bodyID := w.bodies
+	w.bodies++
+	poisoned := len(loops) > 0 && subtreeHasCall(loops[len(loops)-1].Body)
+
+	var refs []*Ref
+	for _, st := range body {
+		acc, ok := st.(*loopir.Access)
+		if !ok {
+			continue
+		}
+		lin, err := w.p.LinearSubscript(acc)
+		if err != nil {
+			return fmt.Errorf("depend: %w", err)
+		}
+		r := &Ref{
+			Access:   acc,
+			Lin:      lin,
+			Loops:    loops,
+			Body:     bodyID,
+			Poisoned: poisoned,
+			Indirect: lin.HasIndirect(),
+		}
+		w.g.Refs = append(w.g.Refs, r)
+		w.g.byID[acc.ID] = r
+		refs = append(refs, r)
+	}
+	w.groupRefs(refs, bodyID)
+	for _, r := range refs {
+		w.selfDeps(r)
+	}
+
+	for _, st := range body {
+		if l, ok := st.(*loopir.Loop); ok {
+			next := loops
+			if !l.Opaque {
+				// Full-slice expression: sibling loops must not alias
+				// the same backing array when extending the stack.
+				next = append(loops[:len(loops):len(loops)], l)
+			}
+			if err := w.walk(l.Body, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// groupRefs partitions one body's references into uniformly generated
+// groups (same array, same affine shape, no indirection).
+func (w *walker) groupRefs(refs []*Ref, bodyID int) {
+	byShape := make(map[string]*Group)
+	for _, r := range refs {
+		if r.Indirect {
+			continue
+		}
+		key := ShapeKey(r.Access.Array, r.Lin)
+		grp := byShape[key]
+		if grp == nil {
+			grp = &Group{Array: r.Access.Array, Shape: key, Body: bodyID}
+			byShape[key] = grp
+		}
+		grp.Refs = append(grp.Refs, r)
+	}
+	// Keep only genuine groups (two or more members), in program order.
+	var keys []string
+	for k, grp := range byShape {
+		if len(grp.Refs) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		grp := byShape[k]
+		for _, r := range grp.Refs {
+			r.group = grp
+		}
+		w.g.Groups = append(w.g.Groups, grp)
+	}
+}
+
+// selfDeps attaches the reference's self dependences: one temporal edge
+// per enclosing loop outside the subscript's bounds closure, plus one
+// spatial edge at the innermost loop when the stride is small and nonzero.
+func (w *walker) selfDeps(r *Ref) {
+	if r.Indirect || len(r.Loops) == 0 {
+		return
+	}
+	closure := boundsClosure(r.Lin, r.Loops)
+	for i, l := range r.Loops {
+		if closure[l.Var] {
+			continue
+		}
+		r.selfDeps = append(r.selfDeps, &Dep{
+			Src: r, Dst: r,
+			Class:    Temporal,
+			Kind:     kindOf(r.Access.Write, r.Access.Write),
+			Carrier:  l,
+			Level:    i + 1,
+			IterDist: 1,
+			Vector:   unitVector(len(r.Loops), i, 1),
+		})
+	}
+	// The spatial threshold matches the tagger's: it is the *coefficient*
+	// (not the step-scaled stride) the paper's rule bounds.
+	if coef, known := r.InnermostCoef(); known && coef != 0 && abs(coef) < SpatialMaxCoef {
+		stride, _ := r.InnermostStride()
+		r.selfDeps = append(r.selfDeps, &Dep{
+			Src: r, Dst: r,
+			Class:    Spatial,
+			Kind:     kindOf(r.Access.Write, r.Access.Write),
+			Distance: stride,
+			Carrier:  r.Innermost(),
+			Level:    len(r.Loops),
+			IterDist: 1,
+			Vector:   unitVector(len(r.Loops), len(r.Loops)-1, 1),
+		})
+	}
+}
+
+// connect builds the pairwise group edges of one uniformly generated set.
+func (g *Graph) connect(grp *Group) {
+	for i, a := range grp.Refs {
+		for _, b := range grp.Refs[i+1:] {
+			d := groupEdge(a, b)
+			if d == nil {
+				continue
+			}
+			g.Deps = append(g.Deps, d)
+			d.Src.deps = append(d.Src.deps, d)
+			if d.Dst != d.Src {
+				d.Dst.deps = append(d.Dst.deps, d)
+			}
+		}
+	}
+}
+
+// groupEdge classifies the dependence between two uniformly generated
+// references. a precedes b in program order.
+func groupEdge(a, b *Ref) *Dep {
+	c := a.Lin.Const - b.Lin.Const
+	if c == 0 {
+		// Loop-independent: the same element in the same iteration; the
+		// program-order-earlier reference is the source.
+		return &Dep{
+			Src: a, Dst: b,
+			Class:  Temporal,
+			Kind:   kindOf(a.Access.Write, b.Access.Write),
+			Level:  0,
+			Vector: make([]int, len(a.Loops)),
+		}
+	}
+	// The member with the larger constant runs ahead in memory under
+	// forward (positive-step) traversal: it is the source whose data the
+	// trailing member retouches.
+	src, dst := a, b
+	if c < 0 {
+		src, dst, c = b, a, -c
+	}
+	d := &Dep{
+		Src: src, Dst: dst,
+		Class:    Temporal,
+		Kind:     kindOf(src.Access.Write, dst.Access.Write),
+		Distance: c,
+		Level:    -1,
+	}
+	if carrierIdx, iters, ok := attribute(c, src.Lin, src.Loops); ok {
+		d.Carrier = src.Loops[carrierIdx]
+		d.Level = carrierIdx + 1
+		d.IterDist = iters
+		d.Vector = unitVector(len(src.Loops), carrierIdx, iters)
+		return d
+	}
+	// Not a whole number of iterations of any single loop: the elements
+	// never coincide; if the constant is within a virtual line the pair
+	// still shares lines — spatial group reuse (A(2i) vs A(2i+1)).
+	if c < SpatialMaxCoef {
+		d.Class = Spatial
+	}
+	return d
+}
+
+// attribute finds the enclosing loop whose iterations explain an element
+// distance c: its effective per-iteration stride must divide c, and when
+// the trip count is a compile-time constant the iteration distance must
+// fit inside it. Among candidates the smallest iteration distance wins
+// (ties to the outermost loop), matching the intuition that reuse is
+// realised at the earliest opportunity.
+func attribute(c int, lin loopir.Subscript, loops []*loopir.Loop) (idx, iters int, ok bool) {
+	best := -1
+	bestIters := 0
+	for i, l := range loops {
+		stride := lin.Coef(l.Var) * loopStep(l)
+		if stride == 0 || c%stride != 0 {
+			continue
+		}
+		n := c / stride
+		if n < 0 {
+			// Reuse would require iterating backwards; positive-step
+			// loops cannot realise it.
+			continue
+		}
+		if trip, known := tripCount(l); known && n >= trip {
+			continue
+		}
+		if best < 0 || n < bestIters {
+			best, bestIters = i, n
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestIters, true
+}
+
+// tripCount returns the loop's iteration count when both bounds are
+// compile-time constants.
+func tripCount(l *loopir.Loop) (int, bool) {
+	if len(l.Lower.Terms) > 0 || l.Lower.Ind != nil || len(l.Upper.Terms) > 0 || l.Upper.Ind != nil {
+		return 0, false
+	}
+	span := l.Upper.Const - l.Lower.Const
+	if span < 0 {
+		return 0, true
+	}
+	return span/loopStep(l) + 1, true
+}
+
+// boundsClosure returns the set of loop variables the subscript's value
+// range depends on: the variables appearing in the subscript itself plus,
+// transitively, the variables appearing in the bounds of those loops.
+// A variable *outside* this closure iterates without changing the set of
+// elements touched — genuine temporal reuse.
+func boundsClosure(lin loopir.Subscript, loops []*loopir.Loop) map[string]bool {
+	closure := make(map[string]bool, len(loops))
+	for _, t := range lin.Terms {
+		closure[t.Var] = true
+	}
+	// Iterate to a fixed point (the stack is tiny).
+	for changed := true; changed; {
+		changed = false
+		for _, l := range loops {
+			if !closure[l.Var] {
+				continue
+			}
+			for _, v := range boundVars(l) {
+				if !closure[v] {
+					closure[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// boundVars lists the loop variables appearing in l's bounds, including
+// inside indirect bound components (data-dependent bounds such as CSR row
+// pointers depend on the indexing variable).
+func boundVars(l *loopir.Loop) []string {
+	var out []string
+	collect := func(s loopir.Subscript) {
+		for _, t := range s.Terms {
+			out = append(out, t.Var)
+		}
+		if s.Ind != nil {
+			for _, t := range s.Ind.Sub.Terms {
+				out = append(out, t.Var)
+			}
+		}
+	}
+	collect(l.Lower)
+	collect(l.Upper)
+	return out
+}
+
+// subtreeHasCall reports whether a CALL appears anywhere below body.
+func subtreeHasCall(body []loopir.Stmt) bool {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *loopir.Call:
+			return true
+		case *loopir.Loop:
+			if subtreeHasCall(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ShapeKey builds a canonical key identifying (array, affine shape); two
+// references with equal keys in the same body are uniformly generated.
+func ShapeKey(array string, lin loopir.Subscript) string {
+	var b strings.Builder
+	b.WriteString(array)
+	terms := append([]loopir.Term(nil), lin.Terms...)
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "|%s*%d", t.Var, t.Coef)
+	}
+	return b.String()
+}
+
+func kindOf(srcWrite, dstWrite bool) Kind {
+	switch {
+	case srcWrite && dstWrite:
+		return Output
+	case srcWrite:
+		return Flow
+	case dstWrite:
+		return Anti
+	default:
+		return Input
+	}
+}
+
+func unitVector(n, idx, v int) []int {
+	out := make([]int, n)
+	out[idx] = v
+	return out
+}
+
+func loopStep(l *loopir.Loop) int {
+	if l.Step == 0 {
+		return 1
+	}
+	return l.Step
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

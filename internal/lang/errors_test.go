@@ -1,0 +1,163 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"softcache/internal/loopir"
+)
+
+// TestParseErrorLines pins the exact source line each diagnostic points
+// at: a message without a usable location is half a diagnostic.
+func TestParseErrorLines(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine string // the "line N:" prefix the error must carry
+		wantMsg  string
+	}{
+		{
+			"bad lower bound",
+			"program p\narray A(4)\ndo i = , 3\nload A(i)\nend\n",
+			"line 3:", "expected a subscript term",
+		},
+		{
+			"missing comma in bounds",
+			"program p\narray A(4)\ndo i = 0 3\nload A(i)\nend\n",
+			"line 3:", "expected ','",
+		},
+		{
+			"bad step",
+			"program p\narray A(9)\ndo i = 0, 8 step x\nload A(i)\nend\n",
+			"line 3:", "expected number",
+		},
+		{
+			"unterminated loop",
+			"program p\narray A(4)\ndo i = 0, 3\nload A(i)\n",
+			"line 5:", "missing 'end'",
+		},
+		{
+			"unterminated nested loop",
+			"program p\narray A(4)\ndo i = 0, 3\ndo j = 0, 3\nload A(j)\nend\n",
+			"line 7:", "missing 'end'",
+		},
+		{
+			"malformed tags directive",
+			"program p\narray A(4)\ndo i = 0, 3\nload A(i) tags(fast)\nend\n",
+			"line 4:", "unknown tag",
+		},
+		{
+			"unclosed tags directive",
+			"program p\narray A(4)\ndo i = 0, 3\nload A(i) tags(temporal\nend\n",
+			"line 4:", "expected ',' or ')' in tags directive",
+		},
+		{
+			"number too large",
+			"program p\narray A(99999999999999999999)\n",
+			"line 2:", "too large",
+		},
+		{
+			"random count too large",
+			"program p\ndata D = random(0, 9, 2000000)\n",
+			"line 2:", "random count",
+		},
+		{
+			"indirect nesting too deep",
+			"program p\narray A(4)\ndata D = [0]\ndo i = 0, 3\nload A(" +
+				strings.Repeat("D[", 200) + "i" + strings.Repeat("]", 200) + ")\nend\n",
+			"line 5:", "nested too deeply",
+		},
+		{
+			"loop nesting too deep",
+			"program p\n" + strings.Repeat("do i = 0, 3\n", 200),
+			"line 102:", "nested too deeply",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			msg := err.Error()
+			if !strings.HasPrefix(msg, tc.wantLine) {
+				t.Errorf("error %q does not point at %q", msg, tc.wantLine)
+			}
+			if !strings.Contains(msg, tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", msg, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestMinusChainFolds: unary minus chains fold without recursion and with
+// correct parity.
+func TestMinusChainFolds(t *testing.T) {
+	p := MustParse("program p\narray A(10)\ndo i = 0, ----9\nload A(--i)\nend\n")
+	loop := p.Body[0].(*loopir.Loop)
+	if loop.Upper.Const != 9 {
+		t.Errorf("----9 folded to %d, want 9", loop.Upper.Const)
+	}
+	acc := loop.Body[0].(*loopir.Access)
+	if acc.Index[0].Coef("i") != 1 {
+		t.Errorf("--i folded to coefficient %d, want 1", acc.Index[0].Coef("i"))
+	}
+	if _, err := Parse("program p\narray A(10)\ndo i = " + strings.Repeat("-", 100000) + "1, 3\nload A(i)\nend\n"); err != nil {
+		t.Errorf("long minus chain should parse iteratively: %v", err)
+	}
+}
+
+// TestPositions: every parsed statement carries the line/column of its
+// keyword, and positions never leak into the printed program (Print
+// round-trips a position-free rebuild identically).
+func TestPositions(t *testing.T) {
+	src := "program p\narray A(16)\ndriver t = 0, 1\n  do i = 0, 3\n    load A(i)\n    store A(i) tags(none)\n    prefetch A(i + 4)\n    call f\n  end\nend\n"
+	p := MustParse(src)
+	drv := p.Body[0].(*loopir.Loop)
+	if drv.Pos != (loopir.Pos{Line: 3, Col: 1}) {
+		t.Errorf("driver pos = %v, want 3:1", drv.Pos)
+	}
+	loop := drv.Body[0].(*loopir.Loop)
+	if loop.Pos != (loopir.Pos{Line: 4, Col: 3}) {
+		t.Errorf("do pos = %v, want 4:3", loop.Pos)
+	}
+	wants := []loopir.Pos{{Line: 5, Col: 5}, {Line: 6, Col: 5}, {Line: 7, Col: 5}, {Line: 8, Col: 5}}
+	for i, st := range loop.Body {
+		var got loopir.Pos
+		switch s := st.(type) {
+		case *loopir.Access:
+			got = s.Pos
+		case *loopir.Prefetch:
+			got = s.Pos
+		case *loopir.Call:
+			got = s.Pos
+		}
+		if got != wants[i] {
+			t.Errorf("stmt %d pos = %v, want %v", i, got, wants[i])
+		}
+	}
+	if !drv.Pos.IsValid() || (loopir.Pos{}).IsValid() {
+		t.Error("Pos.IsValid broken")
+	}
+	if (loopir.Pos{}).String() != "-" || drv.Pos.String() != "3:1" {
+		t.Error("Pos.String broken")
+	}
+
+	// Rebuild the same program without positions: identical printing.
+	q := loopir.NewProgram("p")
+	q.DeclareArray("A", 16)
+	q.Add(loopir.Driver("t", loopir.C(0), loopir.C(1),
+		loopir.Do("i", loopir.C(0), loopir.C(3),
+			loopir.Read("A", loopir.V("i")),
+			loopir.Store("A", loopir.V("i")).WithTags(false, false),
+			loopir.PrefetchOf("A", loopir.Plus(loopir.V("i"), 4)),
+			&loopir.Call{Name: "f"},
+		),
+	))
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != q.String() {
+		t.Errorf("positions leak into printing:\nparsed:\n%s\nrebuilt:\n%s", p, q)
+	}
+}

@@ -1,0 +1,67 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the DSL front end: it must never
+// panic, and any program it accepts must survive the rest of the pipeline
+// entry points — finalization (done inside Parse) and printing.
+func FuzzParse(f *testing.F) {
+	f.Add(`
+program mv
+array A(768, 768)
+array X(768)
+array Y(768)
+do j1 = 0, 766
+  load Y(j1)
+  do j2 = 0, 766
+    load A(j2, j1)
+    load X(j2)
+  end
+  store Y(j1)
+end
+`)
+	f.Add(`
+program spmv
+array X(40)
+index Idx = random(0, 40, 300) seed 7
+data Row = [0, 100, 200, 300]
+driver t = 0, 2
+  do i = 0, 2
+    do j = Row[i], Row[i + 1] - 1 step 2
+      load Idx(j)
+      load X(Idx[j]) tags(temporal)
+    end
+  end
+end
+`)
+	f.Add("program p\narray A(9)\ndo i = 0, 8\nprefetch A(i + 4)\ncall f\nend\n")
+	f.Add("program p\ndo i = 0, ----9\nend\n")
+	f.Add("program p\narray A(2)\nload A(1 + 2*x)\n")
+	f.Add("program p\ndata D = random(0, 5, 10)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			// Rejections must be real diagnostics: lex/parse errors carry a
+			// 1-based line number ("line N: ..."); semantic errors from
+			// finalization are program-level and carry none.
+			msg := err.Error()
+			if msg == "" {
+				t.Fatal("empty error message")
+			}
+			if strings.HasPrefix(msg, "line ") && strings.HasPrefix(msg, "line 0") {
+				t.Fatalf("diagnostic with invalid line number: %q", msg)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil program with nil error")
+		}
+		// An accepted program prints without panicking and non-emptily.
+		if out := p.String(); !strings.HasPrefix(out, "PROGRAM ") {
+			t.Fatalf("printed program lacks header:\n%s", out)
+		}
+	})
+}

@@ -82,23 +82,32 @@ func (k tokKind) String() string {
 	}
 }
 
-// token is one lexical unit with its source line for error reporting.
+// token is one lexical unit with its source line and column (1-based) for
+// error reporting and for the positions threaded into the IR.
 type token struct {
 	kind tokKind
 	text string
 	num  int
 	line int
+	col  int
 }
+
+// maxNumber bounds numeric literals: large enough for any dimension, seed
+// or bound the DSL meaningfully uses, small enough that sums and products
+// of a few literals cannot overflow int64 (wrapping silently would turn a
+// typo into a bogus program instead of an error).
+const maxNumber = 1 << 31
 
 // lex splits src into tokens. Newlines are significant (statements are
 // line-oriented); consecutive blank lines collapse.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // rune index of the current line's first rune
 	i := 0
 	runes := []rune(src)
 	emit := func(k tokKind, text string, num int) {
-		toks = append(toks, token{kind: k, text: text, num: num, line: line})
+		toks = append(toks, token{kind: k, text: text, num: num, line: line, col: i - lineStart + 1})
 	}
 	for i < len(runes) {
 		c := runes[i]
@@ -109,6 +118,7 @@ func lex(src string) ([]token, error) {
 			}
 			line++
 			i++
+			lineStart = i
 		case c == '#' || c == '!':
 			for i < len(runes) && runes[i] != '\n' {
 				i++
@@ -150,6 +160,9 @@ func lex(src string) ([]token, error) {
 			n := 0
 			for _, d := range runes[i:j] {
 				n = n*10 + int(d-'0')
+				if n > maxNumber {
+					return nil, fmt.Errorf("line %d: number %q too large (max %d)", line, string(runes[i:j]), maxNumber)
+				}
 			}
 			emit(tokNumber, string(runes[i:j]), n)
 			i = j

@@ -29,6 +29,27 @@ type parser struct {
 	toks []token
 	pos  int
 	prog *loopir.Program
+	// depth tracks recursive nesting (loops and indirect subscripts) so
+	// adversarial input exhausts a budget, not the goroutine stack.
+	depth int
+}
+
+// Nesting and size limits: far beyond anything a loop-nest kernel needs,
+// tight enough that hostile input fails with an error instead of a stack
+// overflow or a multi-gigabyte allocation.
+const (
+	maxNestDepth   = 100
+	maxRandomCount = 1 << 20
+)
+
+// enter charges one level of nesting; the returned func releases it.
+func (p *parser) enter(t token, what string) (func(), error) {
+	p.depth++
+	if p.depth > maxNestDepth {
+		p.depth--
+		return nil, p.errf(t, "%s nested too deeply (max %d levels)", what, maxNestDepth)
+	}
+	return func() { p.depth-- }, nil
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -42,6 +63,9 @@ func (p *parser) skipNL() {
 func (p *parser) errf(t token, format string, args ...interface{}) error {
 	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
 }
+
+// pos converts a token's source location into an IR position.
+func pos(t token) loopir.Pos { return loopir.Pos{Line: t.line, Col: t.col} }
 
 func (p *parser) expect(k tokKind) (token, error) {
 	t := p.next()
@@ -142,7 +166,7 @@ func (p *parser) parseBody(nested bool) ([]loopir.Stmt, error) {
 			if err := p.endOfLine(); err != nil {
 				return nil, err
 			}
-			out = append(out, &loopir.Call{Name: nm.text})
+			out = append(out, &loopir.Call{Name: nm.text, Pos: pos(t)})
 		default:
 			return nil, p.errf(t, "unexpected %q (want a declaration, do, load, store, prefetch, call or end)", t.text)
 		}
@@ -258,6 +282,9 @@ func (p *parser) parseDataInitialiser(name string) ([]int, error) {
 		if hi <= lo || count <= 0 {
 			return nil, p.errf(t, "random(%d, %d, %d): need lo < hi and count > 0", lo, hi, count)
 		}
+		if count > maxRandomCount {
+			return nil, p.errf(t, "random count %d too large (max %d)", count, maxRandomCount)
+		}
 		rng := timing.NewRNG(seed)
 		values := make([]int, count)
 		for i := range values {
@@ -317,13 +344,18 @@ func (p *parser) parseLoop() (loopir.Stmt, error) {
 	if err := p.endOfLine(); err != nil {
 		return nil, err
 	}
+	leave, err := p.enter(kw, "loops")
+	if err != nil {
+		return nil, err
+	}
 	body, err := p.parseBody(true)
+	leave()
 	if err != nil {
 		return nil, err
 	}
 	return &loopir.Loop{
 		Var: v.text, Lower: lo, Upper: hi, Step: step, Body: body,
-		Opaque: keyword(kw, "driver"),
+		Opaque: keyword(kw, "driver"), Pos: pos(kw),
 	}, nil
 }
 
@@ -334,7 +366,7 @@ func (p *parser) parseAccess() (loopir.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc := &loopir.Access{Array: arr, Index: subs, Write: keyword(kw, "store")}
+	acc := &loopir.Access{Array: arr, Index: subs, Write: keyword(kw, "store"), Pos: pos(kw)}
 	if keyword(p.peek(), "tags") {
 		tags, err := p.parseTagsDirective()
 		if err != nil {
@@ -349,7 +381,7 @@ func (p *parser) parseAccess() (loopir.Stmt, error) {
 }
 
 func (p *parser) parsePrefetch() (loopir.Stmt, error) {
-	p.next() // prefetch
+	kw := p.next() // prefetch
 	arr, subs, err := p.parseReference()
 	if err != nil {
 		return nil, err
@@ -357,7 +389,7 @@ func (p *parser) parsePrefetch() (loopir.Stmt, error) {
 	if err := p.endOfLine(); err != nil {
 		return nil, err
 	}
-	return &loopir.Prefetch{Array: arr, Index: subs}, nil
+	return &loopir.Prefetch{Array: arr, Index: subs, Pos: pos(kw)}, nil
 }
 
 // parseReference: ARRAY(sub {, sub}).
@@ -442,15 +474,18 @@ func (p *parser) parseSubscript() (loopir.Subscript, error) {
 
 // parseTerm parses one additive term, negated when neg is true.
 func (p *parser) parseTerm(neg bool) (loopir.Subscript, error) {
+	t := p.next()
+	// Fold a chain of unary minuses iteratively (recursing one level per
+	// '-' would let "----…-1" grow the stack without bound).
+	for t.kind == tokMinus {
+		neg = !neg
+		t = p.next()
+	}
 	sign := 1
 	if neg {
 		sign = -1
 	}
-	t := p.next()
 	switch t.kind {
-	case tokMinus:
-		inner, err := p.parseTerm(!neg)
-		return inner, err
 	case tokNumber:
 		// Either a constant or a scaled variable N*v.
 		if p.peek().kind == tokStar {
@@ -466,7 +501,12 @@ func (p *parser) parseTerm(neg bool) (loopir.Subscript, error) {
 		if p.peek().kind == tokLBracket {
 			// Indirect component: data[expr].
 			p.next()
+			leave, err := p.enter(t, "indirect subscripts")
+			if err != nil {
+				return loopir.Subscript{}, err
+			}
 			inner, err := p.parseSubscript()
+			leave()
 			if err != nil {
 				return loopir.Subscript{}, err
 			}

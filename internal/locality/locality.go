@@ -26,168 +26,92 @@
 //
 //   - explicit user directives (Access.Force) override everything — the
 //     §4.1 mechanism for sparse codes where "no compiler support exists".
+//
+// The dependence facts themselves — uniformly generated groups, self and
+// group dependences with carrying loops and distances — live in package
+// depend; this package is the tagging *policy* layered on that graph.
 package locality
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
+	"softcache/internal/depend"
 	"softcache/internal/loopir"
 )
 
 // SpatialMaxCoef is the paper's threshold: an innermost-loop coefficient
 // smaller than this (in elements) makes a reference spatial.
-const SpatialMaxCoef = 4
+const SpatialMaxCoef = depend.SpatialMaxCoef
 
 // Tagging maps access IDs (loopir.Access.ID) to their resolved tags.
 type Tagging map[int]loopir.Tags
 
-// Analyze derives the tags of every access site in the program. The
-// program must already be finalized.
+// Options tune the analysis.
+type Options struct {
+	// IgnoreCalls derives tags as if the program contained no CALL
+	// statements — what an interprocedural analysis could recover. The
+	// vet callpoison pass diffs this against the default tagging to list
+	// exactly which tags each CALL destroyed.
+	IgnoreCalls bool
+}
+
+// Analyze derives the tags of every access site in the program with the
+// paper's default rules. The program is finalized as a side effect.
 func Analyze(p *loopir.Program) (Tagging, error) {
-	tags := make(Tagging)
-	a := &analyzer{p: p, tags: tags}
-	if err := a.walk(p.Body, nil); err != nil {
-		return nil, err
-	}
-	return tags, nil
+	return AnalyzeOpts(p, Options{})
 }
 
-// analyzer carries the traversal state.
-type analyzer struct {
-	p    *loopir.Program
-	tags Tagging
+// AnalyzeOpts derives tags with explicit options.
+func AnalyzeOpts(p *loopir.Program, opts Options) (Tagging, error) {
+	g, err := depend.Analyze(p)
+	if err != nil {
+		return nil, fmt.Errorf("locality: %w", err)
+	}
+	return Derive(g, opts), nil
 }
 
-// walk processes a statement list with the given enclosing loop stack
-// (outermost first).
-func (a *analyzer) walk(body []loopir.Stmt, loops []*loopir.Loop) error {
-	poisoned := len(loops) > 0 && subtreeHasCall(loops[len(loops)-1].Body)
-	group := collectAccesses(body)
-	if err := a.tagGroup(group, loops, poisoned); err != nil {
-		return err
+// Derive resolves the tags of every reference of an already-built
+// dependence graph.
+func Derive(g *depend.Graph, opts Options) Tagging {
+	tags := make(Tagging, len(g.Refs))
+	for _, r := range g.Refs {
+		tags[r.Access.ID] = tagsFor(g, r, opts)
 	}
-	for _, st := range body {
-		if l, ok := st.(*loopir.Loop); ok {
-			next := loops
-			if !l.Opaque {
-				// Full-slice expression: sibling loops must not alias
-				// the same backing array when extending the stack.
-				next = append(loops[:len(loops):len(loops)], l)
-			}
-			if err := a.walk(l.Body, next); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	demoteTrailingSpatial(g, tags)
+	return tags
 }
 
-// collectAccesses returns the accesses directly in body (not inside nested
-// loops): they share the same innermost loop and form the scope for
-// group-dependence detection.
-func collectAccesses(body []loopir.Stmt) []*loopir.Access {
-	var out []*loopir.Access
-	for _, st := range body {
-		if acc, ok := st.(*loopir.Access); ok {
-			out = append(out, acc)
-		}
-	}
-	return out
-}
-
-// subtreeHasCall reports whether a CALL appears anywhere below body.
-func subtreeHasCall(body []loopir.Stmt) bool {
-	for _, st := range body {
-		switch s := st.(type) {
-		case *loopir.Call:
-			return true
-		case *loopir.Loop:
-			if subtreeHasCall(s.Body) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// tagGroup resolves the tags of all accesses sharing one loop body.
-func (a *analyzer) tagGroup(group []*loopir.Access, loops []*loopir.Loop, poisoned bool) error {
-	if len(group) == 0 {
-		return nil
-	}
-	lins := make([]loopir.Subscript, len(group))
-	for i, acc := range group {
-		lin, err := a.p.LinearSubscript(acc)
-		if err != nil {
-			return fmt.Errorf("locality: %w", err)
-		}
-		lins[i] = lin
-	}
-
-	resolved := make([]loopir.Tags, len(group))
-	for i, acc := range group {
-		resolved[i] = a.tagsFor(acc, lins[i], loops, group, lins, poisoned)
-	}
-
-	// Spatial-leader demotion (fig. 5): within each uniformly generated
-	// group, members trailing the leading constant lose the spatial tag.
-	// Directive-forced accesses are left untouched.
-	demoteTrailingSpatial(group, lins, resolved)
-
-	for i, acc := range group {
-		a.tags[acc.ID] = resolved[i]
-	}
-	return nil
-}
-
-// tagsFor derives the tags of one access with linearised subscript lin.
-func (a *analyzer) tagsFor(acc *loopir.Access, lin loopir.Subscript, loops []*loopir.Loop, group []*loopir.Access, lins []loopir.Subscript, poisoned bool) loopir.Tags {
+// tagsFor derives the tags of one reference from its dependence facts.
+func tagsFor(g *depend.Graph, r *depend.Ref, opts Options) loopir.Tags {
 	// User directives win unconditionally (§4.1).
-	if acc.Force != nil {
-		return *acc.Force
+	if r.Access.Force != nil {
+		return *r.Access.Force
 	}
 	// References outside loops, or in a body poisoned by a CALL, carry no
 	// tags (§2.3).
-	if len(loops) == 0 || poisoned {
+	if r.Depth() == 0 || (r.Poisoned && !opts.IgnoreCalls) {
 		return loopir.Tags{}
 	}
 
 	var t loopir.Tags
-	if !lin.HasIndirect() {
-		// Spatial rule: innermost coefficient known and < 4 elements
-		// (stride 0 included, per fig. 5).
-		innermost := loops[len(loops)-1]
-		if c := lin.Coef(innermost.Var); abs(c) < SpatialMaxCoef {
-			t.Spatial = true
-			t.VirtualBytes = virtualLengthFor(a.p, acc, lin, innermost)
+	// Spatial rule: innermost coefficient known and < 4 elements (stride 0
+	// included, per fig. 5).
+	if coef, known := r.InnermostCoef(); known && abs(coef) < SpatialMaxCoef {
+		t.Spatial = true
+		t.VirtualBytes = virtualLengthFor(g.Prog, r)
+	}
+	// Temporal rule 1: a temporal self-dependence (an enclosing loop the
+	// subscript is invariant along).
+	for _, d := range r.SelfDeps() {
+		if d.Class == depend.Temporal {
+			t.Temporal = true
+			break
 		}
-
-		// Temporal rule 1: self-dependence. An enclosing loop variable
-		// that appears neither in the subscript nor (transitively) in the
-		// bounds of the loops the subscript ranges over means the same
-		// elements are revisited on each of its iterations.
-		closure := boundsClosure(lin, loops)
-		for _, l := range loops {
-			if !closure[l.Var] {
-				t.Temporal = true
-				break
-			}
-		}
-
-		// Temporal rule 2: uniformly generated group-dependence.
-		if !t.Temporal {
-			for i, other := range group {
-				if other == acc || other.Array != acc.Array {
-					continue
-				}
-				if loopir.SameShape(lin, lins[i]) {
-					t.Temporal = true
-					break
-				}
-			}
-		}
+	}
+	// Temporal rule 2: membership in a uniformly generated group (another
+	// same-array reference differing only by a constant).
+	if !t.Temporal && r.Group() != nil {
+		t.Temporal = true
 	}
 	return t
 }
@@ -200,7 +124,8 @@ func (a *analyzer) tagsFor(acc *loopir.Access, lin loopir.Subscript, loops []*lo
 // return 0, i.e. the design default — the "complexity of the compiler
 // algorithm for determining the amount of spatial locality" the paper
 // flags as the limitation of this extension.
-func virtualLengthFor(p *loopir.Program, acc *loopir.Access, lin loopir.Subscript, innermost *loopir.Loop) int {
+func virtualLengthFor(p *loopir.Program, r *depend.Ref) int {
+	innermost := r.Innermost()
 	lo, hi := innermost.Lower, innermost.Upper
 	if len(lo.Terms) > 0 || lo.Ind != nil || len(hi.Terms) > 0 || hi.Ind != nil {
 		return 0
@@ -209,9 +134,9 @@ func virtualLengthFor(p *loopir.Program, acc *loopir.Access, lin loopir.Subscrip
 	if span < 0 {
 		return 0
 	}
-	coef := abs(lin.Coef(innermost.Var))
-	elem := p.Arrays[acc.Array].ElemSize
-	spanBytes := (coef*span + 1) * elem
+	coef, _ := r.InnermostCoef()
+	elem := p.Arrays[r.Access.Array].ElemSize
+	spanBytes := (abs(coef)*span + 1) * elem
 	switch {
 	case spanBytes >= 256:
 		return 256
@@ -222,95 +147,39 @@ func virtualLengthFor(p *loopir.Program, acc *loopir.Access, lin loopir.Subscrip
 	}
 }
 
-// boundsClosure returns the set of loop variables the subscript's value
-// range depends on: the variables appearing in the subscript itself plus,
-// transitively, the variables appearing in the bounds of those loops.
-// A variable *outside* this closure iterates without changing the set of
-// elements touched — genuine temporal reuse.
-func boundsClosure(lin loopir.Subscript, loops []*loopir.Loop) map[string]bool {
-	closure := make(map[string]bool, len(loops))
-	for _, t := range lin.Terms {
-		closure[t.Var] = true
-	}
-	// Iterate to a fixed point (the stack is tiny).
-	for changed := true; changed; {
-		changed = false
-		for _, l := range loops {
-			if !closure[l.Var] {
-				continue
-			}
-			for _, v := range boundVars(l) {
-				if !closure[v] {
-					closure[v] = true
-					changed = true
-				}
-			}
-		}
-	}
-	return closure
-}
-
-// boundVars lists the loop variables appearing in l's bounds, including
-// inside indirect bound components (data-dependent bounds such as CSR row
-// pointers depend on the indexing variable).
-func boundVars(l *loopir.Loop) []string {
-	var out []string
-	collect := func(s loopir.Subscript) {
-		for _, t := range s.Terms {
-			out = append(out, t.Var)
-		}
-		if s.Ind != nil {
-			for _, t := range s.Ind.Sub.Terms {
-				out = append(out, t.Var)
-			}
-		}
-	}
-	collect(l.Lower)
-	collect(l.Upper)
-	return out
-}
-
 // demoteTrailingSpatial clears the spatial tag of non-leading members of
 // each uniformly generated group (same array, same affine shape, differing
 // constants): the leader — the member with the largest constant, i.e. the
-// first to touch new data under forward traversal — keeps it.
-func demoteTrailingSpatial(group []*loopir.Access, lins []loopir.Subscript, resolved []loopir.Tags) {
-	maxConst := make(map[string]int)
-	for i, acc := range group {
-		if acc.Force != nil || lins[i].HasIndirect() {
+// first to touch new data under forward traversal — keeps it, and its
+// virtual-line fetches cover the trailers' misses. Directive-forced
+// accesses are left untouched.
+func demoteTrailingSpatial(g *depend.Graph, tags Tagging) {
+	for _, grp := range g.Groups {
+		maxConst, any := 0, false
+		for _, r := range grp.Refs {
+			if r.Access.Force != nil {
+				continue
+			}
+			if !any || r.Lin.Const > maxConst {
+				maxConst, any = r.Lin.Const, true
+			}
+		}
+		if !any {
 			continue
 		}
-		key := shapeKey(acc.Array, lins[i])
-		c, ok := maxConst[key]
-		if !ok || lins[i].Const > c {
-			maxConst[key] = lins[i].Const
+		for _, r := range grp.Refs {
+			if r.Access.Force != nil || r.Lin.Const >= maxConst {
+				continue
+			}
+			t := tags[r.Access.ID]
+			if !t.Spatial {
+				continue
+			}
+			t.Spatial = false
+			t.VirtualBytes = 0
+			tags[r.Access.ID] = t
 		}
 	}
-	for i, acc := range group {
-		if acc.Force != nil || lins[i].HasIndirect() || !resolved[i].Spatial {
-			continue
-		}
-		key := shapeKey(acc.Array, lins[i])
-		if lins[i].Const < maxConst[key] {
-			resolved[i].Spatial = false
-			resolved[i].VirtualBytes = 0
-		}
-	}
-}
-
-// shapeKey builds a map key identifying (array, affine shape).
-func shapeKey(array string, lin loopir.Subscript) string {
-	var b strings.Builder
-	b.WriteString(array)
-	terms := append([]loopir.Term(nil), lin.Terms...)
-	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
-	for _, t := range terms {
-		if t.Coef == 0 {
-			continue
-		}
-		fmt.Fprintf(&b, "|%s*%d", t.Var, t.Coef)
-	}
-	return b.String()
 }
 
 func abs(x int) int {

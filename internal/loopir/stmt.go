@@ -1,5 +1,7 @@
 package loopir
 
+import "fmt"
+
 // Tags are the software hints a load/store instruction carries. The paper's
 // base design uses two 1-bit hints (temporal, spatial); the §3.2 extension
 // ("allowing virtual lines of different lengths") adds a 2-bit length hint,
@@ -11,6 +13,26 @@ type Tags struct {
 	// reference (0 = the design's default length). Only meaningful when
 	// Spatial is set and the cache enables variable-length virtual lines.
 	VirtualBytes int
+}
+
+// Pos is a source position (1-based line and column) in the DSL file a
+// statement was parsed from. The zero Pos means "unknown" — programs built
+// directly in Go carry no positions. Positions are metadata only: they
+// never influence analysis, generation or printing (Print round-trips
+// programs with and without them identically); diagnostics (package vet)
+// use them to point findings at real source locations.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position refers to a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
 }
 
 // Stmt is a statement of a loop-nest program: Loop, Access or Call.
@@ -35,6 +57,8 @@ type Loop struct {
 	// analysis are per source subroutine, while real reuse across driver
 	// iterations still happens at run time.
 	Opaque bool
+	// Pos is the source position of the DO keyword, when parsed from DSL.
+	Pos Pos
 }
 
 func (*Loop) isStmt() {}
@@ -52,6 +76,9 @@ type Access struct {
 	// ID is the static reference-site identifier, assigned by
 	// Program.Finalize; it becomes trace.Record.RefID.
 	ID int
+	// Pos is the source position of the load/store keyword, when parsed
+	// from DSL.
+	Pos Pos
 }
 
 func (*Access) isStmt() {}
@@ -60,7 +87,11 @@ func (*Access) isStmt() {}
 // interprocedural analysis), a CALL poisons its enclosing loop body: every
 // reference whose innermost enclosing loop contains a call anywhere in its
 // subtree loses its tags.
-type Call struct{ Name string }
+type Call struct {
+	Name string
+	// Pos is the source position of the CALL keyword, when parsed from DSL.
+	Pos Pos
+}
 
 func (*Call) isStmt() {}
 
@@ -72,6 +103,9 @@ func (*Call) isStmt() {}
 type Prefetch struct {
 	Array string
 	Index []Subscript
+	// Pos is the source position of the prefetch keyword, when parsed
+	// from DSL.
+	Pos Pos
 }
 
 func (*Prefetch) isStmt() {}

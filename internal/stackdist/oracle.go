@@ -1,0 +1,145 @@
+// Reuse oracle: a trace-replay ground truth for the static locality tags.
+//
+// The locality analysis (§2.3) tags each static reference temporal or
+// spatial from subscript structure alone. This file answers "was it
+// right?" by observing, for every dynamic reference in the generated
+// trace, whether the promised reuse actually happens:
+//
+//   - temporal reuse observed: the same word is accessed again within a
+//     bounded reuse window (the tag's promise: keep the line, its data
+//     will be needed again);
+//   - spatial reuse observed: a *different* word of the same cache line
+//     is accessed within the window (the tag's promise: fetch the long
+//     virtual line, the neighbours will be needed).
+//
+// The window is measured in distinct lines touched — the same metric as a
+// stack distance — so "within the window" means "while the line could
+// still plausibly be resident". A tag names a property of the *data*, not
+// a direction of time: the store that closes a read-modify-write pair
+// exhibits its temporal reuse backwards, the first load of a group
+// forwards. The oracle therefore looks both ways, scanning the trace
+// twice (forward and reversed) and OR-ing the observations.
+package stackdist
+
+import "softcache/internal/trace"
+
+// Reuse holds the per-record observation bits produced by the oracle.
+type Reuse struct {
+	// Temporal: the same word is re-referenced within the window,
+	// in the past or the future.
+	Temporal bool
+	// Spatial: a different word of the same line is referenced within the
+	// window, in the past or the future.
+	Spatial bool
+}
+
+// lineState tracks enough per-line history to answer "when was this line
+// last touched at a word different from the current one" in O(1): the two
+// most recent *distinct* words and their touch times.
+type lineState struct {
+	lastWord  uint64
+	lastTime  int
+	otherTime int // latest touch at a word != lastWord (0 = never)
+}
+
+// reuseScanner performs one directional pass over an address stream.
+type reuseScanner struct {
+	an    *Analyzer
+	lines map[uint64]*lineState
+	elem  map[uint64]int // word -> time of latest touch
+}
+
+func newReuseScanner(n int) *reuseScanner {
+	return &reuseScanner{
+		an:    NewAnalyzer(n),
+		lines: make(map[uint64]*lineState, n/4),
+		elem:  make(map[uint64]int, n/2),
+	}
+}
+
+// step processes one reference and reports the reuse observed *behind* it
+// in this pass's scan direction, measured in distinct lines touched since.
+func (s *reuseScanner) step(line, word uint64, window int) (r Reuse) {
+	// distinctSince(t) = distinct lines touched strictly between time t
+	// and now. Each line touched in that interval has exactly one
+	// latest-access marker inside it (markers only move forward in time).
+	now := s.an.now + 1 // Access below will advance the clock to this
+	if tE, ok := s.elem[word]; ok {
+		// Same word touched before: temporal reuse if it is close enough.
+		if s.distinctBetween(tE, now) <= window {
+			r.Temporal = true
+		}
+	}
+	if ls, ok := s.lines[line]; ok {
+		// Find the latest touch of this line at a *different* word.
+		tS := 0
+		if ls.lastWord != word {
+			tS = ls.lastTime
+		} else {
+			tS = ls.otherTime
+		}
+		if tS > 0 && s.distinctBetween(tS, now) <= window {
+			r.Spatial = true
+		}
+	}
+	// Advance the clock and the per-line Fenwick markers.
+	s.an.Access(line)
+	s.elem[word] = now
+	ls := s.lines[line]
+	if ls == nil {
+		ls = &lineState{}
+		s.lines[line] = ls
+	}
+	if ls.lastWord == word && ls.lastTime > 0 {
+		ls.lastTime = now
+	} else {
+		if ls.lastTime > 0 {
+			ls.otherTime = ls.lastTime
+		}
+		ls.lastWord = word
+		ls.lastTime = now
+	}
+	return r
+}
+
+// distinctBetween counts distinct lines touched strictly between times t
+// and now (the reference at time now itself not yet recorded).
+func (s *reuseScanner) distinctBetween(t, now int) int {
+	return s.an.query(now-1) - s.an.query(t)
+}
+
+// ObserveReuse replays the trace through the oracle and returns one Reuse
+// per record (software prefetches get the zero value — they are hints, not
+// references). lineBytes defaults to 32, the paper's physical line;
+// windowLines bounds how far apart (in distinct lines) two touches may be
+// to count as reuse, defaulting to 65536 lines (2 MiB of 32-byte lines).
+func ObserveReuse(t *trace.Trace, lineBytes, windowLines int) []Reuse {
+	if lineBytes <= 0 {
+		lineBytes = 32
+	}
+	if windowLines <= 0 {
+		windowLines = 1 << 16
+	}
+	out := make([]Reuse, len(t.Records))
+
+	// Backward observations: scan forward, each step sees its past.
+	fwd := newReuseScanner(t.Len())
+	for i, rec := range t.Records {
+		if rec.SoftwarePrefetch {
+			continue
+		}
+		out[i] = fwd.step(rec.Addr/uint64(lineBytes), rec.Addr, windowLines)
+	}
+	// Forward observations: scan the reversed trace, OR into place.
+	rev := newReuseScanner(t.Len())
+	for i := len(t.Records) - 1; i >= 0; i-- {
+		rec := t.Records[i]
+		if rec.SoftwarePrefetch {
+			continue
+		}
+		r := rev.step(rec.Addr/uint64(lineBytes), rec.Addr, windowLines)
+		out[i].Temporal = out[i].Temporal || r.Temporal
+		out[i].Spatial = out[i].Spatial || r.Spatial
+	}
+	return out
+}

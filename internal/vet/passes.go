@@ -1,0 +1,456 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softcache/internal/depend"
+	"softcache/internal/locality"
+	"softcache/internal/loopir"
+)
+
+func init() {
+	registerPass(Pass{
+		Name: "bounds",
+		Doc:  "subscripts provably or possibly outside declared array dimensions",
+		Run:  runBounds,
+	})
+	registerPass(Pass{
+		Name: "deadstore",
+		Doc:  "stores overwritten before any read of the same element",
+		Run:  runDeadStore,
+	})
+	registerPass(Pass{
+		Name: "stride",
+		Doc:  "cache-hostile stride-N innermost sweeps, with loop-interchange advisories",
+		Run:  runStride,
+	})
+	registerPass(Pass{
+		Name: "callpoison",
+		Doc:  "loop bodies whose CALL destroyed derived tags (§2.3 no-interprocedural rule)",
+		Run:  runCallPoison,
+	})
+	registerPass(Pass{
+		Name: "indirect",
+		Doc:  "indirect subscripts the analysis cannot tag, where a §4.1 directive would help",
+		Run:  runIndirect,
+	})
+}
+
+// ---------------------------------------------------------------- bounds --
+
+// interval is a conservative integer range. exact means the range is tight
+// (every value in it is actually taken), which holds for constants and for
+// single-variable affine forms over constant-bound loops; sums of two or
+// more variables, or variables with derived bounds, are over-approximate.
+type interval struct {
+	lo, hi int
+	known  bool
+	exact  bool
+}
+
+func constInterval(k int) interval { return interval{lo: k, hi: k, known: true, exact: true} }
+
+func (iv interval) add(o interval) interval {
+	if !iv.known || !o.known {
+		return interval{}
+	}
+	// A sum is exact only when one side is a constant.
+	exact := iv.exact && o.exact && (iv.lo == iv.hi || o.lo == o.hi)
+	return interval{lo: iv.lo + o.lo, hi: iv.hi + o.hi, known: true, exact: exact}
+}
+
+func (iv interval) scale(k int) interval {
+	if !iv.known {
+		return interval{}
+	}
+	lo, hi := iv.lo*k, iv.hi*k
+	if k < 0 {
+		lo, hi = hi, lo
+	}
+	return interval{lo: lo, hi: hi, known: true, exact: iv.exact}
+}
+
+// boundsChecker walks the program with a per-variable interval
+// environment.
+type boundsChecker struct {
+	prog     *loopir.Program
+	graph    *depend.Graph
+	env      map[string]interval
+	findings []Finding
+}
+
+func runBounds(ctx *Context) ([]Finding, error) {
+	c := &boundsChecker{prog: ctx.Prog, graph: ctx.Graph, env: map[string]interval{}}
+	c.walk(ctx.Prog.Body)
+	return c.findings, nil
+}
+
+func (c *boundsChecker) walk(body []loopir.Stmt) {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *loopir.Loop:
+			lo := c.eval(s.Lower)
+			hi := c.eval(s.Upper)
+			iv := interval{}
+			if lo.known && hi.known {
+				if lo.lo > hi.hi {
+					// The loop provably never executes: its body is dead
+					// code and cannot fault.
+					continue
+				}
+				// The loop variable spans [min lower, max upper]; exact
+				// only when both bounds are constants.
+				iv = interval{lo: lo.lo, hi: hi.hi, known: true,
+					exact: lo.exact && hi.exact && lo.lo == lo.hi && hi.lo == hi.hi}
+			}
+			c.env[s.Var] = iv
+			c.walk(s.Body)
+			delete(c.env, s.Var)
+		case *loopir.Access:
+			c.checkAccess(s)
+		}
+		// Prefetches are non-faulting by design (out-of-range addresses
+		// are silently dropped), so they are not checked.
+	}
+}
+
+// eval computes the interval of a subscript under the current environment.
+// Indirect components take the min/max of the backing data array — sound
+// whenever the indirect index itself is in range, which checkIndirectIndex
+// verifies separately.
+func (c *boundsChecker) eval(s loopir.Subscript) interval {
+	iv := constInterval(s.Const)
+	for _, t := range s.Terms {
+		v, ok := c.env[t.Var]
+		if !ok || !v.known {
+			return interval{}
+		}
+		iv = iv.add(v.scale(t.Coef))
+	}
+	if s.Ind != nil {
+		data := c.prog.Data[s.Ind.Array]
+		if len(data) == 0 {
+			return interval{}
+		}
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		iv = iv.add(interval{lo: lo, hi: hi, known: true})
+	}
+	return iv
+}
+
+func (c *boundsChecker) checkAccess(a *loopir.Access) {
+	arr := c.prog.Arrays[a.Array]
+	r := c.graph.RefByID(a.ID)
+	for d, sub := range a.Index {
+		c.checkIndirectIndex(r, sub)
+		iv := c.eval(sub)
+		if !iv.known {
+			continue
+		}
+		dim := arr.Dims[d]
+		if iv.lo >= 0 && iv.hi < dim {
+			continue
+		}
+		sev, verb := Warning, "may fall"
+		if iv.exact {
+			// The range is tight: some executed iteration is provably out
+			// of bounds, and trace generation will abort there.
+			sev, verb = Error, "falls"
+		}
+		c.findings = append(c.findings, findingAt("bounds", sev, r,
+			"subscript %d of %s spans [%d, %d], which %s outside the declared dimension [0, %d)",
+			d+1, a.Array, iv.lo, iv.hi, verb, dim))
+	}
+}
+
+// checkIndirectIndex verifies that the index into an indirection data
+// array stays inside the array: the generator aborts on violations.
+func (c *boundsChecker) checkIndirectIndex(r *depend.Ref, sub loopir.Subscript) {
+	if sub.Ind == nil {
+		return
+	}
+	iv := c.eval(sub.Ind.Sub)
+	if !iv.known {
+		return
+	}
+	n := len(c.prog.Data[sub.Ind.Array])
+	if iv.lo >= 0 && iv.hi < n {
+		return
+	}
+	sev := Warning
+	if iv.exact {
+		sev = Error
+	}
+	c.findings = append(c.findings, findingAt("bounds", sev, r,
+		"indirect index into %s spans [%d, %d], outside the data array's [0, %d)",
+		sub.Ind.Array, iv.lo, iv.hi, n))
+}
+
+// ------------------------------------------------------------- deadstore --
+
+// runDeadStore flags stores whose value is overwritten by a later store to
+// the same element in the same loop body with no possible intervening
+// read: the first store is wasted work (and wasted write-buffer traffic).
+// The analysis is per statement list and purely affine: any read of the
+// array, any CALL, any nested loop touching the array, or any indirect
+// reference to it conservatively keeps a store alive.
+func runDeadStore(ctx *Context) ([]Finding, error) {
+	var findings []Finding
+	var walk func(body []loopir.Stmt)
+	walk = func(body []loopir.Stmt) {
+		live := map[string]*depend.Ref{} // lin-subscript key -> pending store
+		kill := func(array string) {
+			for k := range live {
+				if strings.HasPrefix(k, array+"|") {
+					delete(live, k)
+				}
+			}
+		}
+		for _, st := range body {
+			switch s := st.(type) {
+			case *loopir.Access:
+				r := ctx.Graph.RefByID(s.ID)
+				if r.Indirect {
+					// An indirect reference may alias any element.
+					kill(s.Array)
+					continue
+				}
+				if !s.Write {
+					kill(s.Array)
+					continue
+				}
+				key := s.Array + "|" + r.Lin.String()
+				if prev, ok := live[key]; ok {
+					findings = append(findings, findingAt("deadstore", Warning, prev,
+						"store to %s is overwritten by %s before any read of the element",
+						s.Array, r))
+				}
+				live[key] = r
+			case *loopir.Call:
+				// An opaque call may read anything.
+				live = map[string]*depend.Ref{}
+			case *loopir.Loop:
+				arrs, hasCall := arraysTouched(s.Body)
+				if hasCall {
+					live = map[string]*depend.Ref{}
+				} else {
+					for _, arr := range arrs {
+						kill(arr)
+					}
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(ctx.Prog.Body)
+	return findings, nil
+}
+
+// arraysTouched lists the arrays referenced anywhere under body; hasCall
+// reports an opaque CALL under it, which may touch anything.
+func arraysTouched(body []loopir.Stmt) (arrs []string, hasCall bool) {
+	seen := map[string]bool{}
+	var walk func(body []loopir.Stmt)
+	walk = func(body []loopir.Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case *loopir.Access:
+				seen[s.Array] = true
+			case *loopir.Call:
+				hasCall = true
+			case *loopir.Loop:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(body)
+	for a := range seen {
+		arrs = append(arrs, a)
+	}
+	sort.Strings(arrs)
+	return arrs, hasCall
+}
+
+// ---------------------------------------------------------------- stride --
+
+// runStride flags references whose innermost stride defeats the 32-byte
+// line (the paper's spatial threshold): every iteration touches a new
+// line, so the sweep pays one miss per element and fetches bytes it never
+// uses. When some enclosing loop traverses the same subscript with a small
+// coefficient, the finding carries a concrete interchange advisory — the
+// §4.2-style transformation the dependence graph is meant to enable.
+func runStride(ctx *Context) ([]Finding, error) {
+	var findings []Finding
+	for _, r := range ctx.Graph.Refs {
+		coef, known := r.InnermostCoef()
+		if !known || abs(coef) < depend.SpatialMaxCoef {
+			continue
+		}
+		elem := ctx.Prog.Arrays[r.Access.Array].ElemSize
+		inner := r.Innermost()
+		msg := fmt.Sprintf("innermost DO %s sweeps %s with stride %d elements (%d bytes): every iteration touches a new cache line",
+			inner.Var, r.Access.Array, coef, abs(coef)*elem)
+		if alt := interchangeCandidate(r); alt != nil {
+			msg += fmt.Sprintf("; interchanging DO %s inward would make this reference stride-%d",
+				alt.Var, abs(r.Lin.Coef(alt.Var)))
+			if ok, why := interchangeSafe(r); !ok {
+				msg += " (" + why + ")"
+			}
+		} else {
+			msg += "; no enclosing loop offers a low-stride alternative"
+		}
+		findings = append(findings, findingAt("stride", Warning, r, "%s", msg))
+	}
+	return findings, nil
+}
+
+// interchangeCandidate picks the enclosing loop whose variable has the
+// smallest nonzero |coefficient| below the spatial threshold — the loop
+// that, moved innermost, would make the reference a unit-ish-stride sweep.
+func interchangeCandidate(r *depend.Ref) *loopir.Loop {
+	var best *loopir.Loop
+	bestCoef := 0
+	for _, l := range r.Loops[:len(r.Loops)-1] {
+		c := abs(r.Lin.Coef(l.Var))
+		if c == 0 || c >= depend.SpatialMaxCoef {
+			continue
+		}
+		if best == nil || c < bestCoef {
+			best, bestCoef = l, c
+		}
+	}
+	return best
+}
+
+// interchangeSafe reports whether the elementary model sees an obstacle to
+// interchanging the reference's loop nest: a group dependence carried by a
+// non-innermost loop can change meaning under interchange, so the advisory
+// is downgraded to "verify dependences" rather than silently asserted.
+func interchangeSafe(r *depend.Ref) (bool, string) {
+	for _, d := range r.GroupDeps() {
+		if d.Level > 0 && d.Level < len(r.Loops) {
+			return false, fmt.Sprintf("note: a %s dependence is carried by DO %s — verify legality before interchanging",
+				d.Class, d.Carrier.Var)
+		}
+	}
+	return true, ""
+}
+
+// ------------------------------------------------------------ callpoison --
+
+// runCallPoison reports, per poisoned loop body, every tag the CALL
+// destroyed: the tags an interprocedural analysis would have derived
+// (locality.Options.IgnoreCalls) minus what the paper's rule left.
+func runCallPoison(ctx *Context) ([]Finding, error) {
+	wouldBe := locality.Derive(ctx.Graph, locality.Options{IgnoreCalls: true})
+	byBody := map[int][]*depend.Ref{}
+	var order []int
+	for _, r := range ctx.Graph.Refs {
+		if !r.Poisoned || r.Access.Force != nil {
+			continue
+		}
+		if _, seen := byBody[r.Body]; !seen {
+			order = append(order, r.Body)
+		}
+		byBody[r.Body] = append(byBody[r.Body], r)
+	}
+	var findings []Finding
+	for _, body := range order {
+		refs := byBody[body]
+		var lost []string
+		for _, r := range refs {
+			w := wouldBe[r.Access.ID]
+			if !w.Temporal && !w.Spatial {
+				continue
+			}
+			lost = append(lost, fmt.Sprintf("%s [%s]", r, tagNames(w)))
+		}
+		if len(lost) == 0 {
+			continue
+		}
+		first := refs[0]
+		call := firstCall(first.Innermost().Body)
+		callName := "a CALL"
+		f := Finding{
+			Pass:     "callpoison",
+			Severity: Warning,
+			Line:     first.Access.Pos.Line,
+			Col:      first.Access.Pos.Col,
+			RefID:    first.Access.ID,
+		}
+		if call != nil {
+			callName = "CALL " + call.Name
+			if call.Pos.IsValid() {
+				f.Line, f.Col = call.Pos.Line, call.Pos.Col
+			}
+		}
+		f.Site = fmt.Sprintf("DO %s body", first.Innermost().Var)
+		f.Message = fmt.Sprintf("%s poisons this loop body (no interprocedural analysis): destroyed %s",
+			callName, strings.Join(lost, ", "))
+		findings = append(findings, f)
+	}
+	return findings, nil
+}
+
+func tagNames(t loopir.Tags) string {
+	switch {
+	case t.Temporal && t.Spatial:
+		return "temporal, spatial"
+	case t.Temporal:
+		return "temporal"
+	case t.Spatial:
+		return "spatial"
+	}
+	return "none"
+}
+
+// firstCall returns the first CALL statement under body, depth-first.
+func firstCall(body []loopir.Stmt) *loopir.Call {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *loopir.Call:
+			return s
+		case *loopir.Loop:
+			if c := firstCall(s.Body); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// -------------------------------------------------------------- indirect --
+
+// runIndirect marks the boundary of affine analysis: references whose
+// subscripts go through an integer data array (X(Index(j)) in the paper's
+// SpMV loop) can never be tagged by the compiler; §4.1's answer is a user
+// directive, so the pass stays quiet when one is already present.
+func runIndirect(ctx *Context) ([]Finding, error) {
+	var findings []Finding
+	for _, r := range ctx.Graph.Refs {
+		if !r.Indirect || r.Access.Force != nil {
+			continue
+		}
+		findings = append(findings, findingAt("indirect", Info, r,
+			"indirect subscript through %s defeats affine analysis; a §4.1 tags(...) directive could assert this reference's locality",
+			r.Lin.Ind.Array))
+	}
+	return findings, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

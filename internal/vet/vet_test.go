@@ -1,0 +1,379 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"softcache/internal/lang"
+	"softcache/internal/vet"
+	"softcache/internal/workloads"
+)
+
+// run parses src and vets it without the dynamic audit.
+func run(t *testing.T, src string) *vet.Result {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := vet.Run(p, vet.Options{})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	return res
+}
+
+// byPass filters findings of one pass.
+func byPass(res *vet.Result, pass string) []vet.Finding {
+	var out []vet.Finding
+	for _, f := range res.Findings {
+		if f.Pass == pass {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+const fig5Src = `
+program fig5
+array A(100, 100)
+array B(100, 101)
+array X(100)
+array Y(100)
+do i = 0, 99
+  do j = 0, 99
+    load Y(i)
+    load A(i, j)
+    load B(j, i)
+    load B(j, i + 1)
+    load X(j)
+    store Y(i)
+  end
+end
+`
+
+// TestFig5Clean: the paper's fig. 5 loop is in bounds and free of dead
+// stores and indirect subscripts; its only diagnostic is the stride
+// warning on A(I,J) — the column sweep §2.2 builds its argument on —
+// complete with the interchange advisory.
+func TestFig5Clean(t *testing.T) {
+	res := run(t, fig5Src)
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors:\n%v", res.Findings)
+	}
+	for _, pass := range []string{"bounds", "deadstore", "indirect", "callpoison"} {
+		if fs := byPass(res, pass); len(fs) != 0 {
+			t.Errorf("pass %s: unexpected findings %v", pass, fs)
+		}
+	}
+	strides := byPass(res, "stride")
+	if len(strides) != 1 {
+		t.Fatalf("stride findings = %v, want exactly 1 (A)", strides)
+	}
+	f := strides[0]
+	if !strings.Contains(f.Site, "A(") {
+		t.Errorf("stride finding site = %q, want the A reference", f.Site)
+	}
+	if !strings.Contains(f.Message, "stride 100 elements") {
+		t.Errorf("message %q does not report the 100-element stride", f.Message)
+	}
+	if !strings.Contains(f.Message, "interchanging DO i inward would make this reference stride-1") {
+		t.Errorf("message %q lacks the interchange advisory", f.Message)
+	}
+	if f.Line == 0 || f.Col == 0 {
+		t.Errorf("finding carries no source position: %+v", f)
+	}
+}
+
+// TestFlippedMV: the matrix-vector loop with the loop order flipped (DO j2
+// outer, DO j1 inner) makes A a stride-96 sweep; vet must flag it and
+// advise interchanging j2 inward (restoring the natural order).
+func TestFlippedMV(t *testing.T) {
+	res := run(t, `
+program mv_flipped
+array A(96, 96)
+array X(96)
+array Y(96)
+do j2 = 0, 95
+  do j1 = 0, 95
+    load A(j2, j1)
+    load X(j2)
+    load Y(j1)
+  end
+end
+`)
+	strides := byPass(res, "stride")
+	if len(strides) != 1 {
+		t.Fatalf("stride findings = %v, want exactly 1 (A)", strides)
+	}
+	msg := strides[0].Message
+	if !strings.Contains(msg, "stride 96 elements") ||
+		!strings.Contains(msg, "interchanging DO j2 inward would make this reference stride-1") {
+		t.Errorf("flipped-MV advisory wrong: %q", msg)
+	}
+}
+
+func TestBoundsExactError(t *testing.T) {
+	res := run(t, `
+program oob
+array A(10)
+do i = 0, 10
+  load A(i)
+end
+`)
+	fs := byPass(res, "bounds")
+	if len(fs) != 1 || fs[0].Severity != vet.Error {
+		t.Fatalf("bounds findings = %v, want one Error", fs)
+	}
+	if !strings.Contains(fs[0].Message, "[0, 10]") || !strings.Contains(fs[0].Message, "[0, 10)") {
+		t.Errorf("message %q should report span [0, 10] vs dim [0, 10)", fs[0].Message)
+	}
+	if !res.HasErrors() {
+		t.Error("Result.HasErrors() = false, want true")
+	}
+}
+
+// TestBoundsApproxWarning: a two-variable subscript's interval is an
+// over-approximation, so a potential violation is only a warning.
+func TestBoundsApproxWarning(t *testing.T) {
+	res := run(t, `
+program maybe
+array A(18)
+do i = 0, 9
+  do j = 0, 9
+    load A(i + j)
+  end
+end
+`)
+	fs := byPass(res, "bounds")
+	if len(fs) != 1 || fs[0].Severity != vet.Warning {
+		t.Fatalf("bounds findings = %v, want one Warning", fs)
+	}
+	if !strings.Contains(fs[0].Message, "may fall") {
+		t.Errorf("approximate violation should hedge: %q", fs[0].Message)
+	}
+}
+
+func TestBoundsInBounds(t *testing.T) {
+	res := run(t, `
+program fine
+array A(19)
+do i = 0, 9
+  do j = 0, 9
+    load A(i + j)
+  end
+end
+`)
+	if fs := byPass(res, "bounds"); len(fs) != 0 {
+		t.Fatalf("bounds findings = %v, want none", fs)
+	}
+}
+
+func TestDeadStore(t *testing.T) {
+	res := run(t, `
+program dead
+array Y(100)
+do i = 0, 99
+  store Y(i)
+  store Y(i)
+end
+`)
+	fs := byPass(res, "deadstore")
+	if len(fs) != 1 {
+		t.Fatalf("deadstore findings = %v, want exactly 1", fs)
+	}
+	if !strings.Contains(fs[0].Message, "overwritten") {
+		t.Errorf("message = %q", fs[0].Message)
+	}
+}
+
+// TestDeadStoreKills: an intervening read, call or nested loop touching
+// the array keeps the first store alive.
+func TestDeadStoreKills(t *testing.T) {
+	for name, src := range map[string]string{
+		"read": `
+program live
+array Y(100)
+do i = 0, 99
+  store Y(i)
+  load Y(i)
+  store Y(i)
+end
+`,
+		"call": `
+program live
+array Y(100)
+do i = 0, 99
+  store Y(i)
+  call f
+  store Y(i)
+end
+`,
+		"nested": `
+program live
+array Y(100)
+do i = 0, 99
+  store Y(i)
+  do j = 0, 99
+    load Y(j)
+  end
+  store Y(i)
+end
+`,
+	} {
+		if fs := byPass(run(t, src), "deadstore"); len(fs) != 0 {
+			t.Errorf("%s: deadstore findings = %v, want none", name, fs)
+		}
+	}
+}
+
+func TestCallPoison(t *testing.T) {
+	res := run(t, `
+program poisoned
+array X(100)
+do i = 0, 99
+  do j = 0, 99
+    load X(j)
+    call helper
+  end
+end
+`)
+	fs := byPass(res, "callpoison")
+	if len(fs) != 1 {
+		t.Fatalf("callpoison findings = %v, want exactly 1", fs)
+	}
+	msg := fs[0].Message
+	if !strings.Contains(msg, "CALL helper") {
+		t.Errorf("message %q does not name the call", msg)
+	}
+	// X(j) would be temporal (invariant along i) and spatial (stride 1).
+	if !strings.Contains(msg, "X(j)") || !strings.Contains(msg, "temporal, spatial") {
+		t.Errorf("message %q does not list the destroyed tags of X(j)", msg)
+	}
+}
+
+func TestIndirect(t *testing.T) {
+	res := run(t, `
+program spmv
+array X(8)
+data Index = [0, 2, 4, 6]
+do j = 0, 3
+  load X(Index[j])
+end
+`)
+	fs := byPass(res, "indirect")
+	if len(fs) != 1 || fs[0].Severity != vet.Info {
+		t.Fatalf("indirect findings = %v, want one Info", fs)
+	}
+	if !strings.Contains(fs[0].Message, "directive") {
+		t.Errorf("message = %q", fs[0].Message)
+	}
+}
+
+// TestIndirectDirectiveSilences: a §4.1 tags(...) directive answers the
+// indirect advisory, so it is not repeated.
+func TestIndirectDirectiveSilences(t *testing.T) {
+	res := run(t, `
+program spmv
+array X(8)
+data Index = [0, 2, 4, 6]
+do j = 0, 3
+  load X(Index[j]) tags(temporal)
+end
+`)
+	if fs := byPass(res, "indirect"); len(fs) != 0 {
+		t.Fatalf("indirect findings = %v, want none with a directive", fs)
+	}
+}
+
+// TestIndirectIndexBounds: the subscript *into* the indirection array is
+// itself checked (the generator aborts on violations).
+func TestIndirectIndexBounds(t *testing.T) {
+	res := run(t, `
+program badind
+array X(8)
+data Index = [0, 2, 4, 6]
+do j = 0, 4
+  load X(Index[j])
+end
+`)
+	found := false
+	for _, f := range byPass(res, "bounds") {
+		if f.Severity == vet.Error && strings.Contains(f.Message, "indirect index into Index") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error for out-of-range indirect index: %v", res.Findings)
+	}
+}
+
+// TestAuditMV is the acceptance check: on the paper's matrix-vector loop
+// the static tags must agree with observed reuse at >=0.9 precision for
+// both tag kinds.
+func TestAuditMV(t *testing.T) {
+	auditPrecision(t, "MV")
+}
+
+// TestAuditLIV does the same for the Livermore kernel workload.
+func TestAuditLIV(t *testing.T) {
+	auditPrecision(t, "LIV")
+}
+
+func auditPrecision(t *testing.T, name string) {
+	t.Helper()
+	p, err := workloads.BuildProgram(name, workloads.ScaleTest)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	res, err := vet.Run(p, vet.Options{Audit: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	a := res.Audit
+	if a == nil {
+		t.Fatal("no audit report despite Options.Audit")
+	}
+	if a.Records == 0 || len(a.Refs) == 0 {
+		t.Fatalf("empty audit: %+v", a)
+	}
+	if a.Temporal.Precision < 0.9 {
+		t.Errorf("%s temporal precision = %.3f, want >= 0.9", name, a.Temporal.Precision)
+	}
+	if a.Spatial.Precision < 0.9 {
+		t.Errorf("%s spatial precision = %.3f, want >= 0.9", name, a.Spatial.Precision)
+	}
+}
+
+// TestAuditSkippedWithoutFlag: dynamic passes only run when asked.
+func TestAuditSkippedWithoutFlag(t *testing.T) {
+	res := run(t, fig5Src)
+	if res.Audit != nil {
+		t.Fatal("audit ran without Options.Audit")
+	}
+	if fs := byPass(res, "tagaudit"); len(fs) != 0 {
+		t.Fatalf("tagaudit findings without Options.Audit: %v", fs)
+	}
+}
+
+// TestFindingsSorted: errors come first, then source order.
+func TestFindingsSorted(t *testing.T) {
+	res := run(t, `
+program mixed
+array A(10)
+array B(100)
+data D = [5]
+do i = 0, 99
+  load B(D[0])
+  load A(i)
+end
+`)
+	if len(res.Findings) < 2 {
+		t.Fatalf("findings = %v, want at least the bounds error and the indirect info", res.Findings)
+	}
+	for i := 1; i < len(res.Findings); i++ {
+		if res.Findings[i].Severity > res.Findings[i-1].Severity {
+			t.Fatalf("findings not sorted by severity: %v", res.Findings)
+		}
+	}
+}
