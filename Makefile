@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples clean
+.PHONY: all build test vet bench figures faults examples clean
 
 all: build vet test
 
@@ -27,8 +27,13 @@ bench:
 # Regenerate every figure of the paper at full scale, refreshing
 # EXPERIMENTS.md, results/*.csv and results/figures.html.
 figures:
-	$(GO) run ./cmd/softcache-bench -all -scale paper \
+	$(GO) run ./cmd/softcache-bench -all -scale paper -workers 4 \
 		-md EXPERIMENTS.md -csv results -html results/figures.html
+
+# Push the fault-injection corpus through the trace -> simulate pipeline:
+# every corrupted input must end in an error, never a panic.
+faults:
+	$(GO) run ./cmd/softcache-bench -faults -workers 4
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -72,10 +72,84 @@ func TestBenchErrors(t *testing.T) {
 		{},                            // nothing selected
 		{"-fig", "nope"},              // unknown figure
 		{"-fig", "6a", "-scale", "x"}, // bad scale
+		{"-fig", "6a", "-resume"},     // -resume without -journal
+		{"-fig", "6a", "-fig", "6a"},  // duplicate figure = duplicate unit key
 	}
 	for _, args := range cases {
-		if _, _, code := runBench(t, args...); code == 0 {
-			t.Fatalf("args %v should fail", args)
+		_, errb, code := runBench(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr %q)", args, code, errb)
+		}
+		if !strings.HasPrefix(errb, "softcache-bench: ") {
+			t.Fatalf("args %v: stderr not prefixed: %q", args, errb)
+		}
+	}
+}
+
+// stripElapsed drops the per-figure timing lines, the only output that
+// legitimately differs between runs.
+func stripElapsed(s string) string {
+	var keep []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "(elapsed ") || strings.HasPrefix(l, "(resumed)") {
+			continue
+		}
+		keep = append(keep, l)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestParallelMatchesSequential: reports and shape checks are
+// byte-identical whatever the worker count (timing lines aside).
+func TestParallelMatchesSequential(t *testing.T) {
+	args := []string{"-fig", "6a", "-fig", "6b", "-fig", "4a", "-scale", "test"}
+	seq, errb, code := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("sequential: exit %d: %s", code, errb)
+	}
+	par, errb, code := runBench(t, append(args, "-workers", "3")...)
+	if code != 0 {
+		t.Fatalf("parallel: exit %d: %s", code, errb)
+	}
+	if stripElapsed(seq) != stripElapsed(par) {
+		t.Fatalf("parallel output differs:\n--- workers=1\n%s\n--- workers=3\n%s", seq, par)
+	}
+}
+
+// TestJournalResume: a second run against the same journal replays the
+// figure from the checkpoint — same report, marked "(resumed)".
+func TestJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "bench.jsonl")
+	args := []string{"-fig", "6a", "-scale", "test", "-journal", journal}
+	first, errb, code := runBench(t, args...)
+	if code != 0 {
+		t.Fatalf("first run: exit %d: %s", code, errb)
+	}
+	second, errb, code := runBench(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume run: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(second, "(resumed)") {
+		t.Fatalf("resumed run not marked:\n%s", second)
+	}
+	if !strings.Contains(errb, "resumed fig:6a/scale=test/seed=1") {
+		t.Fatalf("resume not reported on stderr: %q", errb)
+	}
+	if stripElapsed(first) != stripElapsed(second) {
+		t.Fatalf("resumed report differs:\n--- fresh\n%s\n--- resumed\n%s", first, second)
+	}
+}
+
+// TestFaultsMode: the fault-injection corpus runs to completion with every
+// case contained.
+func TestFaultsMode(t *testing.T) {
+	out, errb, code := runBench(t, "-faults", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"truncated-mid-stream", "tag-flip-temporal", "rejected by reader", "0 uncontained"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
 		}
 	}
 }

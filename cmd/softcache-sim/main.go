@@ -21,12 +21,15 @@ import (
 	"io"
 	"os"
 
+	"softcache/internal/cli"
 	"softcache/internal/core"
 	"softcache/internal/lang"
 	"softcache/internal/trace"
 	"softcache/internal/tracegen"
 	"softcache/internal/workloads"
 )
+
+const tool = "softcache-sim"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,7 +38,7 @@ func main() {
 // run executes the tool with the given arguments, writing to the supplied
 // streams, and returns the process exit code. Split from main for testing.
 func run(args []string, stdout, stderr io.Writer) int {
-	flag := flag.NewFlagSet("softcache-sim", flag.ContinueOnError)
+	flag := flag.NewFlagSet(tool, flag.ContinueOnError)
 	flag.SetOutput(stderr)
 	workload := flag.String("workload", "", "workload name (see -workloads)")
 	source := flag.String("source", "", "loop-nest source file to compile, trace and simulate")
@@ -53,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warmup := flag.Int("warmup", 0, "exclude the first N references from the statistics (steady state)")
 	listW := flag.Bool("workloads", false, "list workloads and exit")
 	if err := flag.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 
 	if *listW {
@@ -66,8 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg, err := configByName(*configName)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.Exit(stderr, tool, err)
 	}
 	if *latency > 0 {
 		cfg = core.WithLatency(cfg, *latency)
@@ -87,8 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	t, err := loadTrace(*workload, *source, *traceFile, *scaleName, *seed)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.Exit(stderr, tool, err)
 	}
 	if *stripT || *stripS {
 		t = t.StripTags(*stripT, *stripS)
@@ -101,11 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res, err = core.Simulate(cfg, t)
 	}
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.Exit(stderr, tool, err)
 	}
 	printResult(stdout, t, res)
-	return 0
+	return cli.ExitOK
 }
 
 func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*trace.Trace, error) {
@@ -116,7 +116,7 @@ func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*tra
 		}
 	}
 	if selected > 1 {
-		return nil, fmt.Errorf("softcache-sim: -workload, -source and -trace are mutually exclusive")
+		return nil, cli.UsageErrorf("-workload, -source and -trace are mutually exclusive")
 	}
 	switch {
 	case source != "":
@@ -144,11 +144,11 @@ func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*tra
 		case "test":
 			scale = workloads.ScaleTest
 		default:
-			return nil, fmt.Errorf("softcache-sim: unknown scale %q", scaleName)
+			return nil, cli.UsageErrorf("unknown scale %q", scaleName)
 		}
 		return workloads.Trace(workload, scale, seed)
 	default:
-		return nil, fmt.Errorf("softcache-sim: need -workload or -trace (or -workloads to list)")
+		return nil, cli.UsageErrorf("need -workload or -trace (or -workloads to list)")
 	}
 }
 
@@ -183,7 +183,7 @@ func configByName(name string) (core.Config, error) {
 	case "subblock":
 		return core.Subblocked(), nil
 	default:
-		return core.Config{}, fmt.Errorf("softcache-sim: unknown config %q", name)
+		return core.Config{}, cli.UsageErrorf("unknown config %q", name)
 	}
 }
 

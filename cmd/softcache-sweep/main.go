@@ -8,26 +8,42 @@
 //	softcache-sweep -workload SpMV -config soft \
 //	    -x cache=4,8,16,32 -y vline=0,64,128,256 -metric miss
 //	softcache-sweep -source kernel.loop -x line=16,32,64 -metric traffic
+//	softcache-sweep -workload MV -x cache=4,8,16,32 -workers 4
 //
 // Axes: cache (KiB), line (bytes), vline (bytes; 0 disables), latency
 // (cycles), assoc (ways), bb (bounce-back lines), sbuf (stream buffers).
 // Metrics: amat, miss, traffic.
+//
+// Sweep points run on the experiment harness (internal/harness): in
+// parallel under -workers, each bounded by -timeout, with panics converted
+// into structured failed-run records on stderr and completed cells
+// checkpointed to -journal so an interrupted sweep resumes with -resume.
+// The matrix is printed in row-major order regardless of worker count.
+//
+// The process exits 0 on success, 1 when any cell fails, and 2 on usage
+// errors (bad axes, unknown metric or config).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"softcache/internal/cli"
 	"softcache/internal/core"
+	"softcache/internal/harness"
 	"softcache/internal/lang"
 	"softcache/internal/trace"
 	"softcache/internal/tracegen"
 	"softcache/internal/workloads"
 )
+
+const tool = "softcache-sweep"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -39,22 +55,48 @@ type axis struct {
 	values []int
 }
 
-// parseAxis parses "key=v1,v2,v3".
+// parseAxis parses "key=v1,v2,v3" and validates the key and every value.
 func parseAxis(s string) (axis, error) {
 	key, list, ok := strings.Cut(s, "=")
 	if !ok || key == "" || list == "" {
-		return axis{}, fmt.Errorf("softcache-sweep: axis %q must be key=v1,v2,...", s)
+		return axis{}, cli.UsageErrorf("axis %q must be key=v1,v2,...", s)
 	}
 	var a axis
 	a.key = key
+	seen := make(map[int]bool)
 	for _, v := range strings.Split(list, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(v))
 		if err != nil {
-			return axis{}, fmt.Errorf("softcache-sweep: axis %q: %v", s, err)
+			return axis{}, cli.UsageErrorf("axis %q: %v", s, err)
 		}
+		if err := checkAxisValue(key, n); err != nil {
+			return axis{}, err
+		}
+		if seen[n] {
+			return axis{}, cli.UsageErrorf("axis %q: duplicate value %d", s, n)
+		}
+		seen[n] = true
 		a.values = append(a.values, n)
 	}
 	return a, nil
+}
+
+// checkAxisValue rejects values the simulator would misconfigure on:
+// structural parameters must be positive, optional features non-negative.
+func checkAxisValue(key string, v int) error {
+	switch key {
+	case "cache", "line", "assoc":
+		if v <= 0 {
+			return cli.UsageErrorf("axis %s: value %d must be positive", key, v)
+		}
+	case "latency", "vline", "bb", "sbuf":
+		if v < 0 {
+			return cli.UsageErrorf("axis %s: value %d must be non-negative", key, v)
+		}
+	default:
+		return cli.UsageErrorf("unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
+	}
+	return nil
 }
 
 // apply sets one swept parameter on the configuration.
@@ -79,7 +121,7 @@ func apply(cfg core.Config, key string, v int) (core.Config, error) {
 	case "sbuf":
 		cfg.StreamBuffers = v
 	default:
-		return cfg, fmt.Errorf("softcache-sweep: unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
+		return cfg, cli.UsageErrorf("unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
 	}
 	return cfg, nil
 }
@@ -94,12 +136,12 @@ func metricOf(name string, r core.Result) (float64, error) {
 	case "traffic":
 		return r.Stats.WordsPerReference(), nil
 	default:
-		return 0, fmt.Errorf("softcache-sweep: unknown metric %q (want amat, miss or traffic)", name)
+		return 0, cli.UsageErrorf("unknown metric %q (want amat, miss or traffic)", name)
 	}
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("softcache-sweep", flag.ContinueOnError)
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "", "workload name")
 	source := fs.String("source", "", "loop-nest source file")
@@ -109,37 +151,105 @@ func run(args []string, stdout, stderr io.Writer) int {
 	xSpec := fs.String("x", "", "swept axis: key=v1,v2,... (columns)")
 	ySpec := fs.String("y", "", "optional second axis (rows)")
 	metric := fs.String("metric", "amat", "metric: amat, miss or traffic")
+	workers := fs.Int("workers", 1, "sweep cells simulated in parallel")
+	timeout := fs.Duration("timeout", 0, "per-cell timeout (0 = none)")
+	journal := fs.String("journal", "", "append completed cells to this JSONL checkpoint file")
+	resume := fs.Bool("resume", false, "replay cells already completed in -journal instead of re-running them")
+	check := fs.Bool("check", false, "enable runtime invariant checking in every simulation (slower)")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 	if *xSpec == "" {
-		fmt.Fprintln(stderr, "softcache-sweep: -x is required")
-		return 2
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-x is required"))
 	}
 
 	xAxis, err := parseAxis(*xSpec)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return cli.Exit(stderr, tool, err)
 	}
 	yAxis := axis{key: "", values: []int{0}}
 	if *ySpec != "" {
 		yAxis, err = parseAxis(*ySpec)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+			return cli.Exit(stderr, tool, err)
 		}
+		if yAxis.key == xAxis.key {
+			return cli.Exit(stderr, tool, cli.UsageErrorf("-x and -y sweep the same axis %q", xAxis.key))
+		}
+	}
+	if _, err := metricOf(*metric, core.Result{}); err != nil {
+		return cli.Exit(stderr, tool, err)
 	}
 
 	base, err := baseConfig(*configName)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return cli.Exit(stderr, tool, err)
+	}
+	if *check {
+		base = core.WithRuntimeChecks(base, true)
 	}
 	t, err := loadTrace(*workload, *source, *scaleName, *seed)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.Exit(stderr, tool, err)
+	}
+
+	opts := harness.Options{
+		Workers:     *workers,
+		Timeout:     *timeout,
+		JournalPath: *journal,
+		Resume:      *resume,
+		Log:         stderr,
+	}
+	if opts.Resume && opts.JournalPath == "" {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-resume requires -journal"))
+	}
+
+	// One unit per matrix cell, submitted in row-major order so the harness
+	// hands the results back in exactly the order the matrix prints.
+	fingerprint := fmt.Sprintf("%016x", t.Fingerprint())
+	var units []harness.Unit[float64]
+	for _, y := range yAxis.values {
+		for _, x := range xAxis.values {
+			cfg := base
+			if yAxis.key != "" {
+				if cfg, err = apply(cfg, yAxis.key, y); err != nil {
+					return cli.Exit(stderr, tool, err)
+				}
+			}
+			if cfg, err = apply(cfg, xAxis.key, x); err != nil {
+				return cli.Exit(stderr, tool, err)
+			}
+			key := fmt.Sprintf("cell:%s=%d", xAxis.key, x)
+			meta := map[string]string{
+				"config":  *configName,
+				"metric":  *metric,
+				"seed":    fmt.Sprint(*seed),
+				"trace":   fingerprint,
+				xAxis.key: fmt.Sprint(x),
+			}
+			if yAxis.key != "" {
+				key = fmt.Sprintf("cell:%s=%d,%s=%d", yAxis.key, y, xAxis.key, x)
+				meta[yAxis.key] = fmt.Sprint(y)
+			}
+			units = append(units, harness.Unit[float64]{
+				Key:  key,
+				Meta: meta,
+				Run: func(runCtx context.Context) (float64, error) {
+					res, err := core.SimulateContext(runCtx, cfg, t)
+					if err != nil {
+						return 0, err
+					}
+					return metricOf(*metric, res)
+				},
+			})
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := harness.Run(ctx, units, opts)
+	if err != nil {
+		return cli.Exit(stderr, tool, err)
 	}
 
 	// Header row.
@@ -154,6 +264,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, strings.Join(head, ","))
 
+	idx := 0
 	for _, y := range yAxis.values {
 		row := make([]string, 0, len(xAxis.values)+1)
 		if yAxis.key == "" {
@@ -161,33 +272,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			row = append(row, strconv.Itoa(y))
 		}
-		for _, x := range xAxis.values {
-			cfg := base
-			if yAxis.key != "" {
-				if cfg, err = apply(cfg, yAxis.key, y); err != nil {
-					fmt.Fprintln(stderr, err)
-					return 2
-				}
+		for range xAxis.values {
+			r := results[idx]
+			idx++
+			if r.OK() {
+				row = append(row, strconv.FormatFloat(r.Value, 'f', 4, 64))
+			} else {
+				row = append(row, "error")
 			}
-			if cfg, err = apply(cfg, xAxis.key, x); err != nil {
-				fmt.Fprintln(stderr, err)
-				return 2
-			}
-			res, err := core.Simulate(cfg, t)
-			if err != nil {
-				fmt.Fprintf(stderr, "softcache-sweep: %s=%d %s=%d: %v\n", xAxis.key, x, yAxis.key, y, err)
-				return 1
-			}
-			m, err := metricOf(*metric, res)
-			if err != nil {
-				fmt.Fprintln(stderr, err)
-				return 2
-			}
-			row = append(row, strconv.FormatFloat(m, 'f', 4, 64))
 		}
 		fmt.Fprintln(stdout, strings.Join(row, ","))
 	}
-	return 0
+
+	if s := harness.Summarize(results); s.Failures() > 0 {
+		return cli.Exit(stderr, tool, fmt.Errorf("%s", s))
+	}
+	return cli.ExitOK
 }
 
 func baseConfig(name string) (core.Config, error) {
@@ -201,14 +301,14 @@ func baseConfig(name string) (core.Config, error) {
 	case "soft-variable":
 		return core.SoftVariable(), nil
 	default:
-		return core.Config{}, fmt.Errorf("softcache-sweep: unknown base config %q (want standard, victim, soft or soft-variable)", name)
+		return core.Config{}, cli.UsageErrorf("unknown base config %q (want standard, victim, soft or soft-variable)", name)
 	}
 }
 
 func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, error) {
 	switch {
 	case workload != "" && source != "":
-		return nil, fmt.Errorf("softcache-sweep: -workload and -source are mutually exclusive")
+		return nil, cli.UsageErrorf("-workload and -source are mutually exclusive")
 	case source != "":
 		data, err := os.ReadFile(source)
 		if err != nil {
@@ -227,10 +327,10 @@ func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, e
 		case "test":
 			scale = workloads.ScaleTest
 		default:
-			return nil, fmt.Errorf("softcache-sweep: unknown scale %q", scaleName)
+			return nil, cli.UsageErrorf("unknown scale %q", scaleName)
 		}
 		return workloads.Trace(workload, scale, seed)
 	default:
-		return nil, fmt.Errorf("softcache-sweep: need -workload or -source")
+		return nil, cli.UsageErrorf("need -workload or -source")
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -78,5 +79,98 @@ func TestSweepErrors(t *testing.T) {
 		if _, _, code := runSweep(t, append(args, "-scale", "test")...); code == 0 {
 			t.Fatalf("args %v should fail", args)
 		}
+	}
+}
+
+// TestSweepAxisEdgeCases pins down the axis-spec validation: every
+// malformed spec is a usage error (exit 2), never a runtime failure or a
+// silent wrong matrix.
+func TestSweepAxisEdgeCases(t *testing.T) {
+	usage := [][]string{
+		{"-x", "latency=5,10", "-y", "latency=20"}, // x and y sweep the same key
+		{"-x", "cache=0,4"},                        // structural zero
+		{"-x", "cache=-4"},                         // structural negative
+		{"-x", "line=0"},
+		{"-x", "assoc=0,1"},
+		{"-x", "latency=-1"}, // feature negative
+		{"-x", "vline=-64"},
+		{"-x", "bb=-2"},
+		{"-x", "sbuf=-1"},
+		{"-x", "latency="},      // empty value list
+		{"-x", "latency=5,"},    // trailing comma = empty value
+		{"-x", "latency=5,,10"}, // embedded empty value
+		{"-x", "latency=5,5"},   // duplicate value (duplicate cell key)
+		{"-x", "=5,10"},         // empty key
+		{"-resume", "-x", "latency=5"},
+	}
+	for _, args := range usage {
+		args = append([]string{"-workload", "MV", "-scale", "test"}, args...)
+		if _, errb, code := runSweep(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr %q)", args, code, errb)
+		}
+	}
+	// Zero is a value, not an error, for the optional features.
+	ok := [][]string{
+		{"-x", "vline=0,64"},
+		{"-x", "bb=0,4"},
+		{"-x", "sbuf=0,2"},
+		{"-x", "latency=0,5"},
+	}
+	for _, args := range ok {
+		args = append([]string{"-workload", "MV", "-scale", "test"}, args...)
+		if _, errb, code := runSweep(t, args...); code != 0 {
+			t.Errorf("args %v: exit %d, want 0 (stderr %q)", args, code, errb)
+		}
+	}
+}
+
+// TestSweepErrorPrefix: every diagnostic is prefixed with the tool name.
+func TestSweepErrorPrefix(t *testing.T) {
+	_, errb, code := runSweep(t, "-workload", "MV", "-scale", "test", "-x", "zz=5")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.HasPrefix(errb, "softcache-sweep: ") {
+		t.Fatalf("stderr not prefixed: %q", errb)
+	}
+}
+
+// TestSweepParallelMatchesSequential: the matrix is byte-identical
+// whatever the worker count.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	args := []string{"-workload", "SpMV", "-scale", "test",
+		"-x", "cache=4,8,16", "-y", "latency=10,20", "-metric", "miss"}
+	seq, errb, code := runSweep(t, args...)
+	if code != 0 {
+		t.Fatalf("sequential: exit %d: %s", code, errb)
+	}
+	par, errb, code := runSweep(t, append(args, "-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("parallel: exit %d: %s", code, errb)
+	}
+	if seq != par {
+		t.Fatalf("parallel output differs:\n--- workers=1\n%s--- workers=4\n%s", seq, par)
+	}
+}
+
+// TestSweepResume: a second run against the same journal replays every
+// cell and prints the same matrix.
+func TestSweepResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-workload", "MV", "-scale", "test",
+		"-x", "latency=5,10,20", "-journal", journal}
+	first, errb, code := runSweep(t, args...)
+	if code != 0 {
+		t.Fatalf("first run: exit %d: %s", code, errb)
+	}
+	second, errb, code := runSweep(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume run: exit %d: %s", code, errb)
+	}
+	if first != second {
+		t.Fatalf("resumed matrix differs:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(errb, "resumed") {
+		t.Fatalf("resume not reported on stderr: %q", errb)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"softcache/internal/cli"
 	"softcache/internal/lang"
 	"softcache/internal/locality"
 	"softcache/internal/loopir"
@@ -27,13 +28,15 @@ import (
 	"softcache/internal/workloads"
 )
 
+const tool = "softcache-trace"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run executes the tool; split from main for testing.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("softcache-trace", flag.ContinueOnError)
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "", "workload to generate (see softcache-sim -workloads)")
 	source := fs.String("source", "", "loop-nest source file to compile and trace (see internal/lang)")
@@ -47,24 +50,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 10, "records to dump")
 	program := fs.Bool("program", false, "print the workload's loop nest with resolved tags")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 
 	t, err := obtainTrace(stdout, *workload, *source, *in, *din, *scaleName, *seed, *program)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.Exit(stderr, tool, err)
 	}
 	if t == nil {
-		return 0 // -program only
+		return cli.ExitOK // -program only
 	}
 
 	fmt.Fprintf(stdout, "trace %s: %d references\n", t.Name, t.Len())
 
 	if *out != "" {
 		if err := writeTrace(*out, t); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+			return cli.Exit(stderr, tool, err)
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
@@ -81,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *stats {
 		printStats(stdout, t)
 	}
-	return 0
+	return cli.ExitOK
 }
 
 func writeTrace(path string, t *trace.Trace) error {
@@ -104,7 +105,7 @@ func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, 
 		}
 	}
 	if selected > 1 {
-		return nil, fmt.Errorf("softcache-trace: -workload, -source, -in and -din are mutually exclusive")
+		return nil, cli.UsageErrorf("-workload, -source, -in and -din are mutually exclusive")
 	}
 	switch {
 	case din != "":
@@ -147,7 +148,7 @@ func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, 
 		case "test":
 			scale = workloads.ScaleTest
 		default:
-			return nil, fmt.Errorf("softcache-trace: unknown scale %q", scaleName)
+			return nil, cli.UsageErrorf("unknown scale %q", scaleName)
 		}
 		p, err := workloads.BuildProgram(workload, scale)
 		if err != nil {
@@ -163,7 +164,7 @@ func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, 
 		}
 		return tracegen.Generate(p, tracegen.Options{Seed: seed})
 	default:
-		return nil, fmt.Errorf("softcache-trace: need -workload, -source, -in or -din")
+		return nil, cli.UsageErrorf("need -workload, -source, -in or -din")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"softcache/internal/cli"
 	"softcache/internal/depend"
 	"softcache/internal/lang"
 	"softcache/internal/locality"
@@ -31,13 +32,15 @@ import (
 	"softcache/internal/workloads"
 )
 
+const tool = "softcache-vet"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run executes the tool; split from main for testing.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("softcache-vet", flag.ContinueOnError)
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	source := fs.String("source", "", "loop-nest source file to vet (see internal/lang)")
 	workload := fs.String("workload", "", `built-in workload to vet, or "all" for the 9 benchmarks`)
@@ -50,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit JSON instead of human-readable text")
 	listPasses := fs.Bool("passes", false, "list the registered passes and exit")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 
 	if *listPasses {
@@ -61,21 +64,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%-12s %-8s %s\n", p.Name, kind, p.Doc)
 		}
-		return 0
+		return cli.ExitOK
 	}
 
 	if (*source == "") == (*workload == "") {
-		fmt.Fprintln(stderr, "softcache-vet: exactly one of -source or -workload is required")
+		cli.Errorln(stderr, tool, cli.UsageErrorf("exactly one of -source or -workload is required"))
 		fs.Usage()
-		return 2
+		return cli.ExitUsage
 	}
 
 	scale := workloads.ScalePaper
 	if *scaleName == "test" {
 		scale = workloads.ScaleTest
 	} else if *scaleName != "paper" {
-		fmt.Fprintf(stderr, "softcache-vet: unknown scale %q (want paper or test)\n", *scaleName)
-		return 2
+		return cli.Exit(stderr, tool, cli.UsageErrorf("unknown scale %q (want paper or test)", *scaleName))
 	}
 
 	opts := vet.Options{
@@ -99,13 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, name := range names {
 		p, err := load(name, *source != "", scale)
 		if err != nil {
-			fmt.Fprintln(stderr, "softcache-vet:", err)
-			return 1
+			return cli.Exit(stderr, tool, err)
 		}
 		res, err := vet.Run(p, opts)
 		if err != nil {
-			fmt.Fprintln(stderr, "softcache-vet:", err)
-			return 1
+			return cli.Exit(stderr, tool, err)
 		}
 		results = append(results, res)
 		if !*jsonOut {
@@ -124,8 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			payload = results
 		}
 		if err := enc.Encode(payload); err != nil {
-			fmt.Fprintln(stderr, "softcache-vet:", err)
-			return 1
+			return cli.Exit(stderr, tool, err)
 		}
 	} else if *audit && len(results) > 1 {
 		printAuditTable(stdout, results)
@@ -133,10 +132,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	for _, res := range results {
 		if res.HasErrors() {
-			return 1
+			return cli.ExitFailure
 		}
 	}
-	return 0
+	return cli.ExitOK
 }
 
 // load builds the program: a parsed source file or a built-in workload.

@@ -7,10 +7,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"softcache/internal/core"
 	"softcache/internal/metrics"
@@ -20,11 +22,33 @@ import (
 
 // Context carries experiment-wide state: the workload scale, the trace
 // seed, and a trace cache so the nine benchmarks are generated once per
-// process instead of once per configuration.
+// process instead of once per configuration. It is safe for concurrent
+// use: the experiment harness runs several figures at once against one
+// shared Context, and each workload's trace is still generated exactly
+// once.
 type Context struct {
 	Scale workloads.Scale
 	Seed  uint64
-	cache map[string]*trace.Trace
+	// Check enables the runtime invariant checker (cache.RuntimeChecks) on
+	// every simulation run through this context.
+	Check bool
+
+	ctx    context.Context
+	traces *traceCache
+}
+
+// traceCache deduplicates trace generation across concurrent experiments:
+// the first requester of a workload generates it inside a sync.Once, later
+// requesters block on that Once and share the result.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	t    *trace.Trace
+	err  error
 }
 
 // NewContext builds a context at the given scale. Seed 0 selects the
@@ -33,29 +57,63 @@ func NewContext(scale workloads.Scale, seed uint64) *Context {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Context{Scale: scale, Seed: seed, cache: make(map[string]*trace.Trace)}
+	return &Context{
+		Scale:  scale,
+		Seed:   seed,
+		traces: &traceCache{m: make(map[string]*traceEntry)},
+	}
+}
+
+// WithContext returns a copy of c whose simulations are canceled when ctx
+// is. The trace cache is shared with c, so per-experiment contexts handed
+// out by the harness still generate each workload once.
+func (c *Context) WithContext(ctx context.Context) *Context {
+	c2 := *c
+	c2.ctx = ctx
+	return &c2
+}
+
+func (c *Context) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// cached returns the trace stored under key, building it at most once
+// process-wide even when experiments race for it.
+func (c *Context) cached(key string, build func() (*trace.Trace, error)) (*trace.Trace, error) {
+	c.traces.mu.Lock()
+	e, ok := c.traces.m[key]
+	if !ok {
+		e = &traceEntry{}
+		c.traces.m[key] = e
+	}
+	c.traces.mu.Unlock()
+	e.once.Do(func() {
+		e.t, e.err = build()
+	})
+	return e.t, e.err
 }
 
 // Trace returns the (cached) tagged trace of the named workload.
 func (c *Context) Trace(name string) (*trace.Trace, error) {
-	if t, ok := c.cache[name]; ok {
-		return t, nil
-	}
-	t, err := workloads.Trace(name, c.Scale, c.Seed)
-	if err != nil {
-		return nil, err
-	}
-	c.cache[name] = t
-	return t, nil
+	return c.cached(name, func() (*trace.Trace, error) {
+		return workloads.Trace(name, c.Scale, c.Seed)
+	})
 }
 
-// Simulate runs cfg over the named workload's trace.
+// Simulate runs cfg over the named workload's trace, honouring the
+// context's cancellation and invariant-check settings.
 func (c *Context) Simulate(name string, cfg core.Config) (core.Result, error) {
 	t, err := c.Trace(name)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return core.Simulate(cfg, t)
+	if c.Check {
+		cfg.RuntimeChecks = true
+	}
+	return core.SimulateContext(c.context(), cfg, t)
 }
 
 // Check is one qualitative shape assertion.

@@ -25,15 +25,7 @@ func init() {
 
 // blockedTrace generates (and caches) a parameterised workload's trace.
 func (c *Context) blockedTrace(key string, build func() (*trace.Trace, error)) (*trace.Trace, error) {
-	if t, ok := c.cache[key]; ok {
-		return t, nil
-	}
-	t, err := build()
-	if err != nil {
-		return nil, err
-	}
-	c.cache[key] = t
-	return t, nil
+	return c.cached(key, build)
 }
 
 // fig11aBlocks returns the block-size sweep for the scale (every block must

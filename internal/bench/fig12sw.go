@@ -21,25 +21,17 @@ func init() {
 
 // swPrefetchTrace builds the named workload with compiler-inserted prefetch
 // instructions at the given iteration distance.
-func (c *Context) swPrefetchTrace(name string, distance int) (*trace.Trace, int, error) {
-	key := fmt.Sprintf("%s/swpf=%d", name, distance)
-	if t, ok := c.cache[key]; ok {
-		return t, -1, nil
-	}
-	p, err := workloads.BuildProgram(name, c.Scale)
-	if err != nil {
-		return nil, 0, err
-	}
-	inserted, err := locality.InsertPrefetches(p, distance)
-	if err != nil {
-		return nil, 0, err
-	}
-	t, err := tracegen.Generate(p, tracegen.Options{Seed: c.Seed})
-	if err != nil {
-		return nil, 0, err
-	}
-	c.cache[key] = t
-	return t, inserted, nil
+func (c *Context) swPrefetchTrace(name string, distance int) (*trace.Trace, error) {
+	return c.cached(fmt.Sprintf("%s/swpf=%d", name, distance), func() (*trace.Trace, error) {
+		p, err := workloads.BuildProgram(name, c.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := locality.InsertPrefetches(p, distance); err != nil {
+			return nil, err
+		}
+		return tracegen.Generate(p, tracegen.Options{Seed: c.Seed})
+	})
 }
 
 // runFig12SW extends fig. 12 with the software-prefetch variant the paper
@@ -70,7 +62,7 @@ func runFig12SW(ctx *Context) (*Report, error) {
 		}
 		row = append(row, hw.AMAT())
 		for _, d := range distances {
-			t, _, err := ctx.swPrefetchTrace(name, d)
+			t, err := ctx.swPrefetchTrace(name, d)
 			if err != nil {
 				return nil, err
 			}

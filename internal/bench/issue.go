@@ -6,6 +6,7 @@ import (
 	"softcache/internal/core"
 	"softcache/internal/metrics"
 	"softcache/internal/timing"
+	"softcache/internal/trace"
 	"softcache/internal/tracegen"
 	"softcache/internal/workloads"
 )
@@ -42,14 +43,11 @@ func runIssueRate(ctx *Context) (*Report, error) {
 		}
 		row := make([]float64, len(gaps))
 		for i, g := range gaps {
-			key := fmt.Sprintf("%s/gap=%d", name, g)
-			t, ok := ctx.cache[key]
-			if !ok {
-				t, err = tracegen.Generate(p, tracegen.Options{Seed: ctx.Seed, Gaps: timing.Constant(g)})
-				if err != nil {
-					return nil, err
-				}
-				ctx.cache[key] = t
+			t, err := ctx.cached(fmt.Sprintf("%s/gap=%d", name, g), func() (*trace.Trace, error) {
+				return tracegen.Generate(p, tracegen.Options{Seed: ctx.Seed, Gaps: timing.Constant(g)})
+			})
+			if err != nil {
+				return nil, err
 			}
 			std, err := core.Simulate(core.Standard(), t)
 			if err != nil {

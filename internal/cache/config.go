@@ -220,6 +220,16 @@ type Config struct {
 
 	// Memory is the memory-system model.
 	Memory mem.Config
+
+	// RuntimeChecks enables the opt-in runtime invariant checker: cheap
+	// accounting invariants (hits+misses == references, words-fetched
+	// conservation, swap accounting) are verified after every access and
+	// structural invariants (occupancy bounds, duplicate or dually-resident
+	// lines, temporal bit cleared after a bounce-back) periodically. A
+	// violation panics with *InvariantError, turning state corruption into
+	// an immediate diagnostic instead of silently wrong figures. Costs a
+	// few percent of simulation speed; off by default.
+	RuntimeChecks bool
 }
 
 // Validate reports configuration errors.

@@ -171,6 +171,9 @@ func (s *Simulator) Access(r trace.Record) int {
 	s.stats.LockStallCycles += uint64(stall)
 	s.now = issue + uint64(service)
 	s.freeAt = s.now + uint64(lock)
+	if s.cfg.RuntimeChecks {
+		s.runChecks()
+	}
 	return cost
 }
 
@@ -589,6 +592,9 @@ func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss boo
 		vw.dirty = e.dirty
 		vw.temporal = false // the temporal bit is reset after a bounce-back
 		s.stats.BouncedBack++
+		if s.cfg.RuntimeChecks {
+			s.checkBouncedBack(e.tag)
+		}
 		return 0
 	}
 	return s.discard(e, underMiss)

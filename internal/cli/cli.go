@@ -1,0 +1,78 @@
+// Package cli centralises the conventions shared by every softcache
+// command: exit 0 on success, 1 on runtime failure, 2 on usage errors,
+// and every diagnostic on stderr prefixed with the tool's name.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes common to all softcache commands.
+const (
+	ExitOK      = 0 // success
+	ExitFailure = 1 // runtime failure: simulation error, I/O, failing checks
+	ExitUsage   = 2 // bad flags, bad arguments, unknown names
+)
+
+// usageError marks an error as the caller's fault (exit 2) rather than a
+// runtime failure (exit 1).
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// UsageErrorf builds an error that Code maps to ExitUsage.
+func UsageErrorf(format string, args ...any) error {
+	return &usageError{fmt.Errorf(format, args...)}
+}
+
+// Usage wraps err so Code maps it to ExitUsage. Wrapping nil returns nil.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &usageError{err}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool {
+	var ue *usageError
+	return errors.As(err, &ue)
+}
+
+// Code maps an error to the conventional exit code.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		return ExitUsage
+	default:
+		return ExitFailure
+	}
+}
+
+// Errorln prints err to w prefixed "tool: " unless the message already
+// starts with that prefix (errors wrapped by the tool's own packages
+// often do).
+func Errorln(w io.Writer, tool string, err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, tool+":") {
+		msg = tool + ": " + msg
+	}
+	fmt.Fprintln(w, msg)
+}
+
+// Exit prints err (if any) with Errorln and returns its exit code — the
+// idiom for the tail of every command's run function:
+//
+//	return cli.Exit(stderr, "softcache-sim", runSim(...))
+func Exit(w io.Writer, tool string, err error) int {
+	if err != nil {
+		Errorln(w, tool, err)
+	}
+	return Code(err)
+}

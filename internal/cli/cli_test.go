@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCode(t *testing.T) {
+	if got := Code(nil); got != ExitOK {
+		t.Fatalf("Code(nil) = %d", got)
+	}
+	if got := Code(errors.New("boom")); got != ExitFailure {
+		t.Fatalf("Code(runtime) = %d", got)
+	}
+	if got := Code(UsageErrorf("bad flag")); got != ExitUsage {
+		t.Fatalf("Code(usage) = %d", got)
+	}
+	// Usage classification survives wrapping.
+	wrapped := fmt.Errorf("context: %w", UsageErrorf("bad flag"))
+	if got := Code(wrapped); got != ExitUsage {
+		t.Fatalf("Code(wrapped usage) = %d", got)
+	}
+}
+
+func TestUsageNilPassthrough(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Fatal("Usage(nil) != nil")
+	}
+	if !IsUsage(Usage(errors.New("x"))) {
+		t.Fatal("Usage(err) not classified as usage")
+	}
+}
+
+func TestErrorlnPrefix(t *testing.T) {
+	var b strings.Builder
+	Errorln(&b, "softcache-sim", errors.New("no such trace"))
+	if got := b.String(); got != "softcache-sim: no such trace\n" {
+		t.Fatalf("got %q", got)
+	}
+	b.Reset()
+	Errorln(&b, "softcache-sim", errors.New("softcache-sim: already prefixed"))
+	if got := b.String(); got != "softcache-sim: already prefixed\n" {
+		t.Fatalf("double prefix: %q", got)
+	}
+}
+
+func TestExit(t *testing.T) {
+	var b strings.Builder
+	if got := Exit(&b, "tool", nil); got != ExitOK || b.Len() != 0 {
+		t.Fatalf("Exit(nil) = %d, wrote %q", got, b.String())
+	}
+	if got := Exit(&b, "tool", UsageErrorf("nope")); got != ExitUsage {
+		t.Fatalf("Exit(usage) = %d", got)
+	}
+	if !strings.Contains(b.String(), "tool: nope") {
+		t.Fatalf("stderr = %q", b.String())
+	}
+}

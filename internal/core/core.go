@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -237,12 +238,39 @@ func NewSimulator(cfg Config) (*cache.Simulator, error) { return cache.New(cfg) 
 
 // Simulate runs the whole trace through a fresh simulator built from cfg.
 func Simulate(cfg Config, t *trace.Trace) (Result, error) {
+	return SimulateContext(context.Background(), cfg, t)
+}
+
+// cancelCheckInterval is how many records SimulateContext processes
+// between context polls: rare enough to be free, frequent enough that a
+// canceled multi-million-record run stops within milliseconds.
+const cancelCheckInterval = 1 << 15
+
+// SimulateContext runs the whole trace through a fresh simulator built
+// from cfg, checking ctx periodically so a timeout or interrupt aborts a
+// long simulation promptly. On cancellation the partial statistics are
+// discarded and ctx's error is returned wrapped.
+func SimulateContext(ctx context.Context, cfg Config, t *trace.Trace) (Result, error) {
 	sim, err := cache.New(cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
-	stats := sim.Run(t)
-	return Result{Trace: t.Name, Config: Describe(cfg), Stats: stats}, nil
+	for i, r := range t.Records {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return Result{}, fmt.Errorf("core: simulating %s: %w", t.Name, ctx.Err())
+		}
+		sim.Access(r)
+	}
+	return Result{Trace: t.Name, Config: Describe(cfg), Stats: sim.Stats()}, nil
+}
+
+// WithRuntimeChecks returns cfg with the runtime invariant checker toggled
+// (see cache.Config.RuntimeChecks): state corruption then surfaces as an
+// immediate *cache.InvariantError panic, which the experiment harness
+// converts into a structured failed-run record.
+func WithRuntimeChecks(cfg Config, on bool) Config {
+	cfg.RuntimeChecks = on
+	return cfg
 }
 
 // SimulateWarm runs the trace like Simulate but resets the statistics

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the wire form of a Table: the unexported rows become an
+// explicit list so a table survives a JSON round-trip (the experiment
+// harness journals whole reports and re-renders them on resume).
+type tableJSON struct {
+	Title    string         `json:"title"`
+	RowLabel string         `json:"row_label"`
+	Columns  []string       `json:"columns"`
+	Rows     []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, RowLabel: t.RowLabel, Columns: t.Columns}
+	for _, r := range t.rows {
+		out.Rows = append(out.Rows, tableRowJSON{Label: r.label, Values: r.values})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating that every row has
+// one value per column so a hand-edited or truncated journal cannot smuggle
+// in a structurally broken table.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.RowLabel = in.RowLabel
+	t.Columns = in.Columns
+	t.rows = nil
+	for _, r := range in.Rows {
+		if len(r.Values) != len(in.Columns) {
+			return fmt.Errorf("metrics: row %q has %d values for %d columns", r.Label, len(r.Values), len(in.Columns))
+		}
+		t.rows = append(t.rows, tableRow{label: r.Label, values: r.Values})
+	}
+	return nil
+}

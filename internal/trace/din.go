@@ -8,6 +8,10 @@ import (
 	"strings"
 )
 
+// maxDinLineBytes bounds one din input line; real din traces carry two
+// short fields, so anything longer is corruption.
+const maxDinLineBytes = 64 * 1024
+
 // ReadDin imports a trace in the classic Dinero ("din") format used by
 // generations of cache simulators: one access per line,
 //
@@ -18,40 +22,50 @@ import (
 // the paper does). Addresses may carry an optional 0x prefix; blank lines
 // and lines starting with '#' are ignored.
 //
+// Malformed input fails with an error naming both the line number and the
+// byte offset of the offending line; inputs with more than MaxRecords data
+// references are rejected (the same budget the binary reader enforces).
+//
 // Imported references carry no software tags — exactly the situation of a
 // binary-only workload — so they exercise the Standard/Victim designs, or
 // Soft with its tag gates off.
 func ReadDin(r io.Reader, name string) (*Trace, error) {
 	t := &Trace{Name: name}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	sc.Buffer(make([]byte, maxDinLineBytes), maxDinLineBytes)
 	lineNo := 0
+	offset := int64(0) // byte offset of the start of the current line
 	first := true
 	for sc.Scan() {
 		lineNo++
+		lineStart := offset
+		offset += int64(len(sc.Bytes())) + 1 // +1 for the newline
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("trace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+			return nil, fmt.Errorf("trace: din line %d (byte offset %d): want \"<label> <addr>\", got %q", lineNo, lineStart, line)
 		}
 		label, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: din line %d: bad label %q", lineNo, fields[0])
+			return nil, fmt.Errorf("trace: din line %d (byte offset %d): bad label %q", lineNo, lineStart, fields[0])
 		}
 		switch label {
 		case 0, 1:
 		case 2:
 			continue // instruction fetch: not a data reference
 		default:
-			return nil, fmt.Errorf("trace: din line %d: unknown label %d", lineNo, label)
+			return nil, fmt.Errorf("trace: din line %d (byte offset %d): unknown label %d", lineNo, lineStart, label)
 		}
 		addrText := strings.TrimPrefix(strings.ToLower(fields[1]), "0x")
 		addr, err := strconv.ParseUint(addrText, 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: din line %d: bad address %q", lineNo, fields[1])
+			return nil, fmt.Errorf("trace: din line %d (byte offset %d): bad address %q", lineNo, lineStart, fields[1])
+		}
+		if len(t.Records) >= MaxRecords {
+			return nil, fmt.Errorf("%w: din line %d (byte offset %d): more than %d references", ErrTooLarge, lineNo, lineStart, uint64(MaxRecords))
 		}
 		gap := uint8(1)
 		if first {
@@ -66,7 +80,7 @@ func ReadDin(r io.Reader, name string) (*Trace, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: reading din input: %w", err)
+		return nil, fmt.Errorf("trace: reading din input near line %d (byte offset %d): %w", lineNo+1, offset, err)
 	}
 	return t, nil
 }

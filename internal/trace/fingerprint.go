@@ -1,0 +1,35 @@
+package trace
+
+// Fingerprint returns a stable 64-bit FNV-1a hash over the trace's name
+// and the serialised form of every record. Two traces with the same
+// fingerprint are byte-identical when written with Write, so the value
+// identifies a trace in failed-run records precisely enough to reproduce a
+// crash: regenerate the workload with the recorded seed and compare
+// fingerprints before replaying.
+func (t *Trace) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	hashByte := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < len(t.Name); i++ {
+		hashByte(t.Name[i])
+	}
+	hashByte(0) // separator between name and records
+	for _, r := range t.Records {
+		for shift := 0; shift < 64; shift += 8 {
+			hashByte(byte(r.Addr >> shift))
+		}
+		for shift := 0; shift < 32; shift += 8 {
+			hashByte(byte(r.RefID >> shift))
+		}
+		hashByte(r.Gap)
+		hashByte(r.Size)
+		hashByte(packFlags(r))
+	}
+	return h
+}

@@ -2,23 +2,74 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 )
 
-// FuzzRead feeds arbitrary bytes to the trace parser: it must never panic
-// and must either fail cleanly or return a structurally valid trace.
-func FuzzRead(f *testing.F) {
-	var seed bytes.Buffer
-	if err := Write(&seed, &Trace{
+// faultSeeds mirrors the harness fault-injection corpus inline (the
+// harness package imports trace, so this test cannot import it back):
+// truncations at every framing boundary, corrupted magic/version bytes,
+// absurd record counts and flag garbage. They seed both fuzzers so the
+// generated corpus starts from the corruption classes the corpus already
+// proved interesting.
+func faultSeeds(f *testing.F) [][]byte {
+	var healthy bytes.Buffer
+	if err := Write(&healthy, &Trace{
 		Name: "seed",
 		Records: []Record{
 			{Addr: 0x1000, RefID: 1, Size: 8, Temporal: true},
 			{Addr: 0x2000, RefID: 2, Size: 8, Spatial: true, Write: true},
+			{Addr: 0x3000, RefID: 3, Size: 4, Gap: 2},
 		},
 	}); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(seed.Bytes())
+	h := healthy.Bytes()
+	headerLen := 4 + 2 + 2 + len("seed") + 8
+	countOff := headerLen - 8
+	clone := func() []byte { return append([]byte(nil), h...) }
+
+	seeds := [][]byte{h}
+	// Truncations: mid-magic, mid-version, mid-name, mid-count, mid-record.
+	for _, at := range []int{0, 2, 5, 4 + 2 + 2 + 2, countOff + 3, headerLen + 7, len(h) - 1} {
+		if at >= 0 && at < len(h) {
+			seeds = append(seeds, clone()[:at])
+		}
+	}
+	badMagic := clone()
+	badMagic[0] = 'X'
+	seeds = append(seeds, badMagic)
+
+	badVersion := clone()
+	binary.LittleEndian.PutUint16(badVersion[4:6], 0x7fff)
+	seeds = append(seeds, badVersion)
+
+	huge := clone()
+	binary.LittleEndian.PutUint64(huge[countOff:countOff+8], ^uint64(0))
+	seeds = append(seeds, huge)
+
+	overBudget := clone()
+	binary.LittleEndian.PutUint64(overBudget[countOff:countOff+8], MaxRecords+1)
+	seeds = append(seeds, overBudget)
+
+	offByOne := clone()
+	binary.LittleEndian.PutUint64(offByOne[countOff:countOff+8], 4)
+	seeds = append(seeds, offByOne)
+
+	flagGarbage := clone()
+	flagGarbage[headerLen+14] = 0xff
+	seeds = append(seeds, flagGarbage)
+
+	return seeds
+}
+
+// FuzzRead feeds arbitrary bytes to the trace parser: it must never panic
+// and must either fail cleanly or return a structurally valid trace.
+func FuzzRead(f *testing.F) {
+	for _, s := range faultSeeds(f) {
+		f.Add(s)
+	}
 	f.Add([]byte("SCTR"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -30,6 +81,34 @@ func FuzzRead(f *testing.F) {
 			t.Fatal("nil trace with nil error")
 		}
 		// A parsed trace must be internally consistent.
+		if len(tr.Records) != tr.Len() {
+			t.Fatal("Len disagrees with Records")
+		}
+	})
+}
+
+// FuzzReadDin feeds arbitrary text to the Dinero importer: it must never
+// panic and every rejection must carry the byte offset of the bad line.
+func FuzzReadDin(f *testing.F) {
+	f.Add("0 1000\n1 2000\n2 3000\n")
+	f.Add("0 1000 8\n")
+	f.Add("")
+	f.Add("# comment\n\n0 1000\n")
+	f.Add("9 1000\n") // bad kind
+	f.Add("0\n")      // missing address
+	f.Add("0 zz\n")   // bad address
+	f.Add(strings.Repeat("0 1000\n", 3) + "0 1000")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadDin(strings.NewReader(data), "fuzz")
+		if err != nil {
+			if !strings.Contains(err.Error(), "byte offset") {
+				t.Fatalf("rejection without byte offset: %v", err)
+			}
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
 		if len(tr.Records) != tr.Len() {
 			t.Fatal("Len disagrees with Records")
 		}

@@ -36,9 +36,20 @@ const (
 	recordSize = 8 + 4 + 1 + 1 + 1
 )
 
+// MaxRecords is the record-count budget a stream header may announce.
+// Corrupt or hostile headers routinely carry absurd counts; rejecting them
+// up front bounds both memory (Read's preallocation) and the time a
+// streaming consumer can be made to spend before hitting the inevitable
+// truncation error.
+const MaxRecords = 1 << 31
+
 // ErrBadFormat is returned when a trace stream does not start with the
 // expected magic bytes or uses an unsupported version.
 var ErrBadFormat = errors.New("trace: bad format")
+
+// ErrTooLarge is returned when a stream header announces more records than
+// the MaxRecords budget.
+var ErrTooLarge = errors.New("trace: stream exceeds record budget")
 
 // Write serialises the trace to w.
 func Write(w io.Writer, t *Trace) error {
@@ -97,40 +108,51 @@ func packFlags(r Record) byte {
 
 // Reader streams a serialised trace record by record, so multi-gigabyte
 // traces can be simulated without holding them in memory. Create one with
-// NewReader and pull records with Next until io.EOF.
+// NewReader and pull records with Next until io.EOF. Errors carry the byte
+// offset into the stream at which the problem was found.
 type Reader struct {
 	br        *bufio.Reader
 	name      string
 	remaining uint64
 	total     uint64
+	offset    int64 // bytes consumed from the underlying stream
 	buf       [recordSize]byte
 }
 
 // NewReader parses the stream header and positions the reader at the first
-// record.
+// record. Streams announcing more than MaxRecords records are rejected
+// with ErrTooLarge.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	offset := int64(0)
 	head := make([]byte, len(magic)+4)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	if n, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header at byte offset %d: %w", offset+int64(n), err)
 	}
+	offset += int64(len(head))
 	if string(head[:4]) != magic {
-		return nil, ErrBadFormat
+		return nil, fmt.Errorf("%w: bad magic at byte offset 0", ErrBadFormat)
 	}
 	if v := binary.LittleEndian.Uint16(head[4:6]); v < minReadVersion || v > formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+		return nil, fmt.Errorf("%w: unsupported version %d at byte offset 4", ErrBadFormat, v)
 	}
 	nameLen := int(binary.LittleEndian.Uint16(head[6:8]))
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+	if n, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name at byte offset %d: %w", offset+int64(n), err)
 	}
+	offset += int64(nameLen)
 	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+	if n, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count at byte offset %d: %w", offset+int64(n), err)
 	}
+	offset += int64(len(cnt))
 	n := binary.LittleEndian.Uint64(cnt[:])
-	return &Reader{br: br, name: string(name), remaining: n, total: n}, nil
+	if n > MaxRecords {
+		return nil, fmt.Errorf("%w: header at byte offset %d announces %d records (budget %d)",
+			ErrTooLarge, offset-int64(len(cnt)), n, uint64(MaxRecords))
+	}
+	return &Reader{br: br, name: string(name), remaining: n, total: n, offset: offset}, nil
 }
 
 // Name returns the trace name from the header.
@@ -139,18 +161,24 @@ func (r *Reader) Name() string { return r.name }
 // Len returns the total number of records announced by the header.
 func (r *Reader) Len() int { return int(r.total) }
 
+// Offset returns the number of bytes consumed from the stream so far.
+func (r *Reader) Offset() int64 { return r.offset }
+
 // Next returns the next record, or io.EOF after the last one. A stream
-// shorter than its header's count yields io.ErrUnexpectedEOF.
+// shorter than its header's count yields io.ErrUnexpectedEOF with the byte
+// offset of the truncation.
 func (r *Reader) Next() (Record, error) {
 	if r.remaining == 0 {
 		return Record{}, io.EOF
 	}
-	if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+	if n, err := io.ReadFull(r.br, r.buf[:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return Record{}, fmt.Errorf("trace: reading record: %w", err)
+		return Record{}, fmt.Errorf("trace: reading record %d at byte offset %d: %w",
+			r.total-r.remaining, r.offset+int64(n), err)
 	}
+	r.offset += recordSize
 	r.remaining--
 	buf := r.buf[:]
 	return Record{
@@ -171,10 +199,6 @@ func Read(r io.Reader) (*Trace, error) {
 	sr, err := NewReader(r)
 	if err != nil {
 		return nil, err
-	}
-	const maxRecords = 1 << 31
-	if sr.total > maxRecords {
-		return nil, fmt.Errorf("trace: record count %d exceeds limit", sr.total)
 	}
 	// Cap the preallocation: a corrupt or hostile header must not be able
 	// to demand gigabytes before a single record has been read.
