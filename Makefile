@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures faults examples clean
+.PHONY: all build test vet bench perf perf-check figures faults examples clean
 
 all: build vet test
 
@@ -23,6 +23,16 @@ test:
 # full-size runs).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full kernel benchmark matrix; refreshes the committed BENCH_kernel.json
+# baseline (run on a quiet machine). See docs/PERF.md.
+perf:
+	$(GO) run ./cmd/softcache-perf -out BENCH_kernel.json
+
+# Quick matrix gated against the committed baseline (what CI runs).
+perf-check:
+	$(GO) run ./cmd/softcache-perf -quick -baseline BENCH_kernel.json \
+		-out /tmp/bench-current.json -max-regress 0.15
 
 # Regenerate every figure of the paper at full scale, refreshing
 # EXPERIMENTS.md, results/*.csv and results/figures.html.

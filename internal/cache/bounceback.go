@@ -2,15 +2,17 @@ package cache
 
 // bbEntry is one line of the bounce-back cache. Besides the usual state it
 // carries the prefetched flag of §4.4 (the bounce-back cache doubles as the
-// prefetch buffer).
+// prefetch buffer). Like line, the booleans are packed into one flags byte.
 type bbEntry struct {
-	tag        uint64
-	lru        uint64
-	valid      bool
-	dirty      bool
-	temporal   bool
-	prefetched bool
+	tag   uint64
+	lru   uint64
+	flags uint8 // flagValid | flagDirty | flagTemporal | flagPrefetched
 }
+
+func (e bbEntry) valid() bool      { return e.flags&flagValid != 0 }
+func (e bbEntry) dirty() bool      { return e.flags&flagDirty != 0 }
+func (e bbEntry) temporal() bool   { return e.flags&flagTemporal != 0 }
+func (e bbEntry) prefetched() bool { return e.flags&flagPrefetched != 0 }
 
 // bounceBackCache is the small associative cache behind the main cache.
 // With bounce-back disabled it behaves exactly as Jouppi's victim cache,
@@ -21,34 +23,45 @@ type bbEntry struct {
 // fully-associative organisation used in the paper (a 4-way variant
 // "performs reasonably well" and is covered by an ablation bench).
 type bounceBackCache struct {
-	entries []bbEntry
-	sets    int
-	assoc   int
-	tick    uint64
+	entries  []bbEntry
+	sets     int
+	assoc    int
+	setMask  uint64 // sets-1 when sets is a power of two
+	maskable bool
+	tick     uint64
 }
 
 func newBounceBackCache(entries, assoc int) *bounceBackCache {
 	if assoc <= 0 || assoc > entries {
 		assoc = entries // fully associative
 	}
+	sets := entries / assoc
 	return &bounceBackCache{
-		entries: make([]bbEntry, entries),
-		sets:    entries / assoc,
-		assoc:   assoc,
+		entries:  make([]bbEntry, entries),
+		sets:     sets,
+		assoc:    assoc,
+		setMask:  uint64(sets - 1),
+		maskable: isPow2(sets),
 	}
 }
 
 func (b *bounceBackCache) setRange(la uint64) (lo, hi int) {
-	set := int(la % uint64(b.sets))
+	var set int
+	if b.maskable {
+		set = int(la & b.setMask)
+	} else {
+		set = int(la % uint64(b.sets))
+	}
 	return set * b.assoc, (set + 1) * b.assoc
 }
 
 // lookup returns the entry holding line address la, or nil.
 func (b *bounceBackCache) lookup(la uint64) *bbEntry {
 	lo, hi := b.setRange(la)
-	for i := lo; i < hi; i++ {
-		e := &b.entries[i]
-		if e.valid && e.tag == la {
+	set := b.entries[lo:hi]
+	for i := range set {
+		e := &set[i]
+		if e.flags&flagValid != 0 && e.tag == la {
 			return e
 		}
 	}
@@ -68,17 +81,18 @@ func (b *bounceBackCache) touch(e *bbEntry) {
 // replaces other prefetched lines").
 func (b *bounceBackCache) victimFor(la uint64, insertingPrefetched bool, maxPrefetched int) *bbEntry {
 	lo, hi := b.setRange(la)
+	set := b.entries[lo:hi]
 	var lruAny, lruPrefetched, firstInvalid *bbEntry
 	prefetchedCount := 0
-	for i := lo; i < hi; i++ {
-		e := &b.entries[i]
-		if !e.valid {
+	for i := range set {
+		e := &set[i]
+		if e.flags&flagValid == 0 {
 			if firstInvalid == nil {
 				firstInvalid = e
 			}
 			continue
 		}
-		if e.prefetched {
+		if e.flags&flagPrefetched != 0 {
 			prefetchedCount++
 			if lruPrefetched == nil || e.lru < lruPrefetched.lru {
 				lruPrefetched = e
@@ -99,6 +113,26 @@ func (b *bounceBackCache) victimFor(la uint64, insertingPrefetched bool, maxPref
 	return lruAny
 }
 
+// victimForEvict is victimFor specialized for demand evictions (no
+// prefetch quota): it skips the prefetched-entry bookkeeping, which is
+// pure overhead on the miss path that routes every displaced main-cache
+// line through here.
+func (b *bounceBackCache) victimForEvict(la uint64) *bbEntry {
+	lo, hi := b.setRange(la)
+	set := b.entries[lo:hi]
+	var lruAny *bbEntry
+	for i := range set {
+		e := &set[i]
+		if e.flags&flagValid == 0 {
+			return e
+		}
+		if lruAny == nil || e.lru < lruAny.lru {
+			lruAny = e
+		}
+	}
+	return lruAny
+}
+
 // install places a new entry into slot e, returning the previous contents
 // so the caller can decide whether to bounce it back, write it back, or
 // discard it.
@@ -106,7 +140,7 @@ func (b *bounceBackCache) install(e *bbEntry, ne bbEntry) bbEntry {
 	old := *e
 	b.tick++
 	ne.lru = b.tick
-	ne.valid = true
+	ne.flags |= flagValid
 	*e = ne
 	return old
 }
@@ -118,7 +152,7 @@ func (b *bounceBackCache) invalidate(e *bbEntry) { *e = bbEntry{} }
 func (b *bounceBackCache) countValid() int {
 	n := 0
 	for i := range b.entries {
-		if b.entries[i].valid {
+		if b.entries[i].valid() {
 			n++
 		}
 	}
@@ -129,7 +163,7 @@ func (b *bounceBackCache) countValid() int {
 func (b *bounceBackCache) countPrefetched() int {
 	n := 0
 	for i := range b.entries {
-		if b.entries[i].valid && b.entries[i].prefetched {
+		if b.entries[i].valid() && b.entries[i].prefetched() {
 			n++
 		}
 	}

@@ -13,9 +13,16 @@ package cache
 
 // columnHomeWay returns which way of the folded set is the primary
 // location of line address la (the most significant bit of the original
-// direct-mapped index).
+// direct-mapped index). The folded line count is CacheSize/LineSize, a
+// power of two, so the index reduction is a mask.
 func (s *Simulator) columnHomeWay(la uint64) int {
-	orig := la % uint64(s.main.sets*s.main.ways)
+	total := uint64(s.main.sets * s.main.ways)
+	var orig uint64
+	if total&(total-1) == 0 {
+		orig = la & (total - 1)
+	} else {
+		orig = la % total
+	}
 	if orig >= uint64(s.main.sets) {
 		return 1
 	}
@@ -29,10 +36,10 @@ func (s *Simulator) columnProbe(la uint64) (l *line, slow bool) {
 	base := s.main.setIndex(la) * s.main.ways
 	home := base + s.columnHomeWay(la)
 	other := base + (s.main.ways - 1 - s.columnHomeWay(la))
-	if hl := &s.main.lines[home]; hl.valid && hl.tag == la {
+	if hl := &s.main.lines[home]; hl.valid() && hl.tag == la {
 		return hl, false
 	}
-	if ol := &s.main.lines[other]; ol.valid && ol.tag == la {
+	if ol := &s.main.lines[other]; ol.valid() && ol.tag == la {
 		s.main.lines[home], s.main.lines[other] = s.main.lines[other], s.main.lines[home]
 		return &s.main.lines[home], true
 	}
@@ -40,7 +47,8 @@ func (s *Simulator) columnProbe(la uint64) (l *line, slow bool) {
 }
 
 // columnInstall places line address la following the rehash-bit policy and
-// returns the evicted line (invalid if none):
+// returns the evicted line (invalid if none) together with the slot the
+// new line occupies (so callers need not re-probe the cache):
 //
 //   - primary slot free: take it;
 //   - primary occupied by a line *in its own primary slot*: that line is
@@ -48,24 +56,24 @@ func (s *Simulator) columnProbe(la uint64) (l *line, slow bool) {
 //     is evicted;
 //   - primary occupied by a guest (a rehashed line whose primary is the
 //     other way): the guest is evicted outright.
-func (s *Simulator) columnInstall(la uint64) line {
+func (s *Simulator) columnInstall(la uint64) (line, *line) {
 	base := s.main.setIndex(la) * s.main.ways
 	homeW := s.columnHomeWay(la)
 	hw := &s.main.lines[base+homeW]
 	ow := &s.main.lines[base+(s.main.ways-1-homeW)]
 
-	if !hw.valid {
+	if !hw.valid() {
 		s.main.install(hw, la)
-		return line{}
+		return line{}, hw
 	}
 	occupantAtHome := s.columnHomeWay(hw.tag) == homeW
 	if occupantAtHome {
 		evicted := *ow
 		*ow = *hw
 		s.main.install(hw, la)
-		return evicted
+		return evicted, hw
 	}
 	evicted := *hw
 	s.main.install(hw, la)
-	return evicted
+	return evicted, hw
 }

@@ -12,6 +12,11 @@ import (
 // The simulator keeps a cycle clock fed by the per-record issue gaps, so
 // structural hazards (the 2-cycle lock of main and bounce-back caches after
 // a swap, §2.2) are charged to the accesses that actually collide with them.
+//
+// A Simulator is not safe for concurrent use: besides the cache state
+// proper it owns reusable scratch buffers (the fetch candidate list, the
+// invariant checker's seen-tag sets) so the steady-state simulate loop
+// allocates nothing.
 type Simulator struct {
 	cfg    Config
 	main   *mainCache
@@ -28,8 +33,18 @@ type Simulator struct {
 	maxPrefetch  int
 	prefDegree   int
 	pseudoAssoc  bool   // column-associative main cache
+	plainDM      bool   // direct-mapped pow2 main, no subblocks: hit fast path
 	subblocks    int    // subblocks per line (0 = sub-block placement off)
+	lineMask     uint64 // LineSize-1: in-line byte offset mask
+	subShift     uint   // log2(SubblockSize)
 	curIssue     uint64 // issue cycle of the access being processed
+
+	// seenMain / seenBB are the invariant checker's scratch sets. They
+	// live on the simulator and are cleared in place so the periodic
+	// structural scans (and property tests hammering CheckInvariants)
+	// allocate only on first use, not per call.
+	seenMain map[uint64]bool
+	seenBB   map[uint64]bool
 }
 
 // New builds a simulator; the configuration must validate.
@@ -69,6 +84,8 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.SubblockSize > 0 {
 		s.subblocks = cfg.LineSize / cfg.SubblockSize
+		s.lineMask = uint64(cfg.LineSize - 1)
+		s.subShift = log2(cfg.SubblockSize)
 	}
 	s.maxPrefetch = cfg.Prefetch.MaxResident
 	if s.maxPrefetch == 0 && cfg.BounceBackLines > 0 {
@@ -78,6 +95,10 @@ func New(cfg Config) (*Simulator, error) {
 	if s.prefDegree == 0 {
 		s.prefDegree = 1
 	}
+	// The paper's default organisation (direct-mapped, power-of-two
+	// geometry, whole-line fills) gets a hand-inlined hit path in Access:
+	// one masked load and no function calls for two-thirds of all records.
+	s.plainDM = !s.pseudoAssoc && s.subblocks == 0 && s.main.ways == 1 && s.main.maskable
 	return s, nil
 }
 
@@ -133,7 +154,9 @@ func (s *Simulator) Access(r trace.Record) int {
 	la := s.main.lineAddr(r.Addr)
 	subIdx := 0
 	if s.subblocks > 0 {
-		subIdx = int(r.Addr%uint64(s.cfg.LineSize)) / s.cfg.SubblockSize
+		// Line size and subblock size are powers of two (Validate), so
+		// the in-line offset and subblock index reduce to mask and shift.
+		subIdx = int((r.Addr & s.lineMask) >> s.subShift)
 	}
 
 	s.curIssue = issue
@@ -144,17 +167,42 @@ func (s *Simulator) Access(r trace.Record) int {
 	}
 
 	var service, lock int
+	hit := false
+	if s.plainDM {
+		// Hand-inlined tryMainHit for the plain direct-mapped case: the
+		// whole hit — probe, LRU touch, write policy, temporal bit — runs
+		// without a function call (storeUpdate inlines). Behaviour is
+		// identical to the general path below, which still serves
+		// associative, column-associative and sub-blocked organisations.
+		if l := &s.main.lines[la&s.main.setMask]; l.flags&flagValid != 0 && l.tag == la {
+			hit = true
+			service = s.cfg.HitCycles
+			if s.main.policy != ReplaceFIFO {
+				s.main.tick++
+				l.lru = s.main.tick
+			}
+			if r.Write {
+				service += s.storeUpdate(&l.flags)
+			}
+			if temporal && l.flags&flagTemporal == 0 {
+				l.flags |= flagTemporal
+				s.stats.TemporalBitSets++
+			}
+			s.stats.MainHits++
+		}
+	}
 	switch {
-	case s.tryMainHit(la, subIdx, r.Write, temporal, &service):
+	case hit:
+	case !s.plainDM && s.tryMainHit(la, subIdx, r.Write, temporal, &service):
 
 	case s.cfg.Bypass != BypassNone && !temporal:
 		service = s.bypassAccess(la, r)
 
-	case s.tryBounceBackHit(la, r.Write, temporal, &lock):
+	case s.bb != nil && s.tryBounceBackHit(la, r.Write, temporal, &lock):
 		service = s.cfg.BounceBackCycles
 		lock += s.cfg.SwapLockCycles
 
-	case s.tryStreamBufferHit(la, issue, r.Write, temporal, &service):
+	case s.sb != nil && s.tryStreamBufferHit(la, issue, r.Write, temporal, &service):
 
 	case r.Write && s.cfg.Writes == WriteThroughNoAllocate:
 		// Store miss without allocation: the word goes straight to the
@@ -199,7 +247,7 @@ func (s *Simulator) softwarePrefetch(r trace.Record) int {
 			s.memory.PrefetchFetch(1, s.cfg.LineSize)
 			s.stats.PrefetchesIssued++
 			victim := s.bb.victimFor(la, true, s.maxPrefetch)
-			displaced := s.bb.install(victim, bbEntry{tag: la, prefetched: true})
+			displaced := s.bb.install(victim, bbEntry{tag: la, flags: flagPrefetched})
 			s.handleBBEviction(displaced, nil, false)
 		}
 	}
@@ -236,16 +284,16 @@ func (s *Simulator) tryMainHit(la uint64, subIdx int, write, temporal bool, serv
 		l.subValid |= 1 << subIdx
 		s.main.touch(l)
 		if write {
-			*service += s.storeUpdate(&l.dirty)
+			*service += s.storeUpdate(&l.flags)
 		}
-		s.setTemporal(&l.temporal, temporal)
+		s.setTemporal(&l.flags, temporal)
 		return true
 	}
 	s.main.touch(l)
 	if write {
-		*service += s.storeUpdate(&l.dirty)
+		*service += s.storeUpdate(&l.flags)
 	}
-	s.setTemporal(&l.temporal, temporal)
+	s.setTemporal(&l.flags, temporal)
 	s.stats.MainHits++
 	return true
 }
@@ -282,18 +330,18 @@ func (s *Simulator) placeFetchedLine(la uint64, write, temporal bool) {
 		return
 	}
 	var old line
+	var l *line
 	if s.pseudoAssoc {
-		old = s.columnInstall(la)
+		old, l = s.columnInstall(la)
 	} else {
-		vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
-		old = s.main.install(vw, la)
+		l = s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
+		old = s.main.install(l, la)
 	}
-	l := s.main.lookup(la)
 	if write {
-		s.storeUpdate(&l.dirty)
+		s.storeUpdate(&l.flags)
 	}
-	s.setTemporal(&l.temporal, temporal)
-	if old.valid {
+	s.setTemporal(&l.flags, temporal)
+	if old.valid() {
 		if n := s.evictMainLine(old, nil); n > 0 {
 			for i := 0; i < n; i++ {
 				s.memory.WritebackOutsideMiss()
@@ -304,19 +352,20 @@ func (s *Simulator) placeFetchedLine(la uint64, write, temporal bool) {
 
 // setTemporal implements the §2.2 rule: a temporal-tagged access sets the
 // line's temporal bit; an untagged access leaves it unchanged.
-func (s *Simulator) setTemporal(bit *bool, temporal bool) {
-	if temporal && !*bit {
-		*bit = true
+func (s *Simulator) setTemporal(flags *uint8, temporal bool) {
+	if temporal && *flags&flagTemporal == 0 {
+		*flags |= flagTemporal
 		s.stats.TemporalBitSets++
 	}
 }
 
-// storeUpdate applies the write policy to a store hitting line l: under
-// write-back the line is dirtied; under the write-through policies the
-// word is posted to the write buffer and any buffer-full stall is returned.
-func (s *Simulator) storeUpdate(dirtyBit *bool) int {
+// storeUpdate applies the write policy to a store hitting the line with
+// the given flags: under write-back the line is dirtied; under the
+// write-through policies the word is posted to the write buffer and any
+// buffer-full stall is returned.
+func (s *Simulator) storeUpdate(flags *uint8) int {
 	if s.cfg.Writes == WriteBackAllocate {
-		*dirtyBit = true
+		*flags |= flagDirty
 		return 0
 	}
 	return s.memory.PostWrite(8, s.curIssue)
@@ -325,9 +374,9 @@ func (s *Simulator) storeUpdate(dirtyBit *bool) int {
 // storeUpdateOnFill applies the write policy when a store miss allocates:
 // under write-back the fresh line is dirtied; under write-through the word
 // is posted to the write buffer, hidden under the in-flight miss.
-func (s *Simulator) storeUpdateOnFill(dirtyBit *bool) {
+func (s *Simulator) storeUpdateOnFill(flags *uint8) {
 	if s.cfg.Writes == WriteBackAllocate {
-		*dirtyBit = true
+		*flags |= flagDirty
 		return
 	}
 	s.memory.PostWrite(8, s.curIssue)
@@ -348,7 +397,7 @@ func (s *Simulator) tryBounceBackHit(la uint64, write, temporal bool, lock *int)
 	}
 	s.stats.BounceBackHits++
 	s.stats.Swaps++
-	wasPrefetched := e.prefetched
+	wasPrefetched := e.prefetched()
 	if wasPrefetched {
 		s.stats.PrefetchHits++
 	}
@@ -356,16 +405,15 @@ func (s *Simulator) tryBounceBackHit(la uint64, write, temporal bool, lock *int)
 	// Move the bounce-back entry into the main cache...
 	vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
 	old := s.main.install(vw, la)
-	vw.dirty = e.dirty
-	vw.temporal = e.temporal
+	vw.flags |= e.flags & flagDirtyTemporal
 	if write {
-		s.storeUpdate(&vw.dirty)
+		s.storeUpdate(&vw.flags)
 	}
-	s.setTemporal(&vw.temporal, temporal)
+	s.setTemporal(&vw.flags, temporal)
 
 	// ...and the displaced main line into the freed bounce-back slot.
-	if old.valid {
-		s.bb.install(e, bbEntry{tag: old.tag, dirty: old.dirty, temporal: old.temporal})
+	if old.valid() {
+		s.bb.install(e, bbEntry{tag: old.tag, flags: old.flags & flagDirtyTemporal})
 	} else {
 		s.bb.invalidate(e)
 	}
@@ -384,7 +432,7 @@ func (s *Simulator) bypassAccess(la uint64, r trace.Record) int {
 		if e := s.bypass.lookup(la); e != nil {
 			s.bypass.touch(e)
 			if r.Write {
-				e.dirty = true
+				e.flags |= flagDirty
 			}
 			s.stats.BypassBufferHits++
 			return s.cfg.HitCycles
@@ -398,9 +446,13 @@ func (s *Simulator) bypassAccess(la uint64, r trace.Record) int {
 		return s.cfg.HitCycles + s.memory.Fetch(0, 0, int(r.Size), 0)
 	case BypassBuffered:
 		penalty := s.memory.Fetch(1, s.cfg.LineSize, 0, 0)
-		victim := s.bypass.victimFor(la, false, 0)
-		old := s.bypass.install(victim, bbEntry{tag: la, dirty: r.Write})
-		if old.valid && old.dirty {
+		victim := s.bypass.victimForEvict(la)
+		var flags uint8
+		if r.Write {
+			flags = flagDirty
+		}
+		old := s.bypass.install(victim, bbEntry{tag: la, flags: flags})
+		if old.valid() && old.dirty() {
 			s.memory.WritebackOutsideMiss()
 		}
 		return s.cfg.HitCycles + penalty
@@ -420,20 +472,20 @@ func (s *Simulator) miss(la uint64, subIdx int, write, temporal, spatial bool, v
 		// Sub-block placement: replace the whole directory entry but
 		// fetch only the referenced subblock.
 		var old line
+		var l *line
 		if s.pseudoAssoc {
-			old = s.columnInstall(la)
+			old, l = s.columnInstall(la)
 		} else {
-			vw := s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
-			old = s.main.install(vw, la)
+			l = s.main.victimWay(la, s.cfg.TemporalPriorityReplacement)
+			old = s.main.install(l, la)
 		}
-		l := s.main.lookup(la)
 		l.subValid = 1 << subIdx
 		if write {
-			s.storeUpdateOnFill(&l.dirty)
+			s.storeUpdateOnFill(&l.flags)
 		}
-		s.setTemporal(&l.temporal, temporal)
+		s.setTemporal(&l.flags, temporal)
 		dirty := 0
-		if old.valid && old.dirty {
+		if old.valid() && old.dirty() {
 			dirty = 1
 		}
 		s.stats.SubblockFills++
@@ -491,20 +543,20 @@ func (s *Simulator) miss(la uint64, subIdx int, write, temporal, spatial bool, v
 			continue
 		}
 		var old line
+		var nl *line
 		if s.pseudoAssoc {
-			old = s.columnInstall(cand)
+			old, nl = s.columnInstall(cand)
 		} else {
-			vw := s.main.victimWay(cand, s.cfg.TemporalPriorityReplacement)
-			old = s.main.install(vw, cand)
+			nl = s.main.victimWay(cand, s.cfg.TemporalPriorityReplacement)
+			old = s.main.install(nl, cand)
 		}
 		if cand == la {
-			l := s.main.lookup(cand)
 			if write {
-				s.storeUpdateOnFill(&l.dirty)
+				s.storeUpdateOnFill(&nl.flags)
 			}
-			s.setTemporal(&l.temporal, temporal)
+			s.setTemporal(&nl.flags, temporal)
 		}
-		if old.valid {
+		if old.valid() {
 			dirtyWB += s.evictMainLine(old, fetch)
 		}
 	}
@@ -542,14 +594,14 @@ func (s *Simulator) miss(la uint64, subIdx int, write, temporal, spatial bool, v
 // otherwise to the write buffer if dirty. It returns the number of dirty
 // writebacks to hide under the in-flight miss.
 func (s *Simulator) evictMainLine(old line, inflight []uint64) int {
-	if s.bb == nil || (s.cfg.TemporalOnlyAdmission && !old.temporal) {
-		if old.dirty {
+	if s.bb == nil || (s.cfg.TemporalOnlyAdmission && !old.temporal()) {
+		if old.dirty() {
 			return 1
 		}
 		return 0
 	}
-	victim := s.bb.victimFor(old.tag, false, 0)
-	displaced := s.bb.install(victim, bbEntry{tag: old.tag, dirty: old.dirty, temporal: old.temporal})
+	victim := s.bb.victimForEvict(old.tag)
+	displaced := s.bb.install(victim, bbEntry{tag: old.tag, flags: old.flags & flagDirtyTemporal})
 	return s.handleBBEviction(displaced, inflight, true)
 }
 
@@ -560,13 +612,13 @@ func (s *Simulator) evictMainLine(old line, inflight []uint64) int {
 // the current miss (returned count) or go through the write buffer on their
 // own. The returned value is the number of dirty writebacks to hide.
 func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss bool) int {
-	if !e.valid {
+	if !e.valid() {
 		return 0
 	}
-	if e.prefetched {
+	if e.prefetched() {
 		s.stats.PrefetchDiscarded++
 	}
-	if s.cfg.BounceBackEnabled && e.temporal {
+	if s.cfg.BounceBackEnabled && e.temporal() {
 		if contains(inflight, e.tag) {
 			// The entry maps onto a line of the in-flight miss: the
 			// bounce-back is canceled to avoid ping-pong (§2.2).
@@ -574,13 +626,13 @@ func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss boo
 			return s.discard(e, underMiss)
 		}
 		vw := s.main.victimWay(e.tag, s.cfg.TemporalPriorityReplacement)
-		if vw.valid && contains(inflight, vw.tag) {
+		if vw.valid() && contains(inflight, vw.tag) {
 			// The target way holds a line just fetched by the miss in
 			// flight; erasing it would waste the fetch.
 			s.stats.BounceBackCanceled++
 			return s.discard(e, underMiss)
 		}
-		if vw.valid && vw.dirty {
+		if vw.valid() && vw.dirty() {
 			// Bouncing back over a dirty line needs a write-buffer slot;
 			// when the buffer is full the transfer is aborted (§2.2).
 			if !s.memory.WritebackOutsideMiss() {
@@ -589,8 +641,9 @@ func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss boo
 			}
 		}
 		s.main.install(vw, e.tag)
-		vw.dirty = e.dirty
-		vw.temporal = false // the temporal bit is reset after a bounce-back
+		// The temporal bit is reset after a bounce-back; only dirtiness
+		// survives the re-injection.
+		vw.flags |= e.flags & flagDirty
 		s.stats.BouncedBack++
 		if s.cfg.RuntimeChecks {
 			s.checkBouncedBack(e.tag)
@@ -603,7 +656,7 @@ func (s *Simulator) handleBBEviction(e bbEntry, inflight []uint64, underMiss boo
 // discard drops a bounce-back entry, routing its contents to the write
 // buffer if dirty.
 func (s *Simulator) discard(e bbEntry, underMiss bool) int {
-	if !e.dirty {
+	if !e.dirty() {
 		return 0
 	}
 	if underMiss {
@@ -627,7 +680,7 @@ func (s *Simulator) issuePrefetch(la uint64, n int, underMiss bool) {
 		s.memory.PrefetchFetch(1, s.cfg.LineSize)
 		s.stats.PrefetchesIssued++
 		victim := s.bb.victimFor(cand, true, s.maxPrefetch)
-		displaced := s.bb.install(victim, bbEntry{tag: cand, prefetched: true})
+		displaced := s.bb.install(victim, bbEntry{tag: cand, flags: flagPrefetched})
 		s.handleBBEviction(displaced, nil, underMiss)
 	}
 }
@@ -680,11 +733,11 @@ type LineInfo struct {
 func (s *Simulator) Inspect(addr uint64) LineInfo {
 	la := s.main.lineAddr(addr)
 	if l := s.main.lookup(la); l != nil {
-		return LineInfo{Where: InMain, Dirty: l.dirty, Temporal: l.temporal}
+		return LineInfo{Where: InMain, Dirty: l.dirty(), Temporal: l.temporal()}
 	}
 	if s.bb != nil {
 		if e := s.bb.lookup(la); e != nil {
-			return LineInfo{Where: InBounceBack, Dirty: e.dirty, Temporal: e.temporal, Prefetched: e.prefetched}
+			return LineInfo{Where: InBounceBack, Dirty: e.dirty(), Temporal: e.temporal(), Prefetched: e.prefetched()}
 		}
 	}
 	return LineInfo{Where: Absent}
@@ -692,34 +745,47 @@ func (s *Simulator) Inspect(addr uint64) LineInfo {
 
 // CheckInvariants verifies structural invariants (no line resident in both
 // caches, no duplicate tags within a structure) and returns a description
-// of the first violation, or "" if all hold. Used by property-based tests.
+// of the first violation, or "" if all hold. Used by property-based tests
+// and the periodic runtime checker.
+//
+// The seen-tag sets are scratch state hoisted onto the simulator and
+// cleared in place, so repeated calls (the checker scans every
+// structuralCheckInterval references) do not allocate once warm.
 func (s *Simulator) CheckInvariants() string {
-	seenMain := make(map[uint64]bool)
+	if s.seenMain == nil {
+		s.seenMain = make(map[uint64]bool, len(s.main.lines))
+	} else {
+		clear(s.seenMain)
+	}
 	for i := range s.main.lines {
 		l := &s.main.lines[i]
-		if !l.valid {
+		if !l.valid() {
 			continue
 		}
-		if seenMain[l.tag] {
+		if s.seenMain[l.tag] {
 			return "duplicate line in main cache"
 		}
-		seenMain[l.tag] = true
+		s.seenMain[l.tag] = true
 		if s.main.setIndex(l.tag)*s.main.ways > i || i >= (s.main.setIndex(l.tag)+1)*s.main.ways {
 			return "main-cache line stored in wrong set"
 		}
 	}
 	if s.bb != nil {
-		seenBB := make(map[uint64]bool)
+		if s.seenBB == nil {
+			s.seenBB = make(map[uint64]bool, len(s.bb.entries))
+		} else {
+			clear(s.seenBB)
+		}
 		for i := range s.bb.entries {
 			e := &s.bb.entries[i]
-			if !e.valid {
+			if !e.valid() {
 				continue
 			}
-			if seenBB[e.tag] {
+			if s.seenBB[e.tag] {
 				return "duplicate line in bounce-back cache"
 			}
-			seenBB[e.tag] = true
-			if seenMain[e.tag] {
+			s.seenBB[e.tag] = true
+			if s.seenMain[e.tag] {
 				return "line resident in both main and bounce-back caches"
 			}
 		}

@@ -99,7 +99,7 @@ func (s *Simulator) checkBouncedBack(tag uint64) {
 		s.violated("bounce-back placement", "bounced-back line %#x not in main cache", tag)
 		return
 	}
-	if l.temporal {
+	if l.temporal() {
 		s.violated("temporal bit after bounce-back",
 			"line %#x still temporal after bounce-back", tag)
 	}

@@ -18,7 +18,29 @@
 // The model is trace-driven and cycle-approximate: every reference is
 // charged an access cost in cycles following the conventions of DESIGN.md
 // §6, and AMAT is the mean of those costs.
+//
+// The data structures are built for throughput: line metadata is packed
+// into flat slices of fixed-size structs (one flags byte instead of a bool
+// per property), set indexing uses a mask when the set count is a power of
+// two (the common case — a 64-bit divide costs more than a whole hit
+// lookup), and the steady-state simulate loop performs no heap allocations
+// (verified by TestAccessSteadyStateZeroAllocs in package core). The
+// deliberately naive map-based model in cache/refmodel cross-checks that
+// none of this changes behaviour.
 package cache
+
+// Flag bits shared by main-cache lines and bounce-back entries. Packing
+// the per-line booleans into one byte keeps the metadata structs small and
+// lets multi-flag transfers (a swap moving dirty+temporal together) be a
+// single mask-and-or instead of field-by-field copies.
+const (
+	flagValid uint8 = 1 << iota
+	flagDirty
+	flagTemporal
+	flagPrefetched // bounce-back entries only (§4.4 prefetch buffer)
+
+	flagDirtyTemporal = flagDirty | flagTemporal
+)
 
 // line is one physical cache line's book-keeping state. The simulator is
 // trace-driven, so no data payload is stored.
@@ -26,10 +48,12 @@ type line struct {
 	tag      uint64 // line address (byte address >> line shift)
 	lru      uint64 // last-touch tick, larger = more recent
 	subValid uint8  // per-subblock valid bits (sub-block placement only)
-	valid    bool
-	dirty    bool
-	temporal bool // the per-line temporal bit of §2.2
+	flags    uint8  // flagValid | flagDirty | flagTemporal
 }
+
+func (l line) valid() bool    { return l.flags&flagValid != 0 }
+func (l line) dirty() bool    { return l.flags&flagDirty != 0 }
+func (l line) temporal() bool { return l.flags&flagTemporal != 0 }
 
 // mainCache is the set-associative main data cache. Assoc 1 gives the
 // direct-mapped organisation the paper targets.
@@ -37,7 +61,9 @@ type mainCache struct {
 	sets     int
 	ways     int
 	lineSize int
-	shift    uint // log2(lineSize)
+	shift    uint   // log2(lineSize)
+	setMask  uint64 // sets-1 when sets is a power of two
+	maskable bool   // set indexing may use setMask instead of modulo
 	lines    []line
 	tick     uint64
 	policy   ReplacementPolicy
@@ -51,6 +77,8 @@ func newMainCache(sizeBytes, lineSize, ways int, policy ReplacementPolicy) *main
 		ways:     ways,
 		lineSize: lineSize,
 		shift:    log2(lineSize),
+		setMask:  uint64(sets - 1),
+		maskable: isPow2(sets),
 		lines:    make([]line, sets*ways),
 		policy:   policy,
 		rng:      0x9e3779b97f4a7c15,
@@ -68,15 +96,34 @@ func log2(n int) uint {
 // lineAddr converts a byte address to a line address.
 func (c *mainCache) lineAddr(addr uint64) uint64 { return addr >> c.shift }
 
-// setIndex maps a line address to its set.
-func (c *mainCache) setIndex(la uint64) int { return int(la % uint64(c.sets)) }
+// setIndex maps a line address to its set. Cache geometry is almost always
+// a power of two (Validate requires pow2 size and line size; only an odd
+// associativity breaks it), so the hot path is a mask; the modulo fallback
+// keeps odd-way configurations working.
+func (c *mainCache) setIndex(la uint64) int {
+	if c.maskable {
+		return int(la & c.setMask)
+	}
+	return int(la % uint64(c.sets))
+}
 
-// lookup returns the way holding line address la, or nil.
+// lookup returns the way holding line address la, or nil. The
+// direct-mapped power-of-two organisation (the paper's default, and the
+// hottest probe in the whole simulator) is special-cased to a single
+// masked load.
 func (c *mainCache) lookup(la uint64) *line {
+	if c.ways == 1 && c.maskable {
+		l := &c.lines[la&c.setMask]
+		if l.flags&flagValid != 0 && l.tag == la {
+			return l
+		}
+		return nil
+	}
 	base := c.setIndex(la) * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == la {
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		l := &set[w]
+		if l.flags&flagValid != 0 && l.tag == la {
 			return l
 		}
 	}
@@ -106,23 +153,30 @@ func (c *mainCache) touch(l *line) {
 // temporal bit is reset" — §2.2): without it, dead reusable data would pin
 // its set forever.
 func (c *mainCache) victimWay(la uint64, temporalPriority bool) *line {
+	if c.ways == 1 {
+		// Direct-mapped: the victim is the lone slot whatever the policy,
+		// and the temporal lease below cannot trigger (lruAny and
+		// lruNonTemporal would be the same way).
+		return &c.lines[c.setIndex(la)]
+	}
 	base := c.setIndex(la) * c.ways
+	set := c.lines[base : base+c.ways]
 	var lruAny, lruNonTemporal *line
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if !l.valid {
+	for w := range set {
+		l := &set[w]
+		if l.flags&flagValid == 0 {
 			return l
 		}
 		if lruAny == nil || l.lru < lruAny.lru {
 			lruAny = l
 		}
-		if !l.temporal && (lruNonTemporal == nil || l.lru < lruNonTemporal.lru) {
+		if l.flags&flagTemporal == 0 && (lruNonTemporal == nil || l.lru < lruNonTemporal.lru) {
 			lruNonTemporal = l
 		}
 	}
 	if temporalPriority && lruNonTemporal != nil {
 		if lruAny != lruNonTemporal {
-			lruAny.temporal = false
+			lruAny.flags &^= flagTemporal
 		}
 		return lruNonTemporal
 	}
@@ -131,7 +185,7 @@ func (c *mainCache) victimWay(la uint64, temporalPriority bool) *line {
 		c.rng ^= c.rng << 25
 		c.rng ^= c.rng >> 27
 		w := int((c.rng * 0x2545f4914f6cdd1d) >> 33 % uint64(c.ways))
-		return &c.lines[base+w]
+		return &set[w]
 	}
 	return lruAny
 }
@@ -142,7 +196,7 @@ func (c *mainCache) victimWay(la uint64, temporalPriority bool) *line {
 func (c *mainCache) install(l *line, la uint64) line {
 	old := *l
 	c.tick++
-	*l = line{tag: la, valid: true, lru: c.tick}
+	*l = line{tag: la, flags: flagValid, lru: c.tick}
 	return old
 }
 
@@ -156,7 +210,7 @@ func (c *mainCache) invalidate(l *line) { *l = line{} }
 func (c *mainCache) countValid() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			n++
 		}
 	}

@@ -230,6 +230,158 @@ func TestBounceBackAbortOnFullWriteBuffer(t *testing.T) {
 	}
 }
 
+// TestScratchScanOrderIndependence: the reusable fetch-candidate buffer is
+// pure scratch — whatever length, capacity or garbage contents it carries
+// from earlier misses, the eviction scan must behave as if the buffer were
+// freshly allocated. Sim B's scratch is actively poisoned before every
+// access (junk contents with non-zero length, nil to force regrowth, or
+// left dirty) and must stay in lockstep with the untouched sim A.
+func TestScratchScanOrderIndependence(t *testing.T) {
+	junk := []uint64{0xdeadbeef, 0, ^uint64(0), 42, 42, 7}
+	for name, cfg := range propertyConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range randomTrace(23, 4000, 4096) {
+				switch i % 3 {
+				case 0:
+					b.fetchScratch = append(b.fetchScratch[:0], junk...)
+				case 1:
+					b.fetchScratch = nil
+				}
+				ca, cb := a.Access(r), b.Access(r)
+				if ca != cb {
+					t.Fatalf("record %d (%v): cost %d with clean scratch, %d with poisoned scratch", i, r, ca, cb)
+				}
+			}
+			if sa, sb := a.Stats(), b.Stats(); sa != sb {
+				t.Fatalf("stats diverge under scratch poisoning:\nclean:    %+v\npoisoned: %+v", sa, sb)
+			}
+		})
+	}
+}
+
+// TestCheckInvariantsIdempotentReuse: the checker's hoisted seen-tag sets
+// are cleared in place between calls, so back-to-back and interleaved calls
+// must neither report phantom violations (stale entries) nor perturb the
+// simulation (the scan is read-only on cache state).
+func TestCheckInvariantsIdempotentReuse(t *testing.T) {
+	for name, cfg := range propertyConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range randomTrace(29, 3000, 4096) {
+				ca, cb := a.Access(r), b.Access(r)
+				if ca != cb {
+					t.Fatalf("record %d: cost diverged (%d vs %d) under interleaved checks", i, ca, cb)
+				}
+				if i%13 == 0 {
+					for k := 0; k < 3; k++ {
+						if msg := b.CheckInvariants(); msg != "" {
+							t.Fatalf("record %d, repeat %d: %s", i, k, msg)
+						}
+					}
+				}
+			}
+			lines := append([]line(nil), b.main.lines...)
+			for k := 0; k < 50; k++ {
+				if msg := b.CheckInvariants(); msg != "" {
+					t.Fatalf("repeat %d: phantom violation %q", k, msg)
+				}
+			}
+			for i := range lines {
+				if lines[i] != b.main.lines[i] {
+					t.Fatalf("CheckInvariants mutated main-cache line %d: %+v -> %+v", i, lines[i], b.main.lines[i])
+				}
+			}
+			if sa, sb := a.Stats(), b.Stats(); sa != sb {
+				t.Fatalf("stats diverge under interleaved checks:\nplain:   %+v\nchecked: %+v", sa, sb)
+			}
+		})
+	}
+}
+
+// TestCheckInvariantsDetectsSeededCorruption: the duplicate scan must flag
+// an injected duplicate on every call — map iteration order varies between
+// runs, and the in-place-cleared scratch sets must not mask repeats.
+func TestCheckInvariantsDetectsSeededCorruption(t *testing.T) {
+	cfg := propertyConfigs()["assoc"]
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range randomTrace(31, 2000, 4096) {
+		s.Access(r)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("healthy state flagged: %s", msg)
+	}
+	// Duplicate a valid line into its set sibling (same set, so the
+	// wrong-set check stays quiet and the duplicate scan must fire).
+	var set int
+	found := false
+	for set = 0; set < s.main.sets; set++ {
+		if s.main.lines[set*s.main.ways].valid() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no valid line after warmup")
+	}
+	saved := s.main.lines[set*s.main.ways+1]
+	s.main.lines[set*s.main.ways+1] = s.main.lines[set*s.main.ways]
+	for k := 0; k < 20; k++ {
+		if msg := s.CheckInvariants(); msg != "duplicate line in main cache" {
+			t.Fatalf("repeat %d: corruption missed, got %q", k, msg)
+		}
+	}
+	s.main.lines[set*s.main.ways+1] = saved
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("state not restored: %s", msg)
+	}
+}
+
+// TestCheckInvariantsZeroAllocWarm: once the seen-tag sets exist, the
+// periodic structural scan must be allocation-free — it runs inside the
+// steady-state loop when RuntimeChecks is on.
+func TestCheckInvariantsZeroAllocWarm(t *testing.T) {
+	for name, cfg := range propertyConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range randomTrace(37, 2000, 4096) {
+				s.Access(r)
+			}
+			if msg := s.CheckInvariants(); msg != "" { // warm the scratch sets
+				t.Fatal(msg)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if msg := s.CheckInvariants(); msg != "" {
+					t.Error(msg)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm CheckInvariants allocates %.1f times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestFourWayBounceBack exercises the set-associative bounce-back variant.
 func TestFourWayBounceBack(t *testing.T) {
 	cfg := propertyConfigs()["soft"]

@@ -1,0 +1,180 @@
+package refmodel_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"softcache/internal/cache"
+	"softcache/internal/cache/refmodel"
+	"softcache/internal/core"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// variant is one design point of the differential matrix.
+type variant struct {
+	name string
+	cfg  cache.Config
+}
+
+// variants spans every mechanism the simulator models: the paper's figure
+// configurations plus replacement policies, write policies and prefetch
+// modes that no figure exercises but the kernel still implements.
+func variants() []variant {
+	random2 := core.SetAssoc(core.Standard(), 2)
+	random2.Replacement = cache.ReplaceRandom
+	fifo2 := core.SetAssoc(core.Standard(), 2)
+	fifo2.Replacement = cache.ReplaceFIFO
+	tinySoft := core.WithGeometry(core.Soft(), 2048, 16, 64)
+	return []variant{
+		{"Standard", core.Standard()},
+		{"Soft", core.Soft()},
+		{"SoftVariable", core.SoftVariable()},
+		{"SoftTemporal", core.SoftTemporal()},
+		{"SoftSpatial", core.SoftSpatial()},
+		{"Victim", core.Victim()},
+		{"BypassPlain", core.BypassPlain()},
+		{"BypassBuffered", core.BypassBuffered()},
+		{"SetAssoc2", core.SetAssoc(core.Soft(), 2)},
+		{"SetAssoc4", core.SetAssoc(core.Soft(), 4)},
+		{"SimplifiedSoft2", core.SimplifiedSoftAssoc(2)},
+		{"SimplifiedSoft4", core.SimplifiedSoftAssoc(4)},
+		{"StreamBuffers", core.StandardStreamBuffers()},
+		{"ColumnAssociative", core.ColumnAssociative()},
+		{"Subblocked", core.Subblocked()},
+		{"PrefetchSW", core.WithPrefetch(core.Soft(), true)},
+		{"PrefetchHW", core.WithPrefetch(core.Soft(), false)},
+		{"WriteThroughAlloc", core.WithWritePolicy(core.Standard(), cache.WriteThroughAllocate)},
+		{"WriteThroughNoAllo", core.WithWritePolicy(core.Standard(), cache.WriteThroughNoAllocate)},
+		{"Random2", random2},
+		{"FIFO2", fifo2},
+		{"TinySoft", tinySoft},
+	}
+}
+
+// runDifferential replays records through the optimized kernel and the
+// naive reference model in lockstep. On the first diverging per-record
+// cost it reports the record index, the record itself and both simulators'
+// statistics at that point; afterwards the full Stats structs (memory
+// counters included) must match field for field.
+func runDifferential(t *testing.T, cfg cache.Config, records []trace.Record) {
+	t.Helper()
+	opt, err := cache.New(cfg)
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	ref, err := refmodel.New(cfg)
+	if err != nil {
+		t.Fatalf("refmodel.New: %v", err)
+	}
+	for i, r := range records {
+		co := opt.Access(r)
+		cr := ref.Access(r)
+		if co != cr {
+			t.Fatalf("divergence at record %d: %+v\noptimized cost %d, reference cost %d\noptimized state: %+v\nreference state: %+v",
+				i, r, co, cr, opt.Stats(), ref.Stats())
+		}
+	}
+	so, sr := opt.Stats(), ref.Stats()
+	if !reflect.DeepEqual(so, sr) {
+		t.Fatalf("final stats diverge after %d records:\noptimized: %+v\nreference: %+v",
+			len(records), so, sr)
+	}
+}
+
+// TestDifferentialWorkloads cross-checks every design point against every
+// paper benchmark at test scale. -short trims the matrix to one row and
+// one column (every config on MV, every workload on Soft).
+func TestDifferentialWorkloads(t *testing.T) {
+	traces := map[string][]trace.Record{}
+	for _, name := range workloads.Benchmarks() {
+		tr, err := workloads.Trace(name, workloads.ScaleTest, 1)
+		if err != nil {
+			t.Fatalf("workloads.Trace(%s): %v", name, err)
+		}
+		traces[name] = tr.Records
+	}
+	for _, v := range variants() {
+		for _, w := range workloads.Benchmarks() {
+			if testing.Short() && v.name != "Soft" && w != "MV" {
+				continue
+			}
+			t.Run(v.name+"/"+w, func(t *testing.T) {
+				runDifferential(t, v.cfg, traces[w])
+			})
+		}
+	}
+}
+
+// randomRecords synthesizes an adversarial trace: a small conflict-heavy
+// working set with occasional far jumps, stores, temporal/spatial tags,
+// virtual-line length hints and software prefetches, all drawn from a
+// seeded generator so failures replay exactly.
+func randomRecords(seed int64, n int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		switch rng.Intn(8) {
+		case 0:
+			addr += 1 << 20 // far region: forces evictions and writebacks
+		case 1:
+			addr = uint64(rng.Intn(1 << 9)) // hot region: hits and swaps
+		}
+		addr &^= 3 // word-aligned
+		r := trace.Record{
+			Addr:     addr,
+			RefID:    uint32(rng.Intn(64)),
+			Gap:      uint8(rng.Intn(4)),
+			Size:     uint8(4 << rng.Intn(2)),
+			Write:    rng.Intn(10) < 3,
+			Temporal: rng.Intn(4) == 0,
+			Spatial:  rng.Intn(4) == 0,
+		}
+		if r.Spatial {
+			r.VirtualHint = uint8(rng.Intn(4))
+		}
+		if rng.Intn(20) == 0 {
+			r = trace.Record{Addr: addr, SoftwarePrefetch: true, Gap: uint8(rng.Intn(4))}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// TestDifferentialRandomTraces hammers every design point with seeded
+// random traces, the complement of the structured workload sweep.
+func TestDifferentialRandomTraces(t *testing.T) {
+	n := 20_000
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		n = 4_000
+		seeds = seeds[:2]
+	}
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				runDifferential(t, v.cfg, randomRecords(seed, n))
+			}
+		})
+	}
+}
+
+// FuzzDifferential lets the fuzzer search for a trace and design point on
+// which the two implementations disagree. The seed corpus covers each
+// mechanism family; the fuzzer mutates from there.
+func FuzzDifferential(f *testing.F) {
+	vs := variants()
+	f.Add(int64(1), uint16(500), uint8(0))
+	f.Add(int64(2), uint16(1000), uint8(1))
+	f.Add(int64(3), uint16(2000), uint8(4))
+	f.Add(int64(4), uint16(1500), uint8(12))
+	f.Add(int64(5), uint16(800), uint8(13))
+	f.Add(int64(6), uint16(900), uint8(19))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, cfgIdx uint8) {
+		v := vs[int(cfgIdx)%len(vs)]
+		records := randomRecords(seed, int(n)%4096+1)
+		runDifferential(t, v.cfg, records)
+	})
+}

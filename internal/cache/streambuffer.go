@@ -27,12 +27,19 @@ type streamBufferSet struct {
 }
 
 func newStreamBufferSet(count, depth, lineSize, transferCycles int) *streamBufferSet {
-	return &streamBufferSet{
+	s := &streamBufferSet{
 		bufs:     make([]streamBuffer, count),
 		depth:    depth,
 		lineSize: lineSize,
 		transfer: transferCycles,
 	}
+	// The FIFO slots are allocated once here and reused across stream
+	// (re)assignments: allocate() runs on every demand miss of a
+	// stream-buffer configuration, squarely inside the steady-state loop.
+	for i := range s.bufs {
+		s.bufs[i].readyAt = make([]uint64, depth)
+	}
+	return s
 }
 
 // probe checks every head comparator for line address la. On a hit it
@@ -83,12 +90,9 @@ func (s *streamBufferSet) allocate(la uint64, now uint64, latency int) int {
 		return 0
 	}
 	s.tick++
-	*victim = streamBuffer{
-		head:    la + 1,
-		readyAt: make([]uint64, s.depth),
-		valid:   true,
-		lru:     s.tick,
-	}
+	victim.head = la + 1
+	victim.valid = true
+	victim.lru = s.tick
 	for i := 0; i < s.depth; i++ {
 		victim.readyAt[i] = now + uint64(latency) + uint64((i+1)*s.transfer)
 	}

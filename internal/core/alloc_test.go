@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"softcache/internal/cache"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// TestAccessSteadyStateZeroAllocs is the tentpole's headline property: once
+// the simulator is warm (scratch buffers grown, caches populated), the
+// simulate loop allocates nothing, for every design point in the paper's
+// matrix.
+func TestAccessSteadyStateZeroAllocs(t *testing.T) {
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]Config{
+		"Standard":           Standard(),
+		"Soft":               Soft(),
+		"SoftVariable":       SoftVariable(),
+		"SoftTemporal":       SoftTemporal(),
+		"SoftSpatial":        SoftSpatial(),
+		"Victim":             Victim(),
+		"BypassPlain":        BypassPlain(),
+		"BypassBuffered":     BypassBuffered(),
+		"SetAssoc2":          SetAssoc(Soft(), 2),
+		"SimplifiedSoft2":    SimplifiedSoftAssoc(2),
+		"StreamBuffers":      StandardStreamBuffers(),
+		"ColumnAssociative":  ColumnAssociative(),
+		"Subblocked":         Subblocked(),
+		"PrefetchSW":         WithPrefetch(Soft(), true),
+		"WriteThroughAlloc":  WithWritePolicy(Standard(), cache.WriteThroughAllocate),
+		"WriteThroughNoAllo": WithWritePolicy(Standard(), cache.WriteThroughNoAllocate),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			sim, err := cache.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: populate the caches and grow every scratch buffer.
+			for _, r := range tr.Records {
+				sim.Access(r)
+			}
+			recs := tr.Records
+			if len(recs) > 4096 {
+				recs = recs[:4096]
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				for _, r := range recs {
+					sim.Access(r)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Access allocated %.1f times per %d records, want 0",
+					allocs, len(recs))
+			}
+		})
+	}
+}
+
+// TestSimulateStreamAllocsFlat pins the complementary property for the
+// streaming entry point: SimulateStream's allocation count is a constant
+// (simulator construction plus one pooled batch at worst) and does not
+// scale with trace length.
+func TestSimulateStreamAllocsFlat(t *testing.T) {
+	small, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workloads.Trace("MV", workloads.ScalePaper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Records) < 4*len(small.Records) {
+		t.Fatalf("paper-scale trace (%d records) is not meaningfully larger than test scale (%d)",
+			len(big.Records), len(small.Records))
+	}
+	encode := func(tr *trace.Trace) []byte {
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	smallData, bigData := encode(small), encode(big)
+	cfg := Soft()
+	measure := func(data []byte) float64 {
+		return testing.AllocsPerRun(10, func() {
+			r, err := trace.NewReaderBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := SimulateStream(cfg, r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocsSmall := measure(smallData)
+	allocsBig := measure(bigData)
+	extraRecords := float64(len(big.Records) - len(small.Records))
+	perRecord := (allocsBig - allocsSmall) / extraRecords
+	// Allow a little jitter from sync.Pool refills after GC; per-record
+	// allocation would show up as ~1.0 here.
+	if perRecord > 0.001 {
+		t.Errorf("SimulateStream allocations scale with trace length: %.1f allocs at %d records vs %.1f at %d (%.4f/record)",
+			allocsBig, len(big.Records), allocsSmall, len(small.Records), perRecord)
+	}
+}

@@ -1,0 +1,266 @@
+// Package perf is the kernel performance-regression suite: a pinned
+// benchmark matrix over the streaming simulation kernel (trace size ×
+// virtual-line size × bounce-back on/off), run through the experiment
+// harness and emitted as machine-readable JSON (BENCH_kernel.json) plus a
+// markdown delta report against a previous run.
+//
+// The matrix is deliberately small and fixed: its job is not design-space
+// exploration (softcache-sweep does that) but catching throughput and
+// allocation regressions in the hot loop — Reader.ReadBatch, the
+// direct-mapped hit path, the miss/eviction scan — under the mechanisms
+// that stress each of them.
+package perf
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"softcache/internal/core"
+	"softcache/internal/harness"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// CaseSpec is one pinned point of the benchmark matrix.
+type CaseSpec struct {
+	Name        string          `json:"name"`
+	Workload    string          `json:"workload"`
+	Scale       workloads.Scale `json:"-"`
+	ScaleName   string          `json:"scale"`
+	VirtualLine int             `json:"virtual_line"` // bytes; 0 = plain lines
+	BounceBack  bool            `json:"bounce_back"`
+}
+
+// Config builds the design point for the case: the paper's soft cache with
+// the virtual-line and bounce-back axes set per the spec.
+func (c CaseSpec) Config() core.Config {
+	cfg := core.Soft()
+	cfg.VirtualLineSize = c.VirtualLine
+	cfg.UseSpatialTags = c.VirtualLine > core.DefaultLineSize
+	if !c.BounceBack {
+		cfg.BounceBackLines = 0
+		cfg.BounceBackEnabled = false
+		cfg.UseTemporalTags = false
+		cfg.BounceBackCycles = 0
+		cfg.SwapLockCycles = 0
+	}
+	return cfg
+}
+
+// Matrix returns the pinned benchmark matrix. quick drops the paper-scale
+// rows (CI smoke runs); the full matrix is the release measurement.
+func Matrix(quick bool) []CaseSpec {
+	scales := []workloads.Scale{workloads.ScaleTest, workloads.ScalePaper}
+	if quick {
+		scales = scales[:1]
+	}
+	var specs []CaseSpec
+	for _, scale := range scales {
+		for _, vl := range []int{0, 64, 256} {
+			for _, bb := range []bool{false, true} {
+				s := CaseSpec{
+					Workload:    "MV",
+					Scale:       scale,
+					ScaleName:   scale.String(),
+					VirtualLine: vl,
+					BounceBack:  bb,
+				}
+				bbTag := "bb0"
+				if bb {
+					bbTag = "bb1"
+				}
+				s.Name = fmt.Sprintf("%s/%s/vl%d/%s", s.Workload, s.ScaleName, vl, bbTag)
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+// Measurement is the result of one case.
+type Measurement struct {
+	CaseSpec
+	Records       int     `json:"records"`
+	Iters         int     `json:"iters"`
+	NsPerRecord   float64 `json:"ns_per_record"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	// AMAT fingerprints the simulated behaviour: a perf run whose AMAT
+	// moved did not just get slower, it changed results.
+	AMAT float64 `json:"amat"`
+}
+
+// Report is the whole suite's output, the schema of BENCH_kernel.json.
+type Report struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Quick     bool          `json:"quick"`
+	Cases     []Measurement `json:"cases"`
+}
+
+// SchemaID identifies the BENCH_kernel.json layout this package writes.
+const SchemaID = "softcache-perf/v1"
+
+// Runner executes the matrix. The zero value uses sensible defaults.
+type Runner struct {
+	// MinIters and MinTime bound each case's measurement loop from below:
+	// the loop runs until both are met. Zero values default to 3 iterations
+	// and 300ms (1 and 50ms in quick runs — set them explicitly).
+	MinIters int
+	MinTime  time.Duration
+	// Seed selects the workload trace seed (0 = 1, the paper's).
+	Seed uint64
+	// Log receives one-line progress notes when non-nil.
+	Log io.Writer
+}
+
+// Run measures every case of the matrix sequentially (Workers is pinned to
+// 1: timing runs must not share the machine with each other) through the
+// experiment harness, so a panicking or failing case yields a structured
+// failure record instead of torpedoing the suite.
+func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
+	minIters := r.MinIters
+	if minIters <= 0 {
+		minIters = 3
+	}
+	minTime := r.MinTime
+	if minTime <= 0 {
+		minTime = 300 * time.Millisecond
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Encode each distinct (workload, scale) trace once; every case replays
+	// the same bytes through trace.NewReaderBytes, so the measurement sees
+	// the full streaming path (header parse, batched decode, simulate).
+	encoded := map[string][]byte{}
+	records := map[string]int{}
+	for _, s := range specs {
+		key := s.Workload + "/" + s.ScaleName
+		if _, ok := encoded[key]; ok {
+			continue
+		}
+		tr, err := workloads.Trace(s.Workload, s.Scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("perf: generating %s: %w", key, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			return nil, fmt.Errorf("perf: encoding %s: %w", key, err)
+		}
+		encoded[key] = buf.Bytes()
+		records[key] = len(tr.Records)
+	}
+
+	units := make([]harness.Unit[Measurement], len(specs))
+	for i, s := range specs {
+		s := s
+		key := s.Workload + "/" + s.ScaleName
+		units[i] = harness.Unit[Measurement]{
+			Key: s.Name,
+			Meta: map[string]string{
+				"workload": s.Workload,
+				"scale":    s.ScaleName,
+				"seed":     fmt.Sprint(seed),
+			},
+			Run: func(ctx context.Context) (Measurement, error) {
+				return measure(ctx, s, encoded[key], records[key], minIters, minTime)
+			},
+		}
+	}
+	results, err := harness.Run(ctx, units, harness.Options{Workers: 1, Log: r.Log})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+
+	report := &Report{
+		Schema:    SchemaID,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Cases:     make([]Measurement, 0, len(results)),
+	}
+	var failures []string
+	for _, res := range results {
+		if !res.OK() {
+			failures = append(failures, res.FailureRecord())
+			continue
+		}
+		report.Cases = append(report.Cases, res.Value)
+	}
+	if len(failures) > 0 {
+		return report, fmt.Errorf("perf: %d case(s) failed:\n%s", len(failures), joinLines(failures))
+	}
+	return report, nil
+}
+
+// measure times repeated replays of the encoded trace through the
+// streaming kernel and reads the allocator's counters around the loop.
+func measure(ctx context.Context, spec CaseSpec, data []byte, n, minIters int, minTime time.Duration) (Measurement, error) {
+	cfg := spec.Config()
+	run := func() (core.Result, error) {
+		tr, err := trace.NewReaderBytes(data)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.SimulateStream(cfg, tr)
+	}
+
+	// Warm-up: page the trace in, grow the pools, JIT the branch history.
+	last, err := run()
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for iters < minIters || time.Since(start) < minTime {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
+		if last, err = run(); err != nil {
+			return Measurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	totalRecords := float64(n) * float64(iters)
+	m := Measurement{
+		CaseSpec:      spec,
+		Records:       n,
+		Iters:         iters,
+		NsPerRecord:   float64(elapsed.Nanoseconds()) / totalRecords,
+		RecordsPerSec: totalRecords / elapsed.Seconds(),
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		AMAT:          last.AMAT(),
+	}
+	return m, nil
+}
+
+func joinLines(lines []string) string {
+	var b bytes.Buffer
+	for i, l := range lines {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(l)
+	}
+	return b.String()
+}

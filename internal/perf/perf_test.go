@@ -1,0 +1,114 @@
+package perf
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"softcache/internal/cache"
+)
+
+func TestMatrixPinned(t *testing.T) {
+	full := Matrix(false)
+	quick := Matrix(true)
+	if len(full) != 12 {
+		t.Fatalf("full matrix has %d cases, want 12 (2 scales x 3 virtual-line sizes x bb on/off)", len(full))
+	}
+	if len(quick) != 6 {
+		t.Fatalf("quick matrix has %d cases, want 6", len(quick))
+	}
+	fullNames := map[string]bool{}
+	for _, s := range full {
+		if fullNames[s.Name] {
+			t.Fatalf("duplicate case name %q", s.Name)
+		}
+		fullNames[s.Name] = true
+		if _, err := cache.New(s.Config()); err != nil {
+			t.Errorf("case %s has invalid config: %v", s.Name, err)
+		}
+	}
+	for _, s := range quick {
+		if !fullNames[s.Name] {
+			t.Errorf("quick case %s not part of the full matrix", s.Name)
+		}
+		if strings.Contains(s.Name, "paper") {
+			t.Errorf("quick matrix contains paper-scale case %s", s.Name)
+		}
+	}
+}
+
+func TestRunnerReportAndGate(t *testing.T) {
+	specs := Matrix(true)[:2]
+	r := Runner{MinIters: 1, MinTime: time.Millisecond}
+	report, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cases) != len(specs) {
+		t.Fatalf("got %d cases, want %d", len(report.Cases), len(specs))
+	}
+	for _, c := range report.Cases {
+		if c.Records <= 0 || c.Iters <= 0 || c.NsPerRecord <= 0 || c.RecordsPerSec <= 0 || c.AMAT <= 0 {
+			t.Errorf("case %s has implausible measurement: %+v", c.Name, c)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	if err := WriteJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Cases) != len(report.Cases) || loaded.Schema != SchemaID {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+
+	// Identical runs pass any gate; a doubled ns/record must trip it.
+	if err := Gate(loaded, report, 0.15); err != nil {
+		t.Fatalf("identical reports tripped the gate: %v", err)
+	}
+	slow := *report
+	slow.Cases = append([]Measurement(nil), report.Cases...)
+	slow.Cases[0].NsPerRecord *= 2
+	err = Gate(loaded, &slow, 0.15)
+	if err == nil {
+		t.Fatal("2x regression passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), slow.Cases[0].Name) {
+		t.Fatalf("gate error does not name the regressed case: %v", err)
+	}
+
+	// New cases (absent from the baseline) never trip the gate.
+	extra := slow.Cases[0]
+	extra.Name = "synthetic/new-case"
+	fresh := *report
+	fresh.Cases = append(append([]Measurement(nil), report.Cases...), extra)
+	if err := Gate(loaded, &fresh, 0.15); err != nil {
+		t.Fatalf("baseline-less case tripped the gate: %v", err)
+	}
+
+	mdPlain := Markdown(nil, report)
+	mdDelta := Markdown(loaded, report)
+	for _, c := range report.Cases {
+		if !strings.Contains(mdPlain, c.Name) || !strings.Contains(mdDelta, c.Name) {
+			t.Errorf("markdown report missing case %s", c.Name)
+		}
+	}
+	if !strings.Contains(mdDelta, "Δ ns/record") {
+		t.Error("delta report lacks the delta column")
+	}
+}
+
+func TestReadJSONRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteJSON(path, &Report{Schema: "something/else"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

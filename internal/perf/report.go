@@ -1,0 +1,136 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteJSON writes the report as indented JSON (the BENCH_kernel.json
+// artifact).
+func WriteJSON(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a previously written report.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if r.Schema != SchemaID {
+		return nil, fmt.Errorf("perf: %s has schema %q, want %q", path, r.Schema, SchemaID)
+	}
+	return &r, nil
+}
+
+// Delta is one case's comparison against a baseline run.
+type Delta struct {
+	Name    string
+	Base    *Measurement // nil when the case is new
+	Current Measurement
+}
+
+// PctNs returns the ns/record change in percent (positive = slower).
+func (d Delta) PctNs() float64 {
+	if d.Base == nil || d.Base.NsPerRecord == 0 {
+		return 0
+	}
+	return (d.Current.NsPerRecord/d.Base.NsPerRecord - 1) * 100
+}
+
+// Compare matches the current report's cases against a baseline by name.
+// Baseline-only cases are ignored: the matrix is pinned in code, so a
+// vanished case means the matrix changed on purpose.
+func Compare(base, cur *Report) []Delta {
+	byName := map[string]*Measurement{}
+	if base != nil {
+		for i := range base.Cases {
+			byName[base.Cases[i].Name] = &base.Cases[i]
+		}
+	}
+	deltas := make([]Delta, 0, len(cur.Cases))
+	for _, c := range cur.Cases {
+		deltas = append(deltas, Delta{Name: c.Name, Base: byName[c.Name], Current: c})
+	}
+	return deltas
+}
+
+// Gate returns an error listing every case whose ns/record regressed by
+// more than maxRegress (a fraction: 0.15 = 15%) against the baseline.
+// Cases absent from the baseline pass by definition.
+func Gate(base, cur *Report, maxRegress float64) error {
+	var bad []string
+	for _, d := range Compare(base, cur) {
+		if d.Base == nil {
+			continue
+		}
+		if d.Current.NsPerRecord > d.Base.NsPerRecord*(1+maxRegress) {
+			bad = append(bad, fmt.Sprintf("  %s: %.2f -> %.2f ns/record (%+.1f%%, budget %+.0f%%)",
+				d.Name, d.Base.NsPerRecord, d.Current.NsPerRecord, d.PctNs(), maxRegress*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("perf: %d case(s) regressed beyond the %.0f%% ns/record budget:\n%s",
+			len(bad), maxRegress*100, strings.Join(bad, "\n"))
+	}
+	return nil
+}
+
+// Markdown renders the run as a markdown report; with a baseline it adds
+// the delta column (the "delta report" of docs/PERF.md).
+func Markdown(base, cur *Report) string {
+	var b strings.Builder
+	b.WriteString("# Kernel benchmark matrix\n\n")
+	fmt.Fprintf(&b, "%s, %s/%s, %d CPUs", cur.GoVersion, cur.GOOS, cur.GOARCH, cur.CPUs)
+	if cur.Quick {
+		b.WriteString(", quick matrix")
+	}
+	b.WriteString("\n\n")
+	if base != nil {
+		b.WriteString("| case | records | ns/record | baseline | Δ ns/record | records/s | allocs/op |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	} else {
+		b.WriteString("| case | records | ns/record | records/s | allocs/op |\n")
+		b.WriteString("|---|---:|---:|---:|---:|\n")
+	}
+	for _, d := range Compare(base, cur) {
+		c := d.Current
+		if base != nil {
+			baseNs, delta := "–", "new"
+			if d.Base != nil {
+				baseNs = fmt.Sprintf("%.2f", d.Base.NsPerRecord)
+				delta = fmt.Sprintf("%+.1f%%", d.PctNs())
+			}
+			fmt.Fprintf(&b, "| %s | %d | %.2f | %s | %s | %s | %.0f |\n",
+				c.Name, c.Records, c.NsPerRecord, baseNs, delta, human(c.RecordsPerSec), c.AllocsPerOp)
+		} else {
+			fmt.Fprintf(&b, "| %s | %d | %.2f | %s | %.0f |\n",
+				c.Name, c.Records, c.NsPerRecord, human(c.RecordsPerSec), c.AllocsPerOp)
+		}
+	}
+	return b.String()
+}
+
+// human formats a rate with an SI suffix (41.2M, 980k).
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

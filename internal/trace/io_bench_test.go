@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func synthTrace(n int) *Trace {
+	t := &Trace{Name: "synth"}
+	for i := 0; i < n; i++ {
+		t.Append(Record{
+			Addr:     uint64(i) * 8,
+			RefID:    uint32(i % 97),
+			Gap:      uint8(1 + i%3),
+			Size:     8,
+			Write:    i%4 == 0,
+			Temporal: i%3 == 0,
+			Spatial:  i%5 == 0,
+		})
+	}
+	return t
+}
+
+// BenchmarkNext measures the one-record-at-a-time decode path.
+func BenchmarkNext(b *testing.B) {
+	t := synthTrace(1 << 20)
+	var buf bytes.Buffer
+	if err := Write(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(t.Records)) * recordSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReaderBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkReadBatch measures the chunked decode path that SimulateStream
+// and the perf harness use.
+func BenchmarkReadBatch(b *testing.B) {
+	t := synthTrace(1 << 20)
+	var buf bytes.Buffer
+	if err := Write(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	batch := GetBatch()
+	defer PutBatch(batch)
+	b.SetBytes(int64(len(t.Records)) * recordSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReaderBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			n, err := r.ReadBatch(*batch)
+			if n == 0 && err != nil {
+				break
+			}
+		}
+	}
+}
