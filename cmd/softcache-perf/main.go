@@ -1,8 +1,10 @@
 // softcache-perf runs the kernel performance-regression suite: a pinned
 // benchmark matrix over the streaming simulation kernel (trace size ×
-// virtual-line size × bounce-back on/off), producing the machine-readable
-// BENCH_kernel.json artifact, an optional markdown delta report, and —
-// when a baseline is given — a ns/record regression gate.
+// virtual-line size × bounce-back on/off) plus a fused multi-configuration
+// matrix (core.SimulateMany vs the per-config loop, with the measured
+// speedup), producing the machine-readable BENCH_kernel.json artifact, an
+// optional markdown delta report, and — when a baseline is given — a
+// ns/record regression gate over both matrices.
 //
 // Usage:
 //
@@ -92,7 +94,7 @@ func runPerf(quick bool, out, baseline string, maxRegress float64, md string, mi
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	report, err := runner.Run(ctx, perf.Matrix(quick))
+	report, err := runner.Run(ctx, perf.Matrix(quick), perf.FusedMatrix(quick))
 	if err != nil {
 		return err
 	}

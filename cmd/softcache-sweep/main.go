@@ -14,11 +14,18 @@
 // (cycles), assoc (ways), bb (bounce-back lines), sbuf (stream buffers).
 // Metrics: amat, miss, traffic.
 //
-// Sweep points run on the experiment harness (internal/harness): in
-// parallel under -workers, each bounded by -timeout, with panics converted
-// into structured failed-run records on stderr and completed cells
-// checkpointed to -journal so an interrupted sweep resumes with -resume.
-// The matrix is printed in row-major order regardless of worker count.
+// The x axis is fused: each matrix row is one unit that simulates all of
+// its configurations in a single pass over the trace (core.SimulateManyTrace),
+// so the trace is decoded once per row instead of once per cell. Rows run
+// on the experiment harness (internal/harness): in parallel under
+// -workers, each bounded by -timeout, with panics converted into
+// structured failed-run records on stderr and completed rows checkpointed
+// to -journal so an interrupted sweep resumes with -resume. A journaled
+// row replays only while its config group (the -x axis) is unchanged;
+// reshaping the axis re-runs the rows it touches. Journals written by
+// per-cell versions of this tool do not resume (the keys changed from
+// cell: to row:). The matrix is printed in row-major order regardless of
+// worker count.
 //
 // The process exits 0 on success, 1 when any cell fails, and 2 on usage
 // errors (bad axes, unknown metric or config).
@@ -151,10 +158,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	xSpec := fs.String("x", "", "swept axis: key=v1,v2,... (columns)")
 	ySpec := fs.String("y", "", "optional second axis (rows)")
 	metric := fs.String("metric", "amat", "metric: amat, miss or traffic")
-	workers := fs.Int("workers", 1, "sweep cells simulated in parallel")
-	timeout := fs.Duration("timeout", 0, "per-cell timeout (0 = none)")
-	journal := fs.String("journal", "", "append completed cells to this JSONL checkpoint file")
-	resume := fs.Bool("resume", false, "replay cells already completed in -journal instead of re-running them")
+	workers := fs.Int("workers", 1, "sweep rows simulated in parallel")
+	timeout := fs.Duration("timeout", 0, "per-row timeout (0 = none)")
+	journal := fs.String("journal", "", "append completed rows to this JSONL checkpoint file")
+	resume := fs.Bool("resume", false, "replay rows already completed in -journal instead of re-running them")
 	check := fs.Bool("check", false, "enable runtime invariant checking in every simulation (slower)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
@@ -204,45 +211,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("-resume requires -journal"))
 	}
 
-	// One unit per matrix cell, submitted in row-major order so the harness
-	// hands the results back in exactly the order the matrix prints.
+	// One fused unit per matrix row: the x axis becomes a config group
+	// simulated in a single trace pass (core.SimulateManyTrace), so the
+	// trace is walked once per row instead of once per cell. -workers
+	// parallelism spans rows; the journal records one entry per
+	// (row, config-group), and resume validates the recorded group against
+	// the current x axis so editing -x re-runs exactly the rows it changes.
 	fingerprint := fmt.Sprintf("%016x", t.Fingerprint())
-	var units []harness.Unit[float64]
+	xLabels := make([]string, len(xAxis.values))
+	for i, x := range xAxis.values {
+		xLabels[i] = fmt.Sprintf("%s=%d", xAxis.key, x)
+	}
+	var units []harness.Unit[harness.Fused[float64]]
 	for _, y := range yAxis.values {
-		for _, x := range xAxis.values {
-			cfg := base
-			if yAxis.key != "" {
-				if cfg, err = apply(cfg, yAxis.key, y); err != nil {
-					return cli.Exit(stderr, tool, err)
-				}
-			}
-			if cfg, err = apply(cfg, xAxis.key, x); err != nil {
+		rowBase := base
+		if yAxis.key != "" {
+			if rowBase, err = apply(rowBase, yAxis.key, y); err != nil {
 				return cli.Exit(stderr, tool, err)
 			}
-			key := fmt.Sprintf("cell:%s=%d", xAxis.key, x)
-			meta := map[string]string{
-				"config":  *configName,
-				"metric":  *metric,
-				"seed":    fmt.Sprint(*seed),
-				"trace":   fingerprint,
-				xAxis.key: fmt.Sprint(x),
-			}
-			if yAxis.key != "" {
-				key = fmt.Sprintf("cell:%s=%d,%s=%d", yAxis.key, y, xAxis.key, x)
-				meta[yAxis.key] = fmt.Sprint(y)
-			}
-			units = append(units, harness.Unit[float64]{
-				Key:  key,
-				Meta: meta,
-				Run: func(runCtx context.Context) (float64, error) {
-					res, err := core.SimulateContext(runCtx, cfg, t)
-					if err != nil {
-						return 0, err
-					}
-					return metricOf(*metric, res)
-				},
-			})
 		}
+		cfgs := make([]core.Config, len(xAxis.values))
+		for i, x := range xAxis.values {
+			if cfgs[i], err = apply(rowBase, xAxis.key, x); err != nil {
+				return cli.Exit(stderr, tool, err)
+			}
+		}
+		key := fmt.Sprintf("row:%s", xAxis.key)
+		meta := map[string]string{
+			"config": *configName,
+			"metric": *metric,
+			"seed":   fmt.Sprint(*seed),
+			"trace":  fingerprint,
+			"x":      strings.Join(xLabels, " "),
+		}
+		if yAxis.key != "" {
+			key = fmt.Sprintf("row:%s=%d,%s", yAxis.key, y, xAxis.key)
+			meta[yAxis.key] = fmt.Sprint(y)
+		}
+		units = append(units, harness.FusedUnit(key, meta, xLabels,
+			func(runCtx context.Context) ([]float64, error) {
+				results, err := core.SimulateManyTrace(runCtx, cfgs, t)
+				if err != nil {
+					return nil, err
+				}
+				row := make([]float64, len(results))
+				for i, res := range results {
+					if row[i], err = metricOf(*metric, res); err != nil {
+						return nil, err
+					}
+				}
+				return row, nil
+			}))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -264,19 +283,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, strings.Join(head, ","))
 
-	idx := 0
-	for _, y := range yAxis.values {
+	for i, y := range yAxis.values {
 		row := make([]string, 0, len(xAxis.values)+1)
 		if yAxis.key == "" {
 			row = append(row, *metric)
 		} else {
 			row = append(row, strconv.Itoa(y))
 		}
-		for range xAxis.values {
-			r := results[idx]
-			idx++
+		r := results[i]
+		for j := range xAxis.values {
 			if r.OK() {
-				row = append(row, strconv.FormatFloat(r.Value, 'f', 4, 64))
+				row = append(row, strconv.FormatFloat(r.Value.At(j), 'f', 4, 64))
 			} else {
 				row = append(row, "error")
 			}

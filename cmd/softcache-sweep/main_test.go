@@ -174,3 +174,33 @@ func TestSweepResume(t *testing.T) {
 		t.Fatalf("resume not reported on stderr: %q", errb)
 	}
 }
+
+// TestSweepResumeRejectsReshapedAxis: a journaled row is keyed by its row
+// identity but carries its config group; editing -x between runs must
+// re-run the row with the new group rather than replaying a stale value.
+func TestSweepResumeRejectsReshapedAxis(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	_, errb, code := runSweep(t, "-workload", "MV", "-scale", "test",
+		"-x", "latency=5,10,20", "-journal", journal)
+	if code != 0 {
+		t.Fatalf("first run: exit %d: %s", code, errb)
+	}
+	out, errb, code := runSweep(t, "-workload", "MV", "-scale", "test",
+		"-x", "latency=5,30", "-journal", journal, "-resume")
+	if code != 0 {
+		t.Fatalf("reshaped run: exit %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "latency,5,30" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if cells := strings.Split(lines[1], ","); len(cells) != 3 || cells[1] == "error" || cells[2] == "error" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(errb, "rejected") {
+		t.Fatalf("reshaped axis not reported as rejected: %q", errb)
+	}
+	if strings.Contains(errb, "resumed row:") {
+		t.Fatalf("stale row replayed despite reshaped axis: %q", errb)
+	}
+}

@@ -116,6 +116,25 @@ func (c *Context) Simulate(name string, cfg core.Config) (core.Result, error) {
 	return core.SimulateContext(c.context(), cfg, t)
 }
 
+// SimulateMany runs every configuration over the named workload's trace
+// in one fused pass (core.SimulateManyTrace): each record batch is
+// decoded/walked once and fed to all simulators, so a figure's whole
+// config axis costs one trace traversal. Results are index-aligned with
+// cfgs and identical to len(cfgs) Simulate calls.
+func (c *Context) SimulateMany(name string, cfgs []core.Config) ([]core.Result, error) {
+	t, err := c.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Check {
+		cfgs = append([]core.Config(nil), cfgs...)
+		for i := range cfgs {
+			cfgs[i].RuntimeChecks = true
+		}
+	}
+	return core.SimulateManyTrace(c.context(), cfgs, t)
+}
+
 // Check is one qualitative shape assertion.
 type Check struct {
 	Name   string
@@ -224,19 +243,23 @@ func RunAll(ctx *Context) ([]*Report, error) {
 
 // amatTable runs the given configurations over the given workloads and
 // returns a workloads × configs AMAT table (the shape of most figures).
+// The config axis is fused: each workload's trace is walked once for the
+// whole row rather than once per column.
 func amatTable(ctx *Context, title string, names []string, configs []namedConfig, metric func(core.Result) float64) (*metrics.Table, error) {
 	cols := make([]string, len(configs))
+	cfgs := make([]core.Config, len(configs))
 	for i, c := range configs {
 		cols[i] = c.label
+		cfgs[i] = c.cfg
 	}
 	tbl := metrics.NewTable(title, "benchmark", cols...)
 	for _, name := range names {
+		results, err := ctx.SimulateMany(name, cfgs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
 		row := make([]float64, len(configs))
-		for i, c := range configs {
-			res, err := ctx.Simulate(name, c.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", c.label, name, err)
-			}
+		for i, res := range results {
 			row[i] = metric(res)
 		}
 		tbl.AddRow(name, row...)

@@ -47,19 +47,22 @@ func runFig9a(ctx *Context) (*Report, error) {
 		cols[i] = g.label
 	}
 	tbl := metrics.NewTable("% of misses removed by Soft", "benchmark", cols...)
+	// Standard/Soft pairs for every geometry, fused into one trace pass
+	// per workload.
+	cfgs := make([]core.Config, 0, 2*len(fig9aGeometries))
+	for _, g := range fig9aGeometries {
+		cfgs = append(cfgs,
+			core.WithGeometry(core.Standard(), g.cacheSize, g.lineSize, 0),
+			core.WithGeometry(core.Soft(), g.cacheSize, g.lineSize, 2*g.lineSize))
+	}
 	for _, name := range workloads.Benchmarks() {
+		results, err := ctx.SimulateMany(name, cfgs)
+		if err != nil {
+			return nil, err
+		}
 		row := make([]float64, len(fig9aGeometries))
-		for i, g := range fig9aGeometries {
-			std := core.WithGeometry(core.Standard(), g.cacheSize, g.lineSize, 0)
-			soft := core.WithGeometry(core.Soft(), g.cacheSize, g.lineSize, 2*g.lineSize)
-			sres, err := ctx.Simulate(name, std)
-			if err != nil {
-				return nil, err
-			}
-			fres, err := ctx.Simulate(name, soft)
-			if err != nil {
-				return nil, err
-			}
+		for i := range fig9aGeometries {
+			sres, fres := results[2*i], results[2*i+1]
 			if sres.MissRatio() > 0 {
 				row[i] = 100 * (sres.MissRatio() - fres.MissRatio()) / sres.MissRatio()
 			}

@@ -41,22 +41,17 @@ func runFig10a(ctx *Context) (*Report, error) {
 	kernelGain, fullGain := 0.0, 0.0
 	n := 0
 	for _, base := range []string{"MDG", "BDN", "DYF", "TRF"} {
-		kStd, err := ctx.Simulate(base+"-kernel", core.Standard())
+		pair := []core.Config{core.Standard(), core.Soft()}
+		kernel, err := ctx.SimulateMany(base+"-kernel", pair)
 		if err != nil {
 			return nil, err
 		}
-		kSoft, err := ctx.Simulate(base+"-kernel", core.Soft())
+		full, err := ctx.SimulateMany(base, pair)
 		if err != nil {
 			return nil, err
 		}
-		fStd, err := ctx.Simulate(base, core.Standard())
-		if err != nil {
-			return nil, err
-		}
-		fSoft, err := ctx.Simulate(base, core.Soft())
-		if err != nil {
-			return nil, err
-		}
+		kStd, kSoft := kernel[0], kernel[1]
+		fStd, fSoft := full[0], full[1]
 		kernelGain += 1 - kSoft.AMAT()/kStd.AMAT()
 		fullGain += 1 - fSoft.AMAT()/fStd.AMAT()
 		n++
@@ -83,18 +78,22 @@ func runFig10b(ctx *Context) (*Report, error) {
 		cols[i] = fmt.Sprintf("lat=%d", l)
 	}
 	tbl := metrics.NewTable("AMAT(Standard) - AMAT(Soft)", "benchmark", cols...)
+	// The whole latency axis, Standard and Soft interleaved, in one fused
+	// pass per workload.
+	cfgs := make([]core.Config, 0, 2*len(fig10bLatencies))
+	for _, lat := range fig10bLatencies {
+		cfgs = append(cfgs,
+			core.WithLatency(core.Standard(), lat),
+			core.WithLatency(core.Soft(), lat))
+	}
 	for _, name := range workloads.Benchmarks() {
+		results, err := ctx.SimulateMany(name, cfgs)
+		if err != nil {
+			return nil, err
+		}
 		row := make([]float64, len(fig10bLatencies))
-		for i, lat := range fig10bLatencies {
-			std, err := ctx.Simulate(name, core.WithLatency(core.Standard(), lat))
-			if err != nil {
-				return nil, err
-			}
-			soft, err := ctx.Simulate(name, core.WithLatency(core.Soft(), lat))
-			if err != nil {
-				return nil, err
-			}
-			row[i] = std.AMAT() - soft.AMAT()
+		for i := range fig10bLatencies {
+			row[i] = results[2*i].AMAT() - results[2*i+1].AMAT()
 		}
 		tbl.AddRow(name, row...)
 	}

@@ -51,16 +51,11 @@ func runFig12SW(ctx *Context) (*Report, error) {
 
 	for _, name := range workloads.Benchmarks() {
 		row := make([]float64, 0, len(cols))
-		soft, err := ctx.Simulate(name, core.Soft())
+		base, err := ctx.SimulateMany(name, []core.Config{core.Soft(), core.WithPrefetch(core.Soft(), true)})
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, soft.AMAT())
-		hw, err := ctx.Simulate(name, core.WithPrefetch(core.Soft(), true))
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, hw.AMAT())
+		row = append(row, base[0].AMAT(), base[1].AMAT())
 		for _, d := range distances {
 			t, err := ctx.swPrefetchTrace(name, d)
 			if err != nil {

@@ -39,14 +39,11 @@ func runThreeC(ctx *Context) (*Report, error) {
 			return nil, err
 		}
 		profile := stackdist.Analyze(t, std.LineSize, 4*capacityLines)
-		stdRes, err := ctx.Simulate(name, std)
+		results, err := ctx.SimulateMany(name, []core.Config{std, core.Soft()})
 		if err != nil {
 			return nil, err
 		}
-		softRes, err := ctx.Simulate(name, core.Soft())
-		if err != nil {
-			return nil, err
-		}
+		stdRes, softRes := results[0], results[1]
 		c := profile.Classify(capacityLines, stdRes.Stats.Misses)
 		per := 1000.0 / float64(stdRes.Stats.References)
 		removed := float64(stdRes.Stats.Misses-softRes.Stats.Misses) * per

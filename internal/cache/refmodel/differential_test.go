@@ -1,6 +1,7 @@
 package refmodel_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -156,6 +157,53 @@ func TestDifferentialRandomTraces(t *testing.T) {
 		t.Run(v.name, func(t *testing.T) {
 			for _, seed := range seeds {
 				runDifferential(t, v.cfg, randomRecords(seed, n))
+			}
+		})
+	}
+}
+
+// TestSimulateManyDifferential replays one fused core.SimulateMany pass
+// across the entire variant matrix and checks every configuration's final
+// statistics against an independent reference-model replay. This closes
+// the loop the per-config differential leaves open: the fused kernel's
+// batch interleaving across simulators must not perturb any design point.
+func TestSimulateManyDifferential(t *testing.T) {
+	vs := variants()
+	cfgs := make([]cache.Config, len(vs))
+	for i, v := range vs {
+		cfgs[i] = v.cfg
+	}
+	sources := map[string][]trace.Record{}
+	for _, w := range []string{"MV", "SpMV", "MDG"} {
+		tr, err := workloads.Trace(w, workloads.ScaleTest, 1)
+		if err != nil {
+			t.Fatalf("workloads.Trace(%s): %v", w, err)
+		}
+		sources[w] = tr.Records
+	}
+	sources["random"] = randomRecords(7, 20_000)
+	for name, records := range sources {
+		if testing.Short() && name != "MV" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			fused, err := core.SimulateManyTrace(context.Background(), cfgs,
+				&trace.Trace{Name: name, Records: records})
+			if err != nil {
+				t.Fatalf("SimulateManyTrace: %v", err)
+			}
+			for i, v := range vs {
+				ref, err := refmodel.New(v.cfg)
+				if err != nil {
+					t.Fatalf("refmodel.New(%s): %v", v.name, err)
+				}
+				for _, r := range records {
+					ref.Access(r)
+				}
+				if !reflect.DeepEqual(fused[i].Stats, ref.Stats()) {
+					t.Errorf("%s: fused stats diverge from reference model:\nfused:     %+v\nreference: %+v",
+						v.name, fused[i].Stats, ref.Stats())
+				}
 			}
 		})
 	}

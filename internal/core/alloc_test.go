@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"softcache/internal/cache"
@@ -108,6 +109,50 @@ func TestSimulateStreamAllocsFlat(t *testing.T) {
 	// allocation would show up as ~1.0 here.
 	if perRecord > 0.001 {
 		t.Errorf("SimulateStream allocations scale with trace length: %.1f allocs at %d records vs %.1f at %d (%.4f/record)",
+			allocsBig, len(big.Records), allocsSmall, len(small.Records), perRecord)
+	}
+}
+
+// TestSimulateManyAllocsFlat extends the flat-allocation guarantee to the
+// fused path: one SimulateMany pass allocates a constant amount (the
+// simulators, the result slice and one pooled batch) regardless of trace
+// length — the per-batch fan-out over N simulators allocates nothing.
+func TestSimulateManyAllocsFlat(t *testing.T) {
+	small, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workloads.Trace("MV", workloads.ScalePaper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(tr *trace.Trace) []byte {
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	smallData, bigData := encode(small), encode(big)
+	cfgs := []Config{Standard(), Soft(), SoftVariable(), Victim()}
+	ctx := context.Background()
+	measure := func(data []byte) float64 {
+		return testing.AllocsPerRun(10, func() {
+			r, err := trace.NewReaderBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := SimulateMany(ctx, cfgs, r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocsSmall := measure(smallData)
+	allocsBig := measure(bigData)
+	extraRecords := float64(len(big.Records) - len(small.Records))
+	perRecord := (allocsBig - allocsSmall) / extraRecords
+	if perRecord > 0.001 {
+		t.Errorf("SimulateMany allocations scale with trace length: %.1f allocs at %d records vs %.1f at %d (%.4f/record)",
 			allocsBig, len(big.Records), allocsSmall, len(small.Records), perRecord)
 	}
 }

@@ -349,9 +349,7 @@ func SimulateStream(cfg Config, r *trace.Reader) (Result, error) {
 	defer trace.PutBatch(batch)
 	for {
 		n, err := r.ReadBatch(*batch)
-		for _, rec := range (*batch)[:n] {
-			sim.Access(rec)
-		}
+		sim.AccessAll((*batch)[:n])
 		if err == io.EOF {
 			break
 		}
@@ -360,6 +358,98 @@ func SimulateStream(cfg Config, r *trace.Reader) (Result, error) {
 		}
 	}
 	return Result{Trace: r.Name(), Config: Describe(cfg), Stats: sim.Stats()}, nil
+}
+
+// SimulateMany is the fused multi-configuration kernel: one streaming
+// pass of the trace drives a fresh simulator per configuration, feeding
+// each decoded BatchSize chunk to every simulator before the next chunk is
+// decoded. A whole configuration matrix therefore pays the trace decode
+// (and the memory streaming of the serialised bytes) once instead of once
+// per configuration, while the decoded batch stays cache-resident for all
+// simulators.
+//
+// The simulators are fully independent — each owns its cache state and
+// scratch buffers — so the results are index-aligned with cfgs and
+// byte-identical to running SimulateStream once per configuration
+// (TestSimulateManyMatchesStream pins this). Like SimulateStream, the loop
+// performs no steady-state allocations (TestSimulateManyAllocsFlat).
+//
+// ctx is polled between batches (every BatchSize records); on cancellation
+// or any decode error the partial results are discarded and the error is
+// returned wrapped, so callers never observe a half-simulated matrix.
+func SimulateMany(ctx context.Context, cfgs []Config, r *trace.Reader) ([]Result, error) {
+	sims, err := buildSimulators(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	batch := trace.GetBatch()
+	defer trace.PutBatch(batch)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: simulating %s: %w", r.Name(), err)
+		}
+		n, err := r.ReadBatch(*batch)
+		recs := (*batch)[:n]
+		for _, sim := range sims {
+			sim.AccessAll(recs)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return manyResults(r.Name(), cfgs, sims), nil
+}
+
+// SimulateManyTrace is SimulateMany for a trace already materialised in
+// memory: the records are fed to every simulator in BatchSize chunks (so
+// the chunk being simulated stays cache-resident across configurations)
+// with the same cancellation and identical-results contracts.
+func SimulateManyTrace(ctx context.Context, cfgs []Config, t *trace.Trace) ([]Result, error) {
+	sims, err := buildSimulators(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	recs := t.Records
+	for len(recs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: simulating %s: %w", t.Name, err)
+		}
+		chunk := recs
+		if len(chunk) > trace.BatchSize {
+			chunk = chunk[:trace.BatchSize]
+		}
+		for _, sim := range sims {
+			sim.AccessAll(chunk)
+		}
+		recs = recs[len(chunk):]
+	}
+	return manyResults(t.Name, cfgs, sims), nil
+}
+
+// buildSimulators constructs one fresh simulator per configuration. Any
+// invalid configuration fails the whole matrix up front, before a single
+// record is consumed.
+func buildSimulators(cfgs []Config) ([]*cache.Simulator, error) {
+	sims := make([]*cache.Simulator, len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := cache.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: config %d (%s): %w", i, Describe(cfg), err)
+		}
+		sims[i] = sim
+	}
+	return sims, nil
+}
+
+func manyResults(traceName string, cfgs []Config, sims []*cache.Simulator) []Result {
+	out := make([]Result, len(sims))
+	for i, sim := range sims {
+		out[i] = Result{Trace: traceName, Config: Describe(cfgs[i]), Stats: sim.Stats()}
+	}
+	return out
 }
 
 // Describe renders a short human-readable identifier for cfg.

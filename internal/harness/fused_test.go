@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func fusedFloatUnit(key string, configs []string, runs *atomic.Int32) Unit[Fused[float64]] {
+	return FusedUnit(key, map[string]string{"workload": "MV"}, configs,
+		func(context.Context) ([]float64, error) {
+			if runs != nil {
+				runs.Add(1)
+			}
+			out := make([]float64, len(configs))
+			for i := range out {
+				out[i] = float64(i * i)
+			}
+			return out, nil
+		})
+}
+
+func TestFusedUnitRoundTrip(t *testing.T) {
+	configs := []string{"std/8K", "std/16K", "std/32K"}
+	results, err := Run(context.Background(),
+		[]Unit[Fused[float64]]{fusedFloatUnit("row:a", configs, nil)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.OK() {
+		t.Fatalf("fused unit failed: %+v", r)
+	}
+	if len(r.Value.Values) != len(configs) || r.Value.At(2) != 4 {
+		t.Fatalf("fused value = %+v", r.Value)
+	}
+	if strings.Join(r.Value.Configs, ",") != strings.Join(configs, ",") {
+		t.Fatalf("configs not journaled alongside values: %+v", r.Value)
+	}
+}
+
+// TestFusedUnitValueCountMismatch: a runner that returns the wrong number
+// of values is an infrastructure bug, surfaced as a failed run rather than
+// silently misaligned columns.
+func TestFusedUnitValueCountMismatch(t *testing.T) {
+	u := FusedUnit("row:bad", nil, []string{"a", "b"},
+		func(context.Context) ([]float64, error) { return []float64{1}, nil })
+	results, err := Run(context.Background(), []Unit[Fused[float64]]{u}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", results[0].Status)
+	}
+}
+
+// TestFusedResumeValidatesConfigGroup: a journaled fused value resumes only
+// while the config group behind its key is unchanged; reshaping the group
+// (different order, different members, different size) re-runs the unit.
+func TestFusedResumeValidatesConfigGroup(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	configs := []string{"std/8K", "std/16K", "std/32K"}
+
+	var first atomic.Int32
+	if _, err := Run(context.Background(),
+		[]Unit[Fused[float64]]{fusedFloatUnit("row:a", configs, &first)},
+		Options{JournalPath: journal}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same group: resumed, not re-run.
+	var second atomic.Int32
+	results, err := Run(context.Background(),
+		[]Unit[Fused[float64]]{fusedFloatUnit("row:a", configs, &second)},
+		Options{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusResumed || second.Load() != 0 {
+		t.Fatalf("unchanged group: status=%s runs=%d, want resumed/0", results[0].Status, second.Load())
+	}
+
+	// Reshaped group under the same key: the journal entry is rejected and
+	// the unit re-runs with the new shape.
+	reshaped := []string{"std/8K", "std/64K"}
+	var third atomic.Int32
+	var log strings.Builder
+	results, err = Run(context.Background(),
+		[]Unit[Fused[float64]]{fusedFloatUnit("row:a", reshaped, &third)},
+		Options{JournalPath: journal, Resume: true, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusOK || third.Load() != 1 {
+		t.Fatalf("reshaped group: status=%s runs=%d, want ok/1", results[0].Status, third.Load())
+	}
+	if len(results[0].Value.Values) != len(reshaped) {
+		t.Fatalf("reshaped value = %+v", results[0].Value)
+	}
+	if !strings.Contains(log.String(), "rejected") {
+		t.Fatalf("rejection not logged: %q", log.String())
+	}
+}
+
+// TestValidateRejectionFallsThroughToRun covers Unit.Validate directly,
+// independent of the fused wrapper.
+func TestValidateRejectionFallsThroughToRun(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	mk := func(accept bool, runs *atomic.Int32) Unit[int] {
+		return Unit[int]{
+			Key: "v",
+			Run: func(context.Context) (int, error) {
+				runs.Add(1)
+				return 7, nil
+			},
+			Validate: func(v int) error {
+				if !accept {
+					return fmt.Errorf("value %d no longer acceptable", v)
+				}
+				return nil
+			},
+		}
+	}
+	var a, b, c atomic.Int32
+	if _, err := Run(context.Background(), []Unit[int]{mk(true, &a)}, Options{JournalPath: journal}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), []Unit[int]{mk(true, &b)},
+		Options{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusResumed || b.Load() != 0 {
+		t.Fatalf("accepting validator: status=%s runs=%d", results[0].Status, b.Load())
+	}
+	results, err = Run(context.Background(), []Unit[int]{mk(false, &c)},
+		Options{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusOK || c.Load() != 1 {
+		t.Fatalf("rejecting validator: status=%s runs=%d, want ok/1", results[0].Status, c.Load())
+	}
+}

@@ -44,6 +44,12 @@ type Unit[T any] struct {
 	// Run computes the unit's value. It must honour ctx cancellation for
 	// timeouts to take effect (see core.SimulateContext).
 	Run func(ctx context.Context) (T, error)
+	// Validate, when non-nil, vets a journal value before it is replayed
+	// on resume. A non-nil error rejects the entry and the unit re-runs —
+	// the structured analogue of an undecodable value. Fused units use it
+	// to detect that the config group behind a key has changed shape since
+	// the journal was written (see FusedUnit).
+	Validate func(T) error
 }
 
 // Status classifies the outcome of one unit.
@@ -231,6 +237,15 @@ func Run[T any](ctx context.Context, units []Unit[T], opts Options) ([]Result[T]
 		if raw, ok := resumable[u.Key]; ok {
 			var v T
 			if err := json.Unmarshal(raw, &v); err == nil {
+				if u.Validate != nil {
+					if verr := u.Validate(v); verr != nil {
+						if opts.Log != nil {
+							fmt.Fprintf(opts.Log, "harness: journal value for %s rejected (%v), re-running\n", u.Key, verr)
+						}
+						pending = append(pending, i)
+						continue
+					}
+				}
 				results[i] = Result[T]{Key: u.Key, Status: StatusResumed, Value: v, Meta: u.Meta}
 				if opts.Log != nil {
 					fmt.Fprintf(opts.Log, "harness: resumed %s from journal\n", u.Key)

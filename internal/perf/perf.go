@@ -51,6 +51,92 @@ func (c CaseSpec) Config() core.Config {
 	return cfg
 }
 
+// MatrixSpec is one pinned fused-matrix point: a config group simulated
+// over one (workload, scale) trace both fused (core.SimulateMany — one
+// decode pass feeds every config) and looped (one SimulateStream pass per
+// config). The pair quantifies the decode amortisation the fused kernel
+// buys, and pins it against regression.
+type MatrixSpec struct {
+	Name      string          `json:"name"`
+	Workload  string          `json:"workload"`
+	Scale     workloads.Scale `json:"-"`
+	ScaleName string          `json:"scale"`
+	Group     string          `json:"group"`
+}
+
+// Configs builds the spec's config group. Group ids are pinned: the same
+// name always denotes the same ordered config list, so baseline rows stay
+// comparable across runs.
+func (m MatrixSpec) Configs() ([]core.Config, error) {
+	switch m.Group {
+	case "size-line-12":
+		// The joint cache-size x line-size axis of the paper's standard
+		// cache: a hit-dominated group where decode is a large share of
+		// the record budget, so fusion pays the most.
+		var cfgs []core.Config
+		for _, kb := range []int{32, 64, 128, 256} {
+			for _, ln := range []int{32, 64, 128} {
+				cfg := core.Standard()
+				cfg.CacheSize = kb << 10
+				cfg.LineSize = ln
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		return cfgs, nil
+	case "cache-size-6":
+		// Figure 3's cache-size axis on the standard cache.
+		var cfgs []core.Config
+		for _, kb := range []int{8, 16, 32, 64, 128, 256} {
+			cfg := core.Standard()
+			cfg.CacheSize = kb << 10
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs, nil
+	case "soft-matrix-6":
+		// The case matrix's own axes (virtual line x bounce-back) on the
+		// soft cache: a miss- and mechanism-heavy group where simulation
+		// dominates and fusion helps least. Kept as the honest lower
+		// bound of the speedup column.
+		var cfgs []core.Config
+		for _, vl := range []int{0, 64, 256} {
+			for _, bb := range []bool{false, true} {
+				cfgs = append(cfgs, CaseSpec{VirtualLine: vl, BounceBack: bb}.Config())
+			}
+		}
+		return cfgs, nil
+	default:
+		return nil, fmt.Errorf("perf: unknown fused matrix group %q", m.Group)
+	}
+}
+
+// FusedMatrix returns the pinned fused-vs-looped matrix. quick drops the
+// paper-scale rows, mirroring Matrix.
+func FusedMatrix(quick bool) []MatrixSpec {
+	scales := []workloads.Scale{workloads.ScaleTest, workloads.ScalePaper}
+	if quick {
+		scales = scales[:1]
+	}
+	rows := []struct{ workload, group string }{
+		{"MDG", "size-line-12"},
+		{"MV", "cache-size-6"},
+		{"MV", "soft-matrix-6"},
+	}
+	var specs []MatrixSpec
+	for _, scale := range scales {
+		for _, r := range rows {
+			s := MatrixSpec{
+				Workload:  r.workload,
+				Scale:     scale,
+				ScaleName: scale.String(),
+				Group:     r.group,
+			}
+			s.Name = fmt.Sprintf("fused/%s/%s/%s", s.Workload, s.ScaleName, s.Group)
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
 // Matrix returns the pinned benchmark matrix. quick drops the paper-scale
 // rows (CI smoke runs); the full matrix is the release measurement.
 func Matrix(quick bool) []CaseSpec {
@@ -95,6 +181,28 @@ type Measurement struct {
 	AMAT float64 `json:"amat"`
 }
 
+// MatrixMeasurement is the result of one fused-matrix row: the whole
+// config group's per-record cost under the fused kernel and under the
+// per-config loop, and the wall-clock speedup between them.
+type MatrixMeasurement struct {
+	MatrixSpec
+	Configs int `json:"configs"`
+	Records int `json:"records"`
+	Iters   int `json:"iters"`
+	// FusedNsPerRecord and LoopNsPerRecord are normalised per record per
+	// config, so they are comparable to the case matrix's ns_per_record.
+	FusedNsPerRecord float64 `json:"fused_ns_per_record"`
+	LoopNsPerRecord  float64 `json:"loop_ns_per_record"`
+	// Speedup is loop wall-clock over fused wall-clock for the whole group.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerOp counts allocations of one whole fused pass (simulator
+	// construction included; the steady-state loop itself is alloc-free).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MeanAMAT fingerprints behaviour across the group, like Measurement's
+	// AMAT does for one config.
+	MeanAMAT float64 `json:"mean_amat"`
+}
+
 // Report is the whole suite's output, the schema of BENCH_kernel.json.
 type Report struct {
 	Schema    string        `json:"schema"`
@@ -104,10 +212,17 @@ type Report struct {
 	CPUs      int           `json:"cpus"`
 	Quick     bool          `json:"quick"`
 	Cases     []Measurement `json:"cases"`
+	// Matrix holds the fused-vs-looped rows; absent in v1 reports.
+	Matrix []MatrixMeasurement `json:"matrix,omitempty"`
 }
 
 // SchemaID identifies the BENCH_kernel.json layout this package writes.
-const SchemaID = "softcache-perf/v1"
+// v2 added the fused matrix rows; v1 reports (no matrix) still load.
+const SchemaID = "softcache-perf/v2"
+
+// schemaV1 is the previous layout: identical cases, no fused matrix.
+// ReadJSON keeps accepting it so pre-v2 baselines gate the case matrix.
+const schemaV1 = "softcache-perf/v1"
 
 // Runner executes the matrix. The zero value uses sensible defaults.
 type Runner struct {
@@ -125,8 +240,9 @@ type Runner struct {
 // Run measures every case of the matrix sequentially (Workers is pinned to
 // 1: timing runs must not share the machine with each other) through the
 // experiment harness, so a panicking or failing case yields a structured
-// failure record instead of torpedoing the suite.
-func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
+// failure record instead of torpedoing the suite. The fused rows are
+// measured after the cases, one harness unit per (workload, config-group).
+func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec) (*Report, error) {
 	minIters := r.MinIters
 	if minIters <= 0 {
 		minIters = 3
@@ -145,21 +261,32 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
 	// the full streaming path (header parse, batched decode, simulate).
 	encoded := map[string][]byte{}
 	records := map[string]int{}
-	for _, s := range specs {
-		key := s.Workload + "/" + s.ScaleName
+	ensureTrace := func(workload, scaleName string, scale workloads.Scale) error {
+		key := workload + "/" + scaleName
 		if _, ok := encoded[key]; ok {
-			continue
+			return nil
 		}
-		tr, err := workloads.Trace(s.Workload, s.Scale, seed)
+		tr, err := workloads.Trace(workload, scale, seed)
 		if err != nil {
-			return nil, fmt.Errorf("perf: generating %s: %w", key, err)
+			return fmt.Errorf("perf: generating %s: %w", key, err)
 		}
 		var buf bytes.Buffer
 		if err := trace.Write(&buf, tr); err != nil {
-			return nil, fmt.Errorf("perf: encoding %s: %w", key, err)
+			return fmt.Errorf("perf: encoding %s: %w", key, err)
 		}
 		encoded[key] = buf.Bytes()
 		records[key] = len(tr.Records)
+		return nil
+	}
+	for _, s := range specs {
+		if err := ensureTrace(s.Workload, s.ScaleName, s.Scale); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range fused {
+		if err := ensureTrace(m.Workload, m.ScaleName, m.Scale); err != nil {
+			return nil, err
+		}
 	}
 
 	units := make([]harness.Unit[Measurement], len(specs))
@@ -183,6 +310,28 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
 		return nil, fmt.Errorf("perf: %w", err)
 	}
 
+	matrixUnits := make([]harness.Unit[MatrixMeasurement], len(fused))
+	for i, m := range fused {
+		m := m
+		key := m.Workload + "/" + m.ScaleName
+		matrixUnits[i] = harness.Unit[MatrixMeasurement]{
+			Key: m.Name,
+			Meta: map[string]string{
+				"workload": m.Workload,
+				"scale":    m.ScaleName,
+				"group":    m.Group,
+				"seed":     fmt.Sprint(seed),
+			},
+			Run: func(ctx context.Context) (MatrixMeasurement, error) {
+				return measureMatrix(ctx, m, encoded[key], records[key], minIters, minTime)
+			},
+		}
+	}
+	matrixResults, err := harness.Run(ctx, matrixUnits, harness.Options{Workers: 1, Log: r.Log})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+
 	report := &Report{
 		Schema:    SchemaID,
 		GoVersion: runtime.Version(),
@@ -190,6 +339,7 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Cases:     make([]Measurement, 0, len(results)),
+		Matrix:    make([]MatrixMeasurement, 0, len(matrixResults)),
 	}
 	var failures []string
 	for _, res := range results {
@@ -198,6 +348,13 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec) (*Report, error) {
 			continue
 		}
 		report.Cases = append(report.Cases, res.Value)
+	}
+	for _, res := range matrixResults {
+		if !res.OK() {
+			failures = append(failures, res.FailureRecord())
+			continue
+		}
+		report.Matrix = append(report.Matrix, res.Value)
 	}
 	if len(failures) > 0 {
 		return report, fmt.Errorf("perf: %d case(s) failed:\n%s", len(failures), joinLines(failures))
@@ -252,6 +409,94 @@ func measure(ctx context.Context, spec CaseSpec, data []byte, n, minIters int, m
 		AMAT:          last.AMAT(),
 	}
 	return m, nil
+}
+
+// measureMatrix times the fused kernel (one decode pass for the whole
+// config group) against the per-config loop over the same encoded bytes,
+// interleaving the two so drift (thermal, cache pressure from a neighbour)
+// biases neither side.
+func measureMatrix(ctx context.Context, spec MatrixSpec, data []byte, n, minIters int, minTime time.Duration) (MatrixMeasurement, error) {
+	cfgs, err := spec.Configs()
+	if err != nil {
+		return MatrixMeasurement{}, err
+	}
+	fusedPass := func() ([]core.Result, error) {
+		r, err := trace.NewReaderBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return core.SimulateMany(ctx, cfgs, r)
+	}
+	loopPass := func() error {
+		for _, cfg := range cfgs {
+			r, err := trace.NewReaderBytes(data)
+			if err != nil {
+				return err
+			}
+			if _, err := core.SimulateStream(cfg, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Warm-up both paths.
+	last, err := fusedPass()
+	if err != nil {
+		return MatrixMeasurement{}, err
+	}
+	if err := loopPass(); err != nil {
+		return MatrixMeasurement{}, err
+	}
+
+	// Allocation count of one whole fused pass, measured in isolation so
+	// the loop pass's own allocations don't blur it.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if last, err = fusedPass(); err != nil {
+		return MatrixMeasurement{}, err
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerOp := float64(after.Mallocs - before.Mallocs)
+
+	var fusedTime, loopTime time.Duration
+	iters := 0
+	start := time.Now()
+	for iters < minIters || time.Since(start) < 2*minTime {
+		if err := ctx.Err(); err != nil {
+			return MatrixMeasurement{}, err
+		}
+		t0 := time.Now()
+		if last, err = fusedPass(); err != nil {
+			return MatrixMeasurement{}, err
+		}
+		t1 := time.Now()
+		if err := loopPass(); err != nil {
+			return MatrixMeasurement{}, err
+		}
+		fusedTime += t1.Sub(t0)
+		loopTime += time.Since(t1)
+		iters++
+	}
+
+	totalRecords := float64(n) * float64(iters) * float64(len(cfgs))
+	meanAMAT := 0.0
+	for _, res := range last {
+		meanAMAT += res.AMAT()
+	}
+	meanAMAT /= float64(len(cfgs))
+	return MatrixMeasurement{
+		MatrixSpec:       spec,
+		Configs:          len(cfgs),
+		Records:          n,
+		Iters:            iters,
+		FusedNsPerRecord: float64(fusedTime.Nanoseconds()) / totalRecords,
+		LoopNsPerRecord:  float64(loopTime.Nanoseconds()) / totalRecords,
+		Speedup:          float64(loopTime) / float64(fusedTime),
+		AllocsPerOp:      allocsPerOp,
+		MeanAMAT:         meanAMAT,
+	}, nil
 }
 
 func joinLines(lines []string) string {

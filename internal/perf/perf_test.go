@@ -41,8 +41,9 @@ func TestMatrixPinned(t *testing.T) {
 
 func TestRunnerReportAndGate(t *testing.T) {
 	specs := Matrix(true)[:2]
+	fused := FusedMatrix(true)[:1]
 	r := Runner{MinIters: 1, MinTime: time.Millisecond}
-	report, err := r.Run(context.Background(), specs)
+	report, err := r.Run(context.Background(), specs, fused)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +53,15 @@ func TestRunnerReportAndGate(t *testing.T) {
 	for _, c := range report.Cases {
 		if c.Records <= 0 || c.Iters <= 0 || c.NsPerRecord <= 0 || c.RecordsPerSec <= 0 || c.AMAT <= 0 {
 			t.Errorf("case %s has implausible measurement: %+v", c.Name, c)
+		}
+	}
+	if len(report.Matrix) != len(fused) {
+		t.Fatalf("got %d matrix rows, want %d", len(report.Matrix), len(fused))
+	}
+	for _, m := range report.Matrix {
+		if m.Configs <= 1 || m.Records <= 0 || m.Iters <= 0 ||
+			m.FusedNsPerRecord <= 0 || m.LoopNsPerRecord <= 0 || m.Speedup <= 0 || m.MeanAMAT <= 0 {
+			t.Errorf("matrix row %s has implausible measurement: %+v", m.Name, m)
 		}
 	}
 
@@ -91,6 +101,19 @@ func TestRunnerReportAndGate(t *testing.T) {
 		t.Fatalf("baseline-less case tripped the gate: %v", err)
 	}
 
+	// A fused-matrix regression trips the gate too.
+	slowMatrix := *report
+	slowMatrix.Cases = append([]Measurement(nil), report.Cases...)
+	slowMatrix.Matrix = append([]MatrixMeasurement(nil), report.Matrix...)
+	slowMatrix.Matrix[0].FusedNsPerRecord *= 2
+	err = Gate(loaded, &slowMatrix, 0.15)
+	if err == nil {
+		t.Fatal("2x fused regression passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), slowMatrix.Matrix[0].Name) {
+		t.Fatalf("gate error does not name the regressed matrix row: %v", err)
+	}
+
 	mdPlain := Markdown(nil, report)
 	mdDelta := Markdown(loaded, report)
 	for _, c := range report.Cases {
@@ -98,8 +121,89 @@ func TestRunnerReportAndGate(t *testing.T) {
 			t.Errorf("markdown report missing case %s", c.Name)
 		}
 	}
+	for _, m := range report.Matrix {
+		if !strings.Contains(mdPlain, m.Name) || !strings.Contains(mdDelta, m.Name) {
+			t.Errorf("markdown report missing matrix row %s", m.Name)
+		}
+	}
 	if !strings.Contains(mdDelta, "Δ ns/record") {
 		t.Error("delta report lacks the delta column")
+	}
+	if !strings.Contains(mdDelta, "speedup") {
+		t.Error("report lacks the fused speedup column")
+	}
+}
+
+// TestFusedMatrixPinned mirrors TestMatrixPinned for the fused rows: names
+// are unique, quick is a subset of full, and every group builds.
+func TestFusedMatrixPinned(t *testing.T) {
+	full := FusedMatrix(false)
+	quick := FusedMatrix(true)
+	if len(full) != 6 {
+		t.Fatalf("full fused matrix has %d rows, want 6 (2 scales x 3 groups)", len(full))
+	}
+	if len(quick) != 3 {
+		t.Fatalf("quick fused matrix has %d rows, want 3", len(quick))
+	}
+	fullNames := map[string]bool{}
+	for _, m := range full {
+		if fullNames[m.Name] {
+			t.Fatalf("duplicate fused row name %q", m.Name)
+		}
+		fullNames[m.Name] = true
+		cfgs, err := m.Configs()
+		if err != nil {
+			t.Fatalf("row %s: %v", m.Name, err)
+		}
+		if len(cfgs) < 2 {
+			t.Fatalf("row %s has %d configs; fusion needs at least 2", m.Name, len(cfgs))
+		}
+		for i, cfg := range cfgs {
+			if _, err := cache.New(cfg); err != nil {
+				t.Errorf("row %s config %d invalid: %v", m.Name, i, err)
+			}
+		}
+	}
+	for _, m := range quick {
+		if !fullNames[m.Name] {
+			t.Errorf("quick row %s not part of the full matrix", m.Name)
+		}
+		if strings.Contains(m.Name, "paper") {
+			t.Errorf("quick fused matrix contains paper-scale row %s", m.Name)
+		}
+	}
+	if _, err := (MatrixSpec{Group: "no-such-group"}).Configs(); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+// TestReadJSONAcceptsV1 keeps pre-matrix baselines loadable: the case gate
+// still works against them, and the fused rows simply have no baseline.
+func TestReadJSONAcceptsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	v1 := &Report{Schema: "softcache-perf/v1", Cases: []Measurement{{
+		CaseSpec:    CaseSpec{Name: "MV/test/vl0/bb0"},
+		NsPerRecord: 10,
+	}}}
+	if err := WriteJSON(path, v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(path)
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	if len(loaded.Matrix) != 0 || len(loaded.Cases) != 1 {
+		t.Fatalf("v1 round trip: %+v", loaded)
+	}
+	cur := &Report{Schema: SchemaID,
+		Cases:  []Measurement{{CaseSpec: CaseSpec{Name: "MV/test/vl0/bb0"}, NsPerRecord: 30}},
+		Matrix: []MatrixMeasurement{{MatrixSpec: MatrixSpec{Name: "fused/x"}, FusedNsPerRecord: 5}},
+	}
+	if err := Gate(loaded, cur, 0.15); err == nil {
+		t.Fatal("case regression against v1 baseline passed the gate")
+	}
+	if err := Gate(loaded, &Report{Schema: SchemaID, Matrix: cur.Matrix}, 0.15); err != nil {
+		t.Fatalf("fused rows without v1 baseline tripped the gate: %v", err)
 	}
 }
 

@@ -27,8 +27,8 @@ func ReadJSON(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
 	}
-	if r.Schema != SchemaID {
-		return nil, fmt.Errorf("perf: %s has schema %q, want %q", path, r.Schema, SchemaID)
+	if r.Schema != SchemaID && r.Schema != schemaV1 {
+		return nil, fmt.Errorf("perf: %s has schema %q, want %q (or the older %q)", path, r.Schema, SchemaID, schemaV1)
 	}
 	return &r, nil
 }
@@ -65,8 +65,41 @@ func Compare(base, cur *Report) []Delta {
 	return deltas
 }
 
+// CompareMatrix matches the current report's fused rows against a
+// baseline by name, mirroring Compare. v1 baselines have no matrix, so
+// every row comes back baseline-less.
+func CompareMatrix(base, cur *Report) []MatrixDelta {
+	byName := map[string]*MatrixMeasurement{}
+	if base != nil {
+		for i := range base.Matrix {
+			byName[base.Matrix[i].Name] = &base.Matrix[i]
+		}
+	}
+	deltas := make([]MatrixDelta, 0, len(cur.Matrix))
+	for _, m := range cur.Matrix {
+		deltas = append(deltas, MatrixDelta{Name: m.Name, Base: byName[m.Name], Current: m})
+	}
+	return deltas
+}
+
+// MatrixDelta is one fused row's comparison against a baseline run.
+type MatrixDelta struct {
+	Name    string
+	Base    *MatrixMeasurement // nil when the row is new (or the baseline is v1)
+	Current MatrixMeasurement
+}
+
+// PctNs returns the fused ns/record change in percent (positive = slower).
+func (d MatrixDelta) PctNs() float64 {
+	if d.Base == nil || d.Base.FusedNsPerRecord == 0 {
+		return 0
+	}
+	return (d.Current.FusedNsPerRecord/d.Base.FusedNsPerRecord - 1) * 100
+}
+
 // Gate returns an error listing every case whose ns/record regressed by
-// more than maxRegress (a fraction: 0.15 = 15%) against the baseline.
+// more than maxRegress (a fraction: 0.15 = 15%) against the baseline; the
+// fused matrix rows are gated on their fused ns/record the same way.
 // Cases absent from the baseline pass by definition.
 func Gate(base, cur *Report, maxRegress float64) error {
 	var bad []string
@@ -77,6 +110,15 @@ func Gate(base, cur *Report, maxRegress float64) error {
 		if d.Current.NsPerRecord > d.Base.NsPerRecord*(1+maxRegress) {
 			bad = append(bad, fmt.Sprintf("  %s: %.2f -> %.2f ns/record (%+.1f%%, budget %+.0f%%)",
 				d.Name, d.Base.NsPerRecord, d.Current.NsPerRecord, d.PctNs(), maxRegress*100))
+		}
+	}
+	for _, d := range CompareMatrix(base, cur) {
+		if d.Base == nil {
+			continue
+		}
+		if d.Current.FusedNsPerRecord > d.Base.FusedNsPerRecord*(1+maxRegress) {
+			bad = append(bad, fmt.Sprintf("  %s: %.2f -> %.2f fused ns/record (%+.1f%%, budget %+.0f%%)",
+				d.Name, d.Base.FusedNsPerRecord, d.Current.FusedNsPerRecord, d.PctNs(), maxRegress*100))
 		}
 	}
 	if len(bad) > 0 {
@@ -116,6 +158,32 @@ func Markdown(base, cur *Report) string {
 		} else {
 			fmt.Fprintf(&b, "| %s | %d | %.2f | %s | %.0f |\n",
 				c.Name, c.Records, c.NsPerRecord, human(c.RecordsPerSec), c.AllocsPerOp)
+		}
+	}
+	if len(cur.Matrix) > 0 {
+		b.WriteString("\n## Fused multi-configuration matrix\n\n")
+		b.WriteString("ns/record are per record per config; speedup is looped wall-clock over fused.\n\n")
+		if base != nil {
+			b.WriteString("| matrix | configs | records | fused ns/record | baseline | Δ fused | loop ns/record | speedup |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		} else {
+			b.WriteString("| matrix | configs | records | fused ns/record | loop ns/record | speedup |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		}
+		for _, d := range CompareMatrix(base, cur) {
+			m := d.Current
+			if base != nil {
+				baseNs, delta := "–", "new"
+				if d.Base != nil {
+					baseNs = fmt.Sprintf("%.2f", d.Base.FusedNsPerRecord)
+					delta = fmt.Sprintf("%+.1f%%", d.PctNs())
+				}
+				fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %s | %s | %.2f | %.2fx |\n",
+					m.Name, m.Configs, m.Records, m.FusedNsPerRecord, baseNs, delta, m.LoopNsPerRecord, m.Speedup)
+			} else {
+				fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %.2f | %.2fx |\n",
+					m.Name, m.Configs, m.Records, m.FusedNsPerRecord, m.LoopNsPerRecord, m.Speedup)
+			}
 		}
 	}
 	return b.String()

@@ -178,3 +178,39 @@ func TestGetBatchShape(t *testing.T) {
 		t.Fatalf("GetBatch returned %d records, want %d", len(*b), BatchSize)
 	}
 }
+
+// TestPutBatchRejectsForeignShapes: PutBatch must not poison the pool with
+// buffers whose capacity diverges from the BatchSize shape — a later
+// GetBatch caller would silently decode short (or blow the cache-resident
+// working set). Shortened-but-same-capacity buffers are restored to full
+// length instead.
+func TestPutBatchRejectsForeignShapes(t *testing.T) {
+	// Drain the pool into a private set so the shapes we return are the
+	// only candidates GetBatch can hand back (sync.Pool has no Len, so we
+	// grab a generous handful).
+	held := make([]*[]Record, 32)
+	for i := range held {
+		held[i] = GetBatch()
+	}
+
+	short := make([]Record, 16)
+	long := make([]Record, BatchSize+1)
+	PutBatch(nil)    // must not panic
+	PutBatch(&short) // capacity below the pool shape: dropped
+	PutBatch(&long)  // capacity above the pool shape: dropped
+
+	shrunk := held[0]
+	*shrunk = (*shrunk)[:7] // same backing array, stale length from a caller
+	PutBatch(shrunk)
+
+	for i := 0; i < len(held)+4; i++ {
+		b := GetBatch()
+		if cap(*b) != BatchSize || len(*b) != BatchSize {
+			t.Fatalf("GetBatch returned poisoned batch: len=%d cap=%d, want %d/%d",
+				len(*b), cap(*b), BatchSize, BatchSize)
+		}
+	}
+	for _, b := range held[1:] {
+		PutBatch(b)
+	}
+}

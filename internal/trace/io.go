@@ -290,8 +290,20 @@ var batchPool = sync.Pool{
 // destination. Return it with PutBatch when done.
 func GetBatch() *[]Record { return batchPool.Get().(*[]Record) }
 
-// PutBatch returns a batch obtained from GetBatch to the pool.
-func PutBatch(b *[]Record) { batchPool.Put(b) }
+// PutBatch returns a batch obtained from GetBatch to the pool. Buffers
+// whose capacity diverges from the pool's BatchSize shape (nil, resliced
+// to a smaller backing array, or grown past it) are dropped rather than
+// recycled: a short buffer would silently shrink every later ReadBatch
+// that borrows it, and an oversized one defeats the cache-residency the
+// batch size was chosen for. The length is reset to the full shape so a
+// recycled buffer never leaks a previous caller's n.
+func PutBatch(b *[]Record) {
+	if b == nil || cap(*b) != BatchSize {
+		return
+	}
+	*b = (*b)[:BatchSize]
+	batchPool.Put(b)
+}
 
 // ReadBatch decodes up to len(dst) records into dst and returns the number
 // decoded, which may be less than len(dst) when the buffered window is

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -46,7 +47,9 @@ func BenchmarkNext(b *testing.B) {
 }
 
 // BenchmarkReadBatch measures the chunked decode path that SimulateStream
-// and the perf harness use.
+// and SimulateMany use, across destination sizes bracketing the pooled
+// BatchSize: the decode cost per record should be flat once the per-call
+// overhead is amortised, which is what justifies 2048 as the pool shape.
 func BenchmarkReadBatch(b *testing.B) {
 	t := synthTrace(1 << 20)
 	var buf bytes.Buffer
@@ -54,21 +57,24 @@ func BenchmarkReadBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	data := buf.Bytes()
-	batch := GetBatch()
-	defer PutBatch(batch)
-	b.SetBytes(int64(len(t.Records)) * recordSize)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := NewReaderBytes(data)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for {
-			n, err := r.ReadBatch(*batch)
-			if n == 0 && err != nil {
-				break
+	for _, size := range []int{256, 1024, 2048} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			dst := make([]Record, size)
+			b.SetBytes(int64(len(t.Records)) * recordSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := NewReaderBytes(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					n, err := r.ReadBatch(dst)
+					if n == 0 && err != nil {
+						break
+					}
+				}
 			}
-		}
+		})
 	}
 }
