@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench perf perf-check figures faults examples clean
+.PHONY: all build test vet bench perf perf-check figures faults serve examples clean
 
 all: build vet test
 
@@ -44,6 +44,10 @@ figures:
 # every corrupted input must end in an error, never a panic.
 faults:
 	$(GO) run ./cmd/softcache-bench -faults -workers 4
+
+# Run the simulation service daemon on the default port. See docs/SERVE.md.
+serve:
+	$(GO) run ./cmd/softcache-served
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,107 @@
+// softcache-served runs the softcache simulation service: an HTTP daemon
+// that accepts JSON simulation and sweep requests, coalesces concurrent
+// requests for the same trace into one decode, and drives each config group
+// through the fused kernel (one trace pass for the whole group).
+//
+// Usage:
+//
+//	softcache-served                       # listen on 127.0.0.1:8265
+//	softcache-served -addr :9000 -workers 8 -queue 128 -cache-mb 512
+//	softcache-served -timeout 30s -max-timeout 2m -drain 15s
+//
+// The daemon prints "listening on http://ADDR" once the socket is bound
+// (with -addr :0 the line carries the chosen port). SIGINT or SIGTERM
+// starts a graceful drain: the listener closes immediately, in-flight
+// requests get up to -drain to finish, and the process exits 0 on a clean
+// drain or 1 if requests had to be aborted.
+//
+// Endpoints and request formats are documented in docs/SERVE.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softcache/internal/cli"
+	"softcache/internal/serve"
+)
+
+const tool = "softcache-served"
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the daemon until ctx is canceled, writing to the supplied
+// streams, and returns the process exit code. Split from main for testing.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8265", "listen address (host:port; :0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "requests allowed to wait for a worker before 429")
+	cacheMB := fs.Int("cache-mb", 256, "decoded-trace cache budget (MiB)")
+	timeout := fs.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "largest per-request deadline a client may ask for")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("unexpected argument %q", fs.Arg(0)))
+	}
+	if *queue < 1 || *cacheMB < 1 || *timeout <= 0 || *maxTimeout <= 0 || *drain <= 0 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-queue, -cache-mb, -timeout, -max-timeout and -drain must be positive"))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return cli.Exit(stderr, tool, err)
+	}
+
+	handler := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            stderr,
+	})
+	srv := &http.Server{Handler: handler}
+
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died without a shutdown request.
+		return cli.Exit(stderr, tool, err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "draining (up to %s)\n", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		srv.Close()
+		return cli.Exit(stderr, tool, fmt.Errorf("drain incomplete: %w", err))
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return cli.Exit(stderr, tool, err)
+	}
+	fmt.Fprintln(stdout, "drained, exiting")
+	return cli.ExitOK
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a bytes.Buffer safe for the daemon goroutine to write while
+// the test polls it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs the daemon on a random port and returns its base URL
+// plus a shutdown func that triggers the drain and returns the exit code.
+func startDaemon(t *testing.T, args ...string) (string, *syncBuf, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errb syncBuf
+	args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	code := make(chan int, 1)
+	go func() { code <- run(ctx, args, &out, &errb) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for base == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon did not announce its address; stdout=%q stderr=%q", out.String(), errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				base = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, &errb, func() int {
+		cancel()
+		select {
+		case c := <-code:
+			return c
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not exit after shutdown")
+			return -1
+		}
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, errb, shutdown := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	req := `{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`
+	resp, err = http.Post(base+"/v1/simulate", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim struct {
+		Trace   string `json:"trace"`
+		Results []struct {
+			Config string  `json:"config"`
+			AMAT   float64 `json:"amat"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(sim.Results) != 1 || sim.Results[0].AMAT <= 1 {
+		t.Fatalf("simulate: %d %+v", resp.StatusCode, sim)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exited %d; stderr=%q", code, errb.String())
+	}
+}
+
+func TestDaemonDrainWaitsForInflight(t *testing.T) {
+	base, errb, shutdown := startDaemon(t, "-drain", "30s")
+
+	// Park a request in the daemon, then shut down while it is in flight:
+	// the drain must let it finish and the daemon must still exit 0.
+	started := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		req := `{"workload":"SpMV","scale":"test","configs":[{"name":"standard"},{"name":"soft"}]}`
+		close(started)
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(req))
+		if err != nil {
+			result <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		result <- resp.StatusCode
+	}()
+	<-started
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exited %d; stderr=%q", code, errb.String())
+	}
+	select {
+	case status := <-result:
+		// The request either completed (200) or lost the race with the
+		// listener closing before it connected — but the daemon must not
+		// have aborted a request it accepted, so a 5xx is a failure.
+		if status >= 500 {
+			t.Fatalf("in-flight request aborted with %d during drain", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request still blocked after drain")
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"stray-arg"},
+		{"-queue", "0"},
+		{"-drain", "0s"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		ctx, cancel := context.WithCancel(context.Background())
+		code := run(ctx, args, &out, &errb)
+		cancel()
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr %q)", args, code, errb.String())
+		}
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.HasPrefix(errb.String(), tool+": ") {
+		t.Fatalf("diagnostic missing tool prefix: %q", errb.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"softcache/internal/cli"
 	"softcache/internal/core"
 	"softcache/internal/lang"
+	"softcache/internal/metrics"
 	"softcache/internal/trace"
 	"softcache/internal/tracegen"
 	"softcache/internal/workloads"
@@ -67,9 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	cfg, err := configByName(*configName)
+	cfg, err := core.ConfigByName(*configName)
 	if err != nil {
-		return cli.Exit(stderr, tool, err)
+		return cli.Exit(stderr, tool, cli.Usage(err))
 	}
 	if *latency > 0 {
 		cfg = core.WithLatency(cfg, *latency)
@@ -104,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return cli.Exit(stderr, tool, err)
 	}
-	printResult(stdout, t, res)
+	metrics.SimulationReport(stdout, t.CountTags(), res)
 	return cli.ExitOK
 }
 
@@ -150,63 +151,4 @@ func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*tra
 	default:
 		return nil, cli.UsageErrorf("need -workload or -trace (or -workloads to list)")
 	}
-}
-
-func configByName(name string) (core.Config, error) {
-	switch name {
-	case "standard":
-		return core.Standard(), nil
-	case "victim":
-		return core.Victim(), nil
-	case "soft":
-		return core.Soft(), nil
-	case "soft-temporal":
-		return core.SoftTemporal(), nil
-	case "soft-spatial":
-		return core.SoftSpatial(), nil
-	case "bypass":
-		return core.BypassPlain(), nil
-	case "bypass-buffer":
-		return core.BypassBuffered(), nil
-	case "simplified-2way":
-		return core.SimplifiedSoftAssoc(2), nil
-	case "soft-prefetch":
-		return core.WithPrefetch(core.Soft(), true), nil
-	case "standard-prefetch":
-		return core.WithPrefetch(core.Standard(), false), nil
-	case "soft-variable":
-		return core.SoftVariable(), nil
-	case "stream-buffers":
-		return core.StandardStreamBuffers(), nil
-	case "column-assoc":
-		return core.ColumnAssociative(), nil
-	case "subblock":
-		return core.Subblocked(), nil
-	default:
-		return core.Config{}, cli.UsageErrorf("unknown config %q", name)
-	}
-}
-
-func printResult(w io.Writer, t *trace.Trace, res core.Result) {
-	s := res.Stats
-	fmt.Fprintf(w, "trace          %s (%d references)\n", res.Trace, s.References)
-	fmt.Fprintf(w, "config         %s\n", res.Config)
-	fmt.Fprintf(w, "AMAT           %.4f cycles\n", s.AMAT())
-	fmt.Fprintf(w, "miss ratio     %.4f\n", s.MissRatio())
-	fmt.Fprintf(w, "traffic        %.4f words/reference\n", s.WordsPerReference())
-	fmt.Fprintf(w, "hits           main=%d (%.1f%%) bounce-back=%d bypass-buffer=%d\n",
-		s.MainHits, 100*s.MainHitFraction(), s.BounceBackHits, s.BypassBufferHits)
-	fmt.Fprintf(w, "misses         %d (reads %d, writes %d total refs)\n", s.Misses, s.Reads, s.Writes)
-	fmt.Fprintf(w, "virtual fills  %d (lines fetched %d, skipped by coherence %d, invalidations %d)\n",
-		s.VirtualFills, s.VirtualLinesFetched, s.VirtualLinesSkipped, s.Invalidations)
-	fmt.Fprintf(w, "bounce-back    swaps=%d bounced=%d canceled=%d aborted=%d\n",
-		s.Swaps, s.BouncedBack, s.BounceBackCanceled, s.BounceBackAborted)
-	fmt.Fprintf(w, "prefetch       issued=%d hits=%d discarded=%d\n",
-		s.PrefetchesIssued, s.PrefetchHits, s.PrefetchDiscarded)
-	fmt.Fprintf(w, "memory         requests=%d bytes=%d writebacks=%d wb-stall=%d cycles\n",
-		s.Mem.Requests, s.Mem.BytesFetched, s.Mem.Writebacks, s.Mem.WritebackStallCycles)
-	fmt.Fprintf(w, "lock stalls    %d cycles\n", s.LockStallCycles)
-	tags := t.CountTags()
-	fmt.Fprintf(w, "tags           none=%d spatial=%d temporal=%d both=%d\n",
-		tags.None, tags.SpatialOnly, tags.TemporalOnly, tags.Both)
 }

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"softcache/internal/core"
+	"softcache/internal/metrics"
+	"softcache/internal/workloads"
 )
 
 func runSim(t *testing.T, args ...string) (string, string, int) {
@@ -86,6 +90,30 @@ func TestErrors(t *testing.T) {
 		if _, _, code := runSim(t, args...); code == 0 {
 			t.Fatalf("args %v should fail", args)
 		}
+	}
+}
+
+// TestOutputIsSharedReport pins the CLI's output to the shared
+// metrics.SimulationReport renderer. Together with the serve package's E2E
+// test (which pins /v1/simulate?format=text to the same renderer), this
+// makes CLI and daemon reports byte-identical for identical runs.
+func TestOutputIsSharedReport(t *testing.T) {
+	out, errb, code := runSim(t, "-workload", "MV", "-scale", "test", "-seed", "3", "-config", "soft")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(core.Soft(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	metrics.SimulationReport(&want, tr.CountTags(), res)
+	if out != want.String() {
+		t.Fatalf("CLI output diverged from metrics.SimulationReport:\n--- CLI\n%s--- shared\n%s", out, want.String())
 	}
 }
 

@@ -56,97 +56,6 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// axis is one swept parameter.
-type axis struct {
-	key    string
-	values []int
-}
-
-// parseAxis parses "key=v1,v2,v3" and validates the key and every value.
-func parseAxis(s string) (axis, error) {
-	key, list, ok := strings.Cut(s, "=")
-	if !ok || key == "" || list == "" {
-		return axis{}, cli.UsageErrorf("axis %q must be key=v1,v2,...", s)
-	}
-	var a axis
-	a.key = key
-	seen := make(map[int]bool)
-	for _, v := range strings.Split(list, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(v))
-		if err != nil {
-			return axis{}, cli.UsageErrorf("axis %q: %v", s, err)
-		}
-		if err := checkAxisValue(key, n); err != nil {
-			return axis{}, err
-		}
-		if seen[n] {
-			return axis{}, cli.UsageErrorf("axis %q: duplicate value %d", s, n)
-		}
-		seen[n] = true
-		a.values = append(a.values, n)
-	}
-	return a, nil
-}
-
-// checkAxisValue rejects values the simulator would misconfigure on:
-// structural parameters must be positive, optional features non-negative.
-func checkAxisValue(key string, v int) error {
-	switch key {
-	case "cache", "line", "assoc":
-		if v <= 0 {
-			return cli.UsageErrorf("axis %s: value %d must be positive", key, v)
-		}
-	case "latency", "vline", "bb", "sbuf":
-		if v < 0 {
-			return cli.UsageErrorf("axis %s: value %d must be non-negative", key, v)
-		}
-	default:
-		return cli.UsageErrorf("unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
-	}
-	return nil
-}
-
-// apply sets one swept parameter on the configuration.
-func apply(cfg core.Config, key string, v int) (core.Config, error) {
-	switch key {
-	case "cache":
-		cfg.CacheSize = v << 10
-	case "line":
-		cfg.LineSize = v
-	case "vline":
-		cfg.VirtualLineSize = v
-	case "latency":
-		cfg.Memory.LatencyCycles = v
-	case "assoc":
-		cfg.Assoc = v
-	case "bb":
-		cfg.BounceBackLines = v
-		if v > 0 && cfg.BounceBackCycles == 0 {
-			cfg.BounceBackCycles = 3
-			cfg.SwapLockCycles = 2
-		}
-	case "sbuf":
-		cfg.StreamBuffers = v
-	default:
-		return cfg, cli.UsageErrorf("unknown axis %q (want cache, line, vline, latency, assoc, bb or sbuf)", key)
-	}
-	return cfg, nil
-}
-
-// metricOf extracts the requested metric.
-func metricOf(name string, r core.Result) (float64, error) {
-	switch name {
-	case "amat":
-		return r.AMAT(), nil
-	case "miss":
-		return r.MissRatio(), nil
-	case "traffic":
-		return r.Stats.WordsPerReference(), nil
-	default:
-		return 0, cli.UsageErrorf("unknown metric %q (want amat, miss or traffic)", name)
-	}
-}
-
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -170,27 +79,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("-x is required"))
 	}
 
-	xAxis, err := parseAxis(*xSpec)
+	xAxis, err := core.ParseAxis(*xSpec)
 	if err != nil {
-		return cli.Exit(stderr, tool, err)
+		return cli.Exit(stderr, tool, cli.Usage(err))
 	}
-	yAxis := axis{key: "", values: []int{0}}
+	yAxis := core.Axis{Key: "", Values: []int{0}}
 	if *ySpec != "" {
-		yAxis, err = parseAxis(*ySpec)
+		yAxis, err = core.ParseAxis(*ySpec)
 		if err != nil {
-			return cli.Exit(stderr, tool, err)
+			return cli.Exit(stderr, tool, cli.Usage(err))
 		}
-		if yAxis.key == xAxis.key {
-			return cli.Exit(stderr, tool, cli.UsageErrorf("-x and -y sweep the same axis %q", xAxis.key))
+		if yAxis.Key == xAxis.Key {
+			return cli.Exit(stderr, tool, cli.UsageErrorf("-x and -y sweep the same axis %q", xAxis.Key))
 		}
 	}
-	if _, err := metricOf(*metric, core.Result{}); err != nil {
-		return cli.Exit(stderr, tool, err)
+	if _, err := core.MetricOf(*metric, core.Result{}); err != nil {
+		return cli.Exit(stderr, tool, cli.Usage(err))
 	}
 
-	base, err := baseConfig(*configName)
+	base, err := core.ConfigByName(*configName)
 	if err != nil {
-		return cli.Exit(stderr, tool, err)
+		return cli.Exit(stderr, tool, cli.Usage(err))
 	}
 	if *check {
 		base = core.WithRuntimeChecks(base, true)
@@ -218,25 +127,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// (row, config-group), and resume validates the recorded group against
 	// the current x axis so editing -x re-runs exactly the rows it changes.
 	fingerprint := fmt.Sprintf("%016x", t.Fingerprint())
-	xLabels := make([]string, len(xAxis.values))
-	for i, x := range xAxis.values {
-		xLabels[i] = fmt.Sprintf("%s=%d", xAxis.key, x)
+	xLabels := make([]string, len(xAxis.Values))
+	for i, x := range xAxis.Values {
+		xLabels[i] = fmt.Sprintf("%s=%d", xAxis.Key, x)
 	}
 	var units []harness.Unit[harness.Fused[float64]]
-	for _, y := range yAxis.values {
+	for _, y := range yAxis.Values {
 		rowBase := base
-		if yAxis.key != "" {
-			if rowBase, err = apply(rowBase, yAxis.key, y); err != nil {
-				return cli.Exit(stderr, tool, err)
+		if yAxis.Key != "" {
+			if rowBase, err = core.ApplyAxis(rowBase, yAxis.Key, y); err != nil {
+				return cli.Exit(stderr, tool, cli.Usage(err))
 			}
 		}
-		cfgs := make([]core.Config, len(xAxis.values))
-		for i, x := range xAxis.values {
-			if cfgs[i], err = apply(rowBase, xAxis.key, x); err != nil {
-				return cli.Exit(stderr, tool, err)
+		cfgs := make([]core.Config, len(xAxis.Values))
+		for i, x := range xAxis.Values {
+			if cfgs[i], err = core.ApplyAxis(rowBase, xAxis.Key, x); err != nil {
+				return cli.Exit(stderr, tool, cli.Usage(err))
 			}
 		}
-		key := fmt.Sprintf("row:%s", xAxis.key)
+		key := fmt.Sprintf("row:%s", xAxis.Key)
 		meta := map[string]string{
 			"config": *configName,
 			"metric": *metric,
@@ -244,9 +153,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"trace":  fingerprint,
 			"x":      strings.Join(xLabels, " "),
 		}
-		if yAxis.key != "" {
-			key = fmt.Sprintf("row:%s=%d,%s", yAxis.key, y, xAxis.key)
-			meta[yAxis.key] = fmt.Sprint(y)
+		if yAxis.Key != "" {
+			key = fmt.Sprintf("row:%s=%d,%s", yAxis.Key, y, xAxis.Key)
+			meta[yAxis.Key] = fmt.Sprint(y)
 		}
 		units = append(units, harness.FusedUnit(key, meta, xLabels,
 			func(runCtx context.Context) ([]float64, error) {
@@ -256,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 				row := make([]float64, len(results))
 				for i, res := range results {
-					if row[i], err = metricOf(*metric, res); err != nil {
+					if row[i], err = core.MetricOf(*metric, res); err != nil {
 						return nil, err
 					}
 				}
@@ -272,26 +181,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Header row.
-	head := make([]string, 0, len(xAxis.values)+1)
-	if yAxis.key == "" {
-		head = append(head, xAxis.key)
+	head := make([]string, 0, len(xAxis.Values)+1)
+	if yAxis.Key == "" {
+		head = append(head, xAxis.Key)
 	} else {
-		head = append(head, yAxis.key+`\`+xAxis.key)
+		head = append(head, yAxis.Key+`\`+xAxis.Key)
 	}
-	for _, x := range xAxis.values {
+	for _, x := range xAxis.Values {
 		head = append(head, strconv.Itoa(x))
 	}
 	fmt.Fprintln(stdout, strings.Join(head, ","))
 
-	for i, y := range yAxis.values {
-		row := make([]string, 0, len(xAxis.values)+1)
-		if yAxis.key == "" {
+	for i, y := range yAxis.Values {
+		row := make([]string, 0, len(xAxis.Values)+1)
+		if yAxis.Key == "" {
 			row = append(row, *metric)
 		} else {
 			row = append(row, strconv.Itoa(y))
 		}
 		r := results[i]
-		for j := range xAxis.values {
+		for j := range xAxis.Values {
 			if r.OK() {
 				row = append(row, strconv.FormatFloat(r.Value.At(j), 'f', 4, 64))
 			} else {
@@ -305,21 +214,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.Exit(stderr, tool, fmt.Errorf("%s", s))
 	}
 	return cli.ExitOK
-}
-
-func baseConfig(name string) (core.Config, error) {
-	switch name {
-	case "standard":
-		return core.Standard(), nil
-	case "victim":
-		return core.Victim(), nil
-	case "soft":
-		return core.Soft(), nil
-	case "soft-variable":
-		return core.SoftVariable(), nil
-	default:
-		return core.Config{}, cli.UsageErrorf("unknown base config %q (want standard, victim, soft or soft-variable)", name)
-	}
 }
 
 func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, error) {

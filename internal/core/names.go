@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// namedConfigs maps the configuration names shared by the command-line
+// tools (softcache-sim, softcache-sweep) and the softcache-served HTTP API
+// to their constructors. Keeping the registry here — next to the
+// constructors it names — guarantees every front door accepts exactly the
+// same vocabulary.
+var namedConfigs = map[string]func() Config{
+	"standard":          Standard,
+	"victim":            Victim,
+	"soft":              Soft,
+	"soft-temporal":     SoftTemporal,
+	"soft-spatial":      SoftSpatial,
+	"soft-variable":     SoftVariable,
+	"bypass":            BypassPlain,
+	"bypass-buffer":     BypassBuffered,
+	"simplified-2way":   func() Config { return SimplifiedSoftAssoc(2) },
+	"soft-prefetch":     func() Config { return WithPrefetch(Soft(), true) },
+	"standard-prefetch": func() Config { return WithPrefetch(Standard(), false) },
+	"stream-buffers":    StandardStreamBuffers,
+	"column-assoc":      ColumnAssociative,
+	"subblock":          Subblocked,
+}
+
+// ConfigByName returns the named design point. The names are the ones
+// softcache-sim documents: standard, victim, soft, soft-temporal,
+// soft-spatial, soft-variable, bypass, bypass-buffer, simplified-2way,
+// soft-prefetch, standard-prefetch, stream-buffers, column-assoc, subblock.
+func ConfigByName(name string) (Config, error) {
+	ctor, ok := namedConfigs[name]
+	if !ok {
+		return Config{}, fmt.Errorf("core: unknown config %q (see ConfigNames)", name)
+	}
+	return ctor(), nil
+}
+
+// ConfigNames returns every name ConfigByName accepts, sorted.
+func ConfigNames() []string {
+	out := make([]string, 0, len(namedConfigs))
+	for n := range namedConfigs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

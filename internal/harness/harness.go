@@ -238,7 +238,7 @@ func Run[T any](ctx context.Context, units []Unit[T], opts Options) ([]Result[T]
 			var v T
 			if err := json.Unmarshal(raw, &v); err == nil {
 				if u.Validate != nil {
-					if verr := u.Validate(v); verr != nil {
+					if verr := validateJournalValue(u, v); verr != nil {
 						if opts.Log != nil {
 							fmt.Fprintf(opts.Log, "harness: journal value for %s rejected (%v), re-running\n", u.Key, verr)
 						}
@@ -300,6 +300,20 @@ func Run[T any](ctx context.Context, units []Unit[T], opts Options) ([]Result[T]
 		}
 	}
 	return results, nil
+}
+
+// validateJournalValue runs u.Validate with the same panic containment
+// execute gives u.Run. Journal bytes are external input — hand-edited,
+// written by an older build, or corrupted — so a Validate that panics on a
+// decoded value must reject it (forcing a clean re-run of the unit), not
+// crash the whole resumed run.
+func validateJournalValue[T any](u Unit[T], v T) (verr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			verr = fmt.Errorf("harness: Validate for %s panicked: %v", u.Key, p)
+		}
+	}()
+	return u.Validate(v)
 }
 
 // execute runs one unit with panic containment and the per-unit deadline.

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"softcache/internal/core"
+	"softcache/internal/trace"
+)
+
+// SimulationReport renders the full per-run statistics block of one
+// simulation: the format softcache-sim prints and the softcache-served
+// /v1/simulate?format=text endpoint returns. Both front doors call this
+// one function, so their reports are byte-identical for identical runs —
+// the service E2E tests pin that property.
+func SimulationReport(w io.Writer, tags trace.TagCounts, res core.Result) {
+	s := res.Stats
+	fmt.Fprintf(w, "trace          %s (%d references)\n", res.Trace, s.References)
+	fmt.Fprintf(w, "config         %s\n", res.Config)
+	fmt.Fprintf(w, "AMAT           %.4f cycles\n", s.AMAT())
+	fmt.Fprintf(w, "miss ratio     %.4f\n", s.MissRatio())
+	fmt.Fprintf(w, "traffic        %.4f words/reference\n", s.WordsPerReference())
+	fmt.Fprintf(w, "hits           main=%d (%.1f%%) bounce-back=%d bypass-buffer=%d\n",
+		s.MainHits, 100*s.MainHitFraction(), s.BounceBackHits, s.BypassBufferHits)
+	fmt.Fprintf(w, "misses         %d (reads %d, writes %d total refs)\n", s.Misses, s.Reads, s.Writes)
+	fmt.Fprintf(w, "virtual fills  %d (lines fetched %d, skipped by coherence %d, invalidations %d)\n",
+		s.VirtualFills, s.VirtualLinesFetched, s.VirtualLinesSkipped, s.Invalidations)
+	fmt.Fprintf(w, "bounce-back    swaps=%d bounced=%d canceled=%d aborted=%d\n",
+		s.Swaps, s.BouncedBack, s.BounceBackCanceled, s.BounceBackAborted)
+	fmt.Fprintf(w, "prefetch       issued=%d hits=%d discarded=%d\n",
+		s.PrefetchesIssued, s.PrefetchHits, s.PrefetchDiscarded)
+	fmt.Fprintf(w, "memory         requests=%d bytes=%d writebacks=%d wb-stall=%d cycles\n",
+		s.Mem.Requests, s.Mem.BytesFetched, s.Mem.Writebacks, s.Mem.WritebackStallCycles)
+	fmt.Fprintf(w, "lock stalls    %d cycles\n", s.LockStallCycles)
+	fmt.Fprintf(w, "tags           none=%d spatial=%d temporal=%d both=%d\n",
+		tags.None, tags.SpatialOnly, tags.TemporalOnly, tags.Both)
+}

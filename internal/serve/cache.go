@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"softcache/internal/trace"
+)
+
+// recordMemBytes is the in-memory footprint of one decoded trace record,
+// the unit the cache's byte budget is accounted in.
+const recordMemBytes = int64(unsafe.Sizeof(trace.Record{}))
+
+// entryOverheadBytes approximates the fixed per-entry cost (map slot, list
+// element, entry struct, trace header) so a flood of tiny traces cannot
+// slip under the budget for free.
+const entryOverheadBytes = 256
+
+// TraceCache is the daemon's decoded-trace store: an LRU cache with a byte
+// budget that also coalesces concurrent loads of the same key. The first
+// request for a key decodes (or generates) the trace; every request that
+// arrives while that load is in flight blocks on the same entry and shares
+// the result, so N concurrent requests for one workload cost exactly one
+// decode — the property the service E2E tests pin via the hit/decode
+// counters.
+//
+// Loads that fail are not cached: the error is delivered to every
+// coalesced waiter, the entry is removed, and the next request retries.
+// Eviction only considers completed entries (an in-flight load has unknown
+// size and active waiters) and always keeps the most recently used entry
+// resident, so a single trace larger than the whole budget still serves
+// requests instead of thrashing on every call.
+type TraceCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used; completed entries only
+	entries map[string]*traceEntry
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	decodes      atomic.Uint64
+	evictions    atomic.Uint64
+	loadFailures atomic.Uint64
+}
+
+type traceEntry struct {
+	key   string
+	ready chan struct{} // closed once tr/err are set
+	tr    *trace.Trace
+	err   error
+	bytes int64
+	elem  *list.Element // nil while the load is in flight
+}
+
+// NewTraceCache returns a cache with the given byte budget (values below
+// 1 MiB are raised to 1 MiB so a misconfigured budget cannot disable
+// caching entirely).
+func NewTraceCache(budget int64) *TraceCache {
+	if budget < 1<<20 {
+		budget = 1 << 20
+	}
+	return &TraceCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[string]*traceEntry),
+	}
+}
+
+// traceBytes estimates the resident size of a decoded trace.
+func traceBytes(t *trace.Trace) int64 {
+	return int64(len(t.Records))*recordMemBytes + int64(len(t.Name)) + entryOverheadBytes
+}
+
+// Get returns the trace for key, loading it with load on a miss. Concurrent
+// Gets for the same key share one load call. ctx aborts only this caller's
+// wait — an in-flight load always runs to completion so the other waiters
+// (and the cache) still get its result.
+func (c *TraceCache) Get(ctx context.Context, key string, load func() (*trace.Trace, error)) (*trace.Trace, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.ll.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return e.tr, e.err
+	}
+	e := &traceEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.decodes.Add(1)
+	e.tr, e.err = load()
+	if e.err == nil && e.tr == nil {
+		e.err = errors.New("serve: trace loader returned no trace")
+	}
+	if e.err == nil {
+		e.bytes = traceBytes(e.tr)
+	}
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Failed loads are not cached: the waiters already blocked on this
+		// entry share the error, later requests retry from scratch.
+		delete(c.entries, key)
+		c.loadFailures.Add(1)
+	} else {
+		e.elem = c.ll.PushFront(e)
+		c.used += e.bytes
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return e.tr, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the budget
+// holds, always keeping the most recent entry resident. Callers holding a
+// *trace.Trace are unaffected — eviction only drops the cache's reference.
+func (c *TraceCache) evictLocked() {
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*traceEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+		c.evictions.Add(1)
+	}
+}
+
+// TraceCacheStats is a snapshot of the cache counters for /metrics.
+type TraceCacheStats struct {
+	Hits, Misses, Decodes, Evictions, LoadFailures uint64
+	Bytes                                          int64
+	Entries                                        int
+}
+
+// Stats snapshots the counters and current occupancy.
+func (c *TraceCache) Stats() TraceCacheStats {
+	c.mu.Lock()
+	bytes, entries := c.used, c.ll.Len()
+	c.mu.Unlock()
+	return TraceCacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Decodes:      c.decodes.Load(),
+		Evictions:    c.evictions.Load(),
+		LoadFailures: c.loadFailures.Load(),
+		Bytes:        bytes,
+		Entries:      entries,
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"softcache/internal/trace"
+)
+
+// fakeTrace builds a trace with n records so tests control entry sizes.
+func fakeTrace(name string, n int) *trace.Trace {
+	t := &trace.Trace{Name: name}
+	for i := 0; i < n; i++ {
+		t.Append(trace.Record{Addr: uint64(i) * 4, Size: 4})
+	}
+	return t
+}
+
+func TestTraceCacheCoalescesConcurrentLoads(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	var loads atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	load := func() (*trace.Trace, error) {
+		loads.Add(1)
+		close(started)
+		<-release
+		return fakeTrace("shared", 100), nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	got := make([]*trace.Trace, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.Get(context.Background(), "k", load)
+		}(i)
+	}
+	<-started // one loader is in flight; every other Get must now wait on it
+	close(release)
+	wg.Wait()
+
+	if loads.Load() != 1 {
+		t.Fatalf("load ran %d times, want 1", loads.Load())
+	}
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("get %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatalf("get %d returned a different trace pointer", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Decodes != 1 || s.Hits != n-1 {
+		t.Fatalf("stats misses=%d decodes=%d hits=%d, want 1/1/%d", s.Misses, s.Decodes, s.Hits, n-1)
+	}
+}
+
+func TestTraceCacheEvictsLRU(t *testing.T) {
+	perEntry := traceBytes(fakeTrace("e", 1000))
+	c := NewTraceCache(1 << 20) // fits ~3 such entries per budget below
+	c.budget = perEntry*3 + perEntry/2
+
+	load := func(name string) func() (*trace.Trace, error) {
+		return func() (*trace.Trace, error) { return fakeTrace(name, 1000), nil }
+	}
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, err := c.Get(ctx, k, load(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a is the least recently used and the budget holds 3: only a evicts.
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("evictions=%d entries=%d, want 1 and 3", s.Evictions, s.Entries)
+	}
+	var reloaded atomic.Int64
+	if _, err := c.Get(ctx, "a", func() (*trace.Trace, error) {
+		reloaded.Add(1)
+		return fakeTrace("a", 1000), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Load() != 1 {
+		t.Fatal("evicted entry was still served from cache")
+	}
+	// b was the LRU at that point and must have made room for a.
+	if c.Stats().Evictions != 2 {
+		t.Fatalf("evictions=%d, want 2", c.Stats().Evictions)
+	}
+}
+
+func TestTraceCacheKeepsOversizedResident(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	c.budget = 1 // every entry is over budget
+	ctx := context.Background()
+	var loads atomic.Int64
+	load := func() (*trace.Trace, error) {
+		loads.Add(1)
+		return fakeTrace("big", 5000), nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ctx, "big", load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("oversized trace reloaded %d times; the newest entry must stay resident", loads.Load())
+	}
+}
+
+func TestTraceCacheLoadErrorNotCached(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	ctx := context.Background()
+	boom := errors.New("decode failed")
+	calls := 0
+	load := func() (*trace.Trace, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return fakeTrace("ok", 10), nil
+	}
+	if _, err := c.Get(ctx, "k", load); !errors.Is(err, boom) {
+		t.Fatalf("first get: %v, want %v", err, boom)
+	}
+	if _, err := c.Get(ctx, "k", load); err != nil {
+		t.Fatalf("retry after failed load: %v", err)
+	}
+	s := c.Stats()
+	if s.LoadFailures != 1 || s.Misses != 2 {
+		t.Fatalf("failures=%d misses=%d, want 1 and 2", s.LoadFailures, s.Misses)
+	}
+}
+
+func TestTraceCacheErrorSharedWithWaiters(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	boom := errors.New("decode failed")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waiterErr error
+	go func() {
+		defer wg.Done()
+		_, waiterErr = c.Get(context.Background(), "k", func() (*trace.Trace, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), "k", func() (*trace.Trace, error) {
+			t.Error("waiter ran its own load during an in-flight load")
+			return nil, errors.New("unexpected load")
+		})
+		done <- err
+	}()
+	// The waiter's hit increment marks it as parked on the in-flight entry;
+	// only then may the load be released (otherwise the waiter races the
+	// post-failure cleanup and becomes a second loader).
+	for c.hits.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if !errors.Is(waiterErr, boom) {
+		t.Fatalf("loader got %v", waiterErr)
+	}
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("waiter got %v, want the shared load error", err)
+	}
+}
+
+func TestTraceCacheCanceledWaiter(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Get(context.Background(), "k", func() (*trace.Trace, error) {
+			close(started)
+			<-release
+			return fakeTrace("k", 10), nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+
+	close(release)
+	wg.Wait()
+	// The load itself must have completed and been cached despite the
+	// canceled waiter.
+	var loads atomic.Int64
+	if _, err := c.Get(context.Background(), "k", func() (*trace.Trace, error) {
+		loads.Add(1)
+		return nil, errors.New("should not run")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if loads.Load() != 0 {
+		t.Fatal("completed load was not cached")
+	}
+}
+
+// TestTraceCacheConcurrentChurn hammers the cache from many goroutines
+// with a budget small enough to force constant eviction — primarily -race
+// fodder for the lock discipline around entries, the LRU list and the
+// byte accounting.
+func TestTraceCacheConcurrentChurn(t *testing.T) {
+	c := NewTraceCache(1 << 20)
+	c.budget = traceBytes(fakeTrace("e", 500)) * 2
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%5)
+				tr, err := c.Get(ctx, key, func() (*trace.Trace, error) {
+					if i%17 == 3 {
+						return nil, errors.New("synthetic load failure")
+					}
+					return fakeTrace(key, 500), nil
+				})
+				if err == nil && tr.Name != key {
+					t.Errorf("key %s got trace %s", key, tr.Name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d", s.Hits+s.Misses, workers*iters)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used > c.budget && c.ll.Len() > 1 {
+		t.Fatalf("budget not enforced: used=%d budget=%d entries=%d", c.used, c.budget, c.ll.Len())
+	}
+	var sum int64
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		sum += e.Value.(*traceEntry).bytes
+	}
+	if sum != c.used {
+		t.Fatalf("byte accounting drifted: sum=%d used=%d", sum, c.used)
+	}
+}

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"softcache/internal/core"
+	"softcache/internal/harness"
+	"softcache/internal/metrics"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// default chosen for an interactive daemon on one machine.
+type Config struct {
+	// Workers bounds the simulations running concurrently (default:
+	// GOMAXPROCS). One request occupies one worker for its whole run — the
+	// fused kernel already uses a single goroutine per config group.
+	Workers int
+	// QueueDepth bounds the requests waiting for a worker (default 64).
+	// Requests beyond it are rejected immediately with 429 so load sheds
+	// at the door instead of stacking up timeouts.
+	QueueDepth int
+	// CacheBytes is the decoded-trace cache budget (default 256 MiB).
+	CacheBytes int64
+	// DefaultTimeout bounds a request that does not ask for a deadline
+	// (default 60s); MaxTimeout caps what a request may ask for (default
+	// 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Log receives failure records (panics with stacks, timeouts); nil
+	// discards them.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Server is the simulation service: an http.Handler plus the shared state
+// behind it (trace cache, admission pool, counters). Create with New and
+// mount on any http.Server; graceful drain is the listener's business
+// (http.Server.Shutdown), which softcache-served wires to SIGTERM.
+type Server struct {
+	cfg    Config
+	traces *TraceCache
+	met    *serverMetrics
+	sem    chan struct{} // worker slots
+	mux    *http.ServeMux
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		traces: NewTraceCache(cfg.CacheBytes),
+		met:    &serverMetrics{},
+		sem:    make(chan struct{}, cfg.Workers),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/simulate", s.instrument(epSimulate, s.handleSimulate))
+	s.mux.Handle("POST /v1/sweep", s.instrument(epSweep, s.handleSweep))
+	s.mux.Handle("GET /v1/workloads", s.instrument(epWorkloads, s.handleWorkloads))
+	s.mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with the per-endpoint request, failure and
+// latency counters.
+func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.status == 0 {
+			// The handler wrote nothing: the client went away mid-request.
+			sw.status = 499
+		}
+		s.met.observe(ep, sw.status, time.Since(start))
+	})
+}
+
+// writeError sends a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// admit claims a worker slot, queueing up to QueueDepth requests, and
+// returns the release func. A full queue rejects immediately (429); a
+// client that goes away while queued is released without running.
+func (s *Server) admit(ctx context.Context) (release func(), err *apiError) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.met.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.met.queued.Add(-1)
+			s.met.rejected.Add(1)
+			return nil, &apiError{status: http.StatusTooManyRequests,
+				msg: fmt.Sprintf("queue full (%d waiting); retry later", s.cfg.QueueDepth)}
+		}
+		defer s.met.queued.Add(-1)
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, &apiError{status: 499, msg: "client went away while queued"}
+		}
+	}
+	s.met.inflight.Add(1)
+	return func() {
+		s.met.inflight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// timeoutFor clamps a request's timeout_ms to the service bounds.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// loadTrace fetches (or decodes) the plan's trace through the coalescing
+// cache, mapping context errors to HTTP statuses.
+func (s *Server) loadTrace(ctx context.Context, key string, load func() (*trace.Trace, error)) (*trace.Trace, *apiError) {
+	tr, err := s.traces.Get(ctx, key, load)
+	switch {
+	case err == nil:
+		return tr, nil
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		return nil, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded while loading trace"}
+	case errors.Is(err, context.Canceled):
+		return nil, &apiError{status: 499, msg: "client went away"}
+	default:
+		return nil, asAPIError(err)
+	}
+}
+
+// runFused executes one config group over the trace as a single harness
+// unit: one fused pass (core.SimulateManyTrace) with panic containment and
+// the per-request deadline, mapped to an HTTP outcome.
+func (s *Server) runFused(ctx context.Context, deadline time.Time, key string, descs []string, cfgs []core.Config, tr *trace.Trace) ([]core.Result, *apiError) {
+	left := time.Until(deadline)
+	if left <= 0 {
+		s.met.timeouts.Add(1)
+		return nil, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}
+	}
+	units := []harness.Unit[harness.Fused[core.Result]]{
+		harness.FusedUnit(key, nil, descs, func(runCtx context.Context) ([]core.Result, error) {
+			return core.SimulateManyTrace(runCtx, cfgs, tr)
+		}),
+	}
+	results, err := harness.Run(ctx, units, harness.Options{Workers: 1, Timeout: left, Log: s.cfg.Log})
+	if err != nil {
+		// Impossible without a journal; fail loudly rather than guessing.
+		return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	res := results[0]
+	switch res.Status {
+	case harness.StatusOK, harness.StatusResumed:
+		return res.Value.Values, nil
+	case harness.StatusPanic:
+		s.met.panics.Add(1)
+		return nil, &apiError{status: http.StatusInternalServerError, msg: "simulation panicked (see server log)"}
+	case harness.StatusTimeout:
+		s.met.timeouts.Add(1)
+		return nil, &apiError{status: http.StatusGatewayTimeout, msg: "simulation deadline exceeded"}
+	case harness.StatusCanceled:
+		return nil, &apiError{status: 499, msg: "client went away"}
+	default:
+		return nil, &apiError{status: http.StatusInternalServerError, msg: res.Err.Error()}
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if aerr := decodeRequest(r, &req); aerr != nil {
+		writeError(w, aerr.status, aerr.msg)
+		return
+	}
+	plan, aerr := req.validate()
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.msg)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "text" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json or text)", format))
+		return
+	}
+
+	release, aerr := s.admit(r.Context())
+	if aerr != nil {
+		if aerr.status != 499 {
+			writeError(w, aerr.status, aerr.msg)
+		}
+		return
+	}
+	defer release()
+
+	deadline := time.Now().Add(s.timeoutFor(plan.timeout))
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
+	if aerr == nil {
+		var results []core.Result
+		// Pass the cancel-only request context: the deadline rides in
+		// harness.Options.Timeout so the harness can tell a timeout (504)
+		// from a vanished client.
+		results, aerr = s.runFused(r.Context(), deadline, plan.traceKey, plan.descs, plan.cfgs, tr)
+		if aerr == nil {
+			if format == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				tags := tr.CountTags()
+				for i, res := range results {
+					if i > 0 {
+						fmt.Fprintln(w)
+					}
+					metrics.SimulationReport(w, tags, res)
+				}
+				return
+			}
+			resp := SimulateResponse{Trace: tr.Name, References: uint64(len(tr.Records))}
+			for _, res := range results {
+				resp.Results = append(resp.Results, ConfigResult{
+					Config:      res.Config,
+					AMAT:        res.AMAT(),
+					MissRatio:   res.MissRatio(),
+					WordsPerRef: res.Stats.WordsPerReference(),
+					Stats:       res.Stats,
+				})
+			}
+			writeJSON(w, resp)
+			return
+		}
+	}
+	if aerr.status != 499 {
+		writeError(w, aerr.status, aerr.msg)
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if aerr := decodeRequest(r, &req); aerr != nil {
+		writeError(w, aerr.status, aerr.msg)
+		return
+	}
+	plan, aerr := req.validate()
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.msg)
+		return
+	}
+
+	release, aerr := s.admit(r.Context())
+	if aerr != nil {
+		if aerr.status != 499 {
+			writeError(w, aerr.status, aerr.msg)
+		}
+		return
+	}
+	defer release()
+
+	deadline := time.Now().Add(s.timeoutFor(plan.timeout))
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
+	if aerr == nil {
+		resp := SweepResponse{
+			Trace:   tr.Name,
+			Metric:  plan.metric,
+			XKey:    plan.xAxis.Key,
+			XValues: plan.xAxis.Values,
+			YKey:    plan.yAxis.Key,
+		}
+		if plan.yAxis.Key != "" {
+			resp.YValues = plan.yAxis.Values
+		}
+		// One fused pass per matrix row, sequential within the request's
+		// single worker slot: request-level parallelism stays with the pool.
+		for i, cfgs := range plan.rows {
+			var results []core.Result
+			key := fmt.Sprintf("row:%d", i)
+			results, aerr = s.runFused(r.Context(), deadline, key, plan.rowDescs[i], cfgs, tr)
+			if aerr != nil {
+				break
+			}
+			row := make([]float64, len(results))
+			for j, res := range results {
+				v, err := core.MetricOf(plan.metric, res)
+				if err != nil {
+					aerr = asAPIError(err)
+					break
+				}
+				row[j] = v
+			}
+			if aerr != nil {
+				break
+			}
+			resp.Rows = append(resp.Rows, row)
+		}
+		if aerr == nil {
+			writeJSON(w, resp)
+			return
+		}
+	}
+	if aerr.status != 499 {
+		writeError(w, aerr.status, aerr.msg)
+	}
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	resp := WorkloadsResponse{
+		Scales:  []string{"test", "paper"},
+		Configs: core.ConfigNames(),
+	}
+	for _, n := range workloads.Names() {
+		d, err := workloads.Get(n)
+		if err != nil {
+			continue
+		}
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name:        d.Name,
+			Description: d.Description,
+			Kernel:      d.Kernel,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WriteTo(w, s.traces)
+}
