@@ -9,10 +9,13 @@ all: build vet test
 build:
 	$(GO) build ./...
 
-# Static diagnostics: Go's own vet, then softcache-vet over the example
-# DSL program and every built-in benchmark (error-severity findings fail).
+# Static diagnostics: Go's own vet, the softcache-analyze invariant suite
+# over the codebase itself (see docs/ANALYSIS.md "Codebase analyzers"),
+# then softcache-vet over the example DSL program and every built-in
+# benchmark (error-severity findings fail).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/softcache-analyze ./...
 	$(GO) run ./cmd/softcache-vet -source examples/dsl/stencil.loop
 	$(GO) run ./cmd/softcache-vet -workload all -scale test
 

@@ -12,8 +12,15 @@
 //	softcache-vet -source prog.loop -json               # machine-readable
 //
 // The exit status is 1 when any error-severity finding is reported (the
-// program would abort at trace-generation time), 2 on usage errors, and 0
-// otherwise — warnings and advisories do not fail a build.
+// program would abort at trace-generation time), 2 on usage errors and on
+// operational failures (unreadable source, a failed trace generation) that
+// prevented the checks from running, and 0 otherwise — warnings and
+// advisories do not fail a build, and scripts can trust that exit 1 means
+// the program is dirty.
+//
+// With -json, each finding is one JSON object per line (file, line, col,
+// pass, severity, message); an -audit run appends one summary object per
+// program. The text output is unchanged by this mode's existence.
 package main
 
 import (
@@ -101,14 +108,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, name := range names {
 		p, err := load(name, *source != "", scale)
 		if err != nil {
-			return cli.Exit(stderr, tool, err)
+			return cli.Exit(stderr, tool, cli.Operational(err))
 		}
 		res, err := vet.Run(p, opts)
 		if err != nil {
-			return cli.Exit(stderr, tool, err)
+			return cli.Exit(stderr, tool, cli.Operational(err))
 		}
 		results = append(results, res)
-		if !*jsonOut {
+		if *jsonOut {
+			if err := printJSON(stdout, name, res); err != nil {
+				return cli.Exit(stderr, tool, cli.Operational(err))
+			}
+		} else {
 			if *deps {
 				printDeps(stdout, p)
 			}
@@ -116,17 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		var payload interface{} = results[0]
-		if len(results) > 1 {
-			payload = results
-		}
-		if err := enc.Encode(payload); err != nil {
-			return cli.Exit(stderr, tool, err)
-		}
-	} else if *audit && len(results) > 1 {
+	if !*jsonOut && *audit && len(results) > 1 {
 		printAuditTable(stdout, results)
 	}
 
@@ -136,6 +137,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return cli.ExitOK
+}
+
+// printJSON writes the result as line-delimited JSON: one object per
+// finding so CI greps and editors can consume the stream without
+// buffering, then — for audit runs — one summary object for the program.
+// The file field is the .loop path for -source runs and the workload
+// name otherwise.
+func printJSON(w io.Writer, file string, res *vet.Result) error {
+	enc := json.NewEncoder(w)
+	for _, f := range res.Findings {
+		line := struct {
+			File     string       `json:"file"`
+			Line     int          `json:"line,omitempty"`
+			Col      int          `json:"col,omitempty"`
+			Pass     string       `json:"pass"`
+			Severity vet.Severity `json:"severity"`
+			Message  string       `json:"message"`
+		}{file, f.Line, f.Col, f.Pass, f.Severity, f.Message}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	if res.Audit != nil {
+		summary := struct {
+			File    string           `json:"file"`
+			Program string           `json:"program"`
+			Audit   *vet.AuditReport `json:"audit"`
+		}{file, res.Program, res.Audit}
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // load builds the program: a parsed source file or a built-in workload.

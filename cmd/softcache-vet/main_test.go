@@ -134,38 +134,89 @@ end
 	}
 }
 
-// TestJSONOutput: -json emits a machine-readable result with the audit.
+// jsonLine is the union shape of the -json stream: finding lines carry
+// pass/severity/message, the trailing audit summary carries audit.
+type jsonLine struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	Program  string `json:"program"`
+	Audit    *struct {
+		Temporal struct {
+			Precision float64 `json:"precision"`
+		} `json:"temporal"`
+		Spatial struct {
+			Precision float64 `json:"precision"`
+		} `json:"spatial"`
+	} `json:"audit"`
+}
+
+func parseJSONLines(t *testing.T, out string) []jsonLine {
+	t.Helper()
+	var lines []jsonLine
+	for _, raw := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var l jsonLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// TestJSONOutput: -json emits one object per line — findings first, then
+// the audit summary for an -audit run.
 func TestJSONOutput(t *testing.T) {
 	out, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-audit", "-json")
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb)
 	}
-	var res struct {
-		Program  string `json:"program"`
-		Findings []struct {
-			Pass     string `json:"pass"`
-			Severity string `json:"severity"`
-		} `json:"findings"`
-		Audit *struct {
-			Temporal struct {
-				Precision float64 `json:"precision"`
-			} `json:"temporal"`
-			Spatial struct {
-				Precision float64 `json:"precision"`
-			} `json:"spatial"`
-		} `json:"audit"`
+	lines := parseJSONLines(t, out)
+	last := lines[len(lines)-1]
+	if last.Program != "MV" || last.Audit == nil {
+		t.Fatalf("last line is not the MV audit summary: %+v", last)
 	}
-	if err := json.Unmarshal([]byte(out), &res); err != nil {
-		t.Fatalf("bad JSON: %v\n%s", err, out)
+	if last.Audit.Temporal.Precision < 0.9 || last.Audit.Spatial.Precision < 0.9 {
+		t.Fatalf("MV precision below 0.9: %+v", last.Audit)
 	}
-	if res.Program != "MV" {
-		t.Fatalf("program = %q", res.Program)
+	for _, l := range lines[:len(lines)-1] {
+		if l.File != "MV" || l.Pass == "" || l.Message == "" || l.Severity == "" {
+			t.Fatalf("finding line missing fields: %+v", l)
+		}
 	}
-	if res.Audit == nil {
-		t.Fatal("no audit in JSON")
+}
+
+// TestJSONFindings: error findings stream as positioned diagnostics and
+// the exit code still reflects them.
+func TestJSONFindings(t *testing.T) {
+	path := writeLoop(t, `
+program oob
+array A(10)
+do i = 0, 10
+  load A(i)
+end
+`)
+	out, _, code := runTool(t, "-source", path, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
 	}
-	if res.Audit.Temporal.Precision < 0.9 || res.Audit.Spatial.Precision < 0.9 {
-		t.Fatalf("MV precision below 0.9: %+v", res.Audit)
+	var sawBounds bool
+	for _, l := range parseJSONLines(t, out) {
+		if l.File != path {
+			t.Fatalf("finding attributed to %q, want %q", l.File, path)
+		}
+		if l.Pass == "bounds" && l.Severity == "error" {
+			if l.Line == 0 {
+				t.Fatalf("bounds finding carries no source line: %+v", l)
+			}
+			sawBounds = true
+		}
+	}
+	if !sawBounds {
+		t.Fatalf("no bounds error in JSON stream:\n%s", out)
 	}
 }
 
@@ -196,6 +247,22 @@ func TestPassesListing(t *testing.T) {
 		if !strings.Contains(out, p) {
 			t.Fatalf("pass %s missing from listing:\n%s", p, out)
 		}
+	}
+}
+
+// TestOperationalErrors: failures that prevent the checks from running —
+// an unreadable source file, an unknown workload — exit 2, leaving exit 1
+// to mean "the program is dirty".
+func TestOperationalErrors(t *testing.T) {
+	_, errb, code := runTool(t, "-source", filepath.Join(t.TempDir(), "missing.loop"))
+	if code != 2 {
+		t.Fatalf("missing source: exit %d, want 2: %s", code, errb)
+	}
+	if !strings.Contains(errb, "softcache-vet:") {
+		t.Fatalf("operational error not prefixed with the tool name: %q", errb)
+	}
+	if _, _, code := runTool(t, "-workload", "NOPE"); code != 2 {
+		t.Fatalf("unknown workload: exit %d, want 2", code)
 	}
 }
 

@@ -1,0 +1,119 @@
+// Package cliexit keeps process termination at the edges. The
+// softcache commands share one exit discipline: logic lives in a
+// testable run function returning an exit code through internal/cli,
+// and func main is a one-liner — os.Exit(run(...)). That discipline
+// is what makes the exit-code contract (0 ok, 1 findings, 2 usage or
+// operational error) pinnable by tests; a bare os.Exit or log.Fatal
+// buried in a helper bypasses it, skips deferred cleanup, and makes
+// the call path untestable.
+//
+// The rules by package flavour:
+//
+//   - library packages (anything not named main): every os.Exit and
+//     log.Fatal* is flagged — libraries return errors;
+//   - command mains (import path under softcache/cmd/): os.Exit may
+//     appear only inside func main and must wrap a call expression
+//     (the run function or an internal/cli helper) so the code has a
+//     single auditable source; log.Fatal* is banned outright;
+//   - other mains (examples/): os.Exit and log.Fatal* are tolerated,
+//     but only inside func main — examples are demonstration scripts,
+//     not infrastructure, and log.Fatal in a straight-line main is
+//     their idiom.
+package cliexit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"softcache/internal/analyze"
+)
+
+// Analyzer is the cliexit invariant check.
+var Analyzer = &analyze.Analyzer{
+	Name: "cliexit",
+	Doc:  "process exit flows through internal/cli: no bare os.Exit/log.Fatal outside cmd main functions",
+	Run:  run,
+}
+
+func run(pass *analyze.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	isCmd := strings.Contains(pass.Pkg.Path(), "/cmd/") || strings.HasPrefix(pass.Pkg.Path(), "cmd/")
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inMain := isMain && fd.Name.Name == "main" && fd.Recv == nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, name := exitCall(pass, call)
+				if kind == "" {
+					return true
+				}
+				switch {
+				case !isMain:
+					pass.Reportf(call.Pos(),
+						"%s terminates the process from a library package; return an error and let the command map it through internal/cli", name)
+				case isCmd && kind == "fatal":
+					pass.Reportf(call.Pos(),
+						"%s in a command bypasses the internal/cli exit-code contract; return an error from run instead", name)
+				case isCmd && !inMain:
+					pass.Reportf(call.Pos(),
+						"%s outside func main; commands exit once, via os.Exit(run(...)) in main", name)
+				case isCmd && !wrapsCall(call):
+					pass.Reportf(call.Pos(),
+						"os.Exit argument should be the run function's result so the exit code has one auditable source")
+				case !isCmd && !inMain:
+					pass.Reportf(call.Pos(),
+						"%s outside func main; keep example termination in the main function", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// exitCall classifies a call as os.Exit ("exit") or log.Fatal*
+// ("fatal"), returning the rendered name for diagnostics.
+func exitCall(pass *analyze.Pass, call *ast.CallExpr) (kind, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	switch {
+	case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+		return "exit", "os.Exit"
+	case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+		return "fatal", "log." + fn.Name()
+	}
+	return "", ""
+}
+
+// wrapsCall reports whether the single os.Exit argument is itself a
+// call expression — os.Exit(run(...)), os.Exit(cli.Code(err)).
+func wrapsCall(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	arg := call.Args[0]
+	for {
+		if p, ok := arg.(*ast.ParenExpr); ok {
+			arg = p.X
+			continue
+		}
+		break
+	}
+	_, ok := arg.(*ast.CallExpr)
+	return ok
+}

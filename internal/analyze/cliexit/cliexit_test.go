@@ -1,0 +1,24 @@
+package cliexit_test
+
+import (
+	"testing"
+
+	"softcache/internal/analyze/analyzetest"
+	"softcache/internal/analyze/cliexit"
+)
+
+func TestLibrary(t *testing.T) {
+	analyzetest.Run(t, cliexit.Analyzer, "testdata/lib", analyzetest.Config{})
+}
+
+func TestCommandGood(t *testing.T) {
+	analyzetest.Run(t, cliexit.Analyzer, "testdata/cmdgood", analyzetest.Config{Path: "softcache/cmd/fake"})
+}
+
+func TestCommandBad(t *testing.T) {
+	analyzetest.Run(t, cliexit.Analyzer, "testdata/cmdbad", analyzetest.Config{Path: "softcache/cmd/fakebad"})
+}
+
+func TestExampleMain(t *testing.T) {
+	analyzetest.Run(t, cliexit.Analyzer, "testdata/egmain", analyzetest.Config{})
+}

@@ -1,0 +1,21 @@
+// Fixture: a command that breaks the exit discipline in every way.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func helper() {
+	os.Exit(1) // want `os.Exit outside func main`
+}
+
+func fatalHelper() {
+	log.Fatal("no") // want `bypasses the internal/cli exit-code contract`
+}
+
+func main() {
+	log.Fatalln("x") // want `bypasses the internal/cli exit-code contract`
+	os.Exit(3)       // want `should be the run function's result`
+	helper()
+}

@@ -1,0 +1,21 @@
+// Fixture: the blessed command shape — a one-line main wrapping run.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		fmt.Fprintln(stderr, "fake: unexpected arguments")
+		return 2
+	}
+	fmt.Fprintln(stdout, "ok")
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

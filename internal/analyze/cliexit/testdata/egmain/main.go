@@ -1,0 +1,25 @@
+// Fixture: an examples-style main — log.Fatal in main is the idiom,
+// but termination may not leak into helpers.
+package main
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func helper() {
+	log.Fatal("no") // want `log.Fatal outside func main; keep example termination in the main function`
+}
+
+func work() error {
+	return errors.New("boom")
+}
+
+func main() {
+	if err := work(); err != nil {
+		log.Fatal(err)
+	}
+	helper()
+	os.Exit(0)
+}

@@ -1,0 +1,29 @@
+// Fixture: a library package — every process-terminating call is a
+// finding.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func broken() {
+	log.Fatal("boom") // want `log.Fatal terminates the process from a library package`
+}
+
+func alsoBroken(code int) {
+	os.Exit(code) // want `os.Exit terminates the process from a library package`
+}
+
+func fatalf(err error) {
+	log.Fatalf("bad: %v", err) // want `log.Fatalf terminates the process from a library package`
+}
+
+// right returns the error and lets the command decide.
+func right(fail bool) error {
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}

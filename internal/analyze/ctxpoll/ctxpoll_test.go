@@ -1,0 +1,16 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"softcache/internal/analyze/analyzetest"
+	"softcache/internal/analyze/ctxpoll"
+)
+
+func TestBad(t *testing.T) {
+	analyzetest.Run(t, ctxpoll.Analyzer, "testdata/bad", analyzetest.Config{})
+}
+
+func TestGood(t *testing.T) {
+	analyzetest.Run(t, ctxpoll.Analyzer, "testdata/good", analyzetest.Config{})
+}

@@ -1,0 +1,60 @@
+// Fixture: consumption loops that go deaf to cancellation.
+package bad
+
+import (
+	"context"
+	"net/http"
+
+	"softcache/internal/cache"
+	"softcache/internal/trace"
+)
+
+func drain(ctx context.Context, r *trace.Reader, buf []trace.Record) {
+	for { // want `never polls the context`
+		if n, _ := r.ReadBatch(buf); n == 0 {
+			return
+		}
+	}
+}
+
+func feed(ctx context.Context, sim *cache.Simulator, recs []trace.Record) {
+	for _, rec := range recs { // want `never polls the context`
+		sim.Access(rec)
+	}
+}
+
+// pollBefore checks once up front — useless after the first batch.
+func pollBefore(ctx context.Context, r *trace.Reader, buf []trace.Record) {
+	if ctx.Err() != nil {
+		return
+	}
+	for { // want `never polls the context`
+		if n, _ := r.ReadBatch(buf); n == 0 {
+			return
+		}
+	}
+}
+
+// handler has a context one call away and still ignores it.
+func handler(w http.ResponseWriter, req *http.Request, sim *cache.Simulator, recs []trace.Record) {
+	for _, rec := range recs { // want `never polls the context`
+		sim.Access(rec)
+	}
+}
+
+// closurePoll: the outer loop polls, but the work runs in a literal
+// whose own loop never does — once the literal is invoked the outer
+// poll cannot interrupt it.
+func closurePoll(ctx context.Context, sim *cache.Simulator, batches [][]trace.Record) {
+	run := func() {
+		for _, b := range batches { // want `never polls the context`
+			sim.AccessAll(b)
+		}
+	}
+	for range batches {
+		if ctx.Err() != nil {
+			return
+		}
+		run()
+	}
+}

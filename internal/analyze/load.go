@@ -1,0 +1,162 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// The standalone loader: resolve package patterns with one
+// `go list -deps -export -json` invocation, parse the target packages
+// from source, and type-check them against the export data of their
+// dependencies. Everything runs offline out of the build cache — no
+// network, no GOPATH assumptions, no third-party loader.
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (./..., specific import paths) in dir and
+// returns the matched packages parsed and type-checked. Test files are
+// not loaded — the unitchecker path (driven by go vet) covers those.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analyze: go list %s: %v: %s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(errb.String()))
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyze: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analyze: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, func(path string) (string, error) {
+		if f, ok := exports[path]; ok {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for %q", path)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := CheckFiles(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses the named files (relative names resolved against
+// dir) and type-checks them as one package with the given import path.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) && dir != "" {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewExportImporter returns a types.Importer that reads gc export data,
+// locating each import's export file through find. The heavy lifting —
+// parsing the unified export format — is the standard library's
+// gc importer; this only supplies the lookup.
+func NewExportImporter(fset *token.FileSet, find func(path string) (string, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := find(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+}
+
+// moduleExportImporter resolves import paths by shelling out to
+// `go list -export` on demand, caching per process. It backs the
+// analyzetest harness, where fixture files import real module packages
+// (softcache/internal/trace and friends) without a surrounding go list
+// universe.
+var moduleExports sync.Map // import path -> export file
+
+// ModuleImporter returns an importer that resolves any import path —
+// standard library or module-local — via `go list -export` run in dir.
+func ModuleImporter(fset *token.FileSet, dir string) types.Importer {
+	return NewExportImporter(fset, func(path string) (string, error) {
+		if f, ok := moduleExports.Load(path); ok {
+			return f.(string), nil
+		}
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = dir
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return "", fmt.Errorf("go list -export %s: %v: %s", path, err, strings.TrimSpace(errb.String()))
+		}
+		file := strings.TrimSpace(out.String())
+		if file == "" {
+			return "", fmt.Errorf("go list -export %s: no export data", path)
+		}
+		moduleExports.Store(path, file)
+		return file, nil
+	})
+}

@@ -1,0 +1,557 @@
+// Package lockguard enforces "// guarded by <mu>" field annotations: a
+// struct field carrying that comment may only be read or written while
+// the named sibling mutex is held. Holding is computed by walking each
+// function body as a control-flow graph in miniature — branch states
+// merge by intersection, loop bodies run to a fixed point, deferred
+// Unlocks keep the lock held to function end — so the usual patterns
+// (lock/touch/unlock windows, early returns, re-lock later) check
+// precisely without annotations beyond the field comment.
+//
+// Two conventions ride along, both taken from how internal/serve's
+// cache is written:
+//
+//   - a method whose name ends in "Locked" asserts "caller holds the
+//     receiver's guards": its body starts in the held state, and
+//     calling it requires the guards held at the call site;
+//   - function literals are analyzed as their own functions starting
+//     unheld (a closure that needs the lock must take it).
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"softcache/internal/analyze"
+)
+
+// Analyzer is the lockguard invariant check.
+var Analyzer = &analyze.Analyzer{
+	Name: "lockguard",
+	Doc:  `fields annotated "// guarded by <mu>" are only accessed with that mutex held`,
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guards maps an annotated struct's type name to field -> guard field.
+type guards map[*types.TypeName]map[string]string
+
+// lockKey identifies one mutex instance reachable in a function: the
+// root variable, the field path from it to the guarded struct, and the
+// guard field. c.mu is {c, "", "mu"}; c.traces.mu is {c, "traces",
+// "mu"} — the path keeps distinct sub-structs of one root distinct.
+type lockKey struct {
+	root  types.Object
+	path  string
+	guard string
+}
+
+// state is the set of locks known held on every path to this point.
+// A nil state means "unreachable" — the path ended in a return or
+// branch — and acts as the identity at joins, so an early
+// unlock-and-return branch does not poison the state after the if.
+type state map[lockKey]bool
+
+func (s state) clone() state {
+	if s == nil {
+		return nil
+	}
+	t := make(state, len(s))
+	for k := range s {
+		t[k] = true
+	}
+	return t
+}
+
+func intersect(a, b state) state {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	t := make(state)
+	for k := range a {
+		if b[k] {
+			t[k] = true
+		}
+	}
+	return t
+}
+
+func run(pass *analyze.Pass) error {
+	g := collectGuards(pass)
+	if len(g) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: g}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// collectGuards reads the field annotations off every struct type
+// declaration, validating that the named guard is a sibling field.
+func collectGuards(pass *analyze.Pass) guards {
+	g := make(guards)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				ann := commentText(fld)
+				m := guardRe.FindStringSubmatch(ann)
+				if m == nil {
+					continue
+				}
+				guard := m[1]
+				if !fieldNames[guard] {
+					pass.Reportf(fld.Pos(), "guard %q named in annotation is not a field of %s", guard, ts.Name.Name)
+					continue
+				}
+				if g[tn] == nil {
+					g[tn] = make(map[string]string)
+				}
+				for _, name := range fld.Names {
+					g[tn][name.Name] = guard
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func commentText(fld *ast.Field) string {
+	var parts []string
+	if fld.Doc != nil {
+		parts = append(parts, fld.Doc.Text())
+	}
+	if fld.Comment != nil {
+		parts = append(parts, fld.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+type checker struct {
+	pass   *analyze.Pass
+	guards guards
+}
+
+// typeGuards resolves the annotation table for an expression's type
+// (through pointers).
+func (c *checker) typeGuards(t types.Type) map[string]string {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if ptr, ok := t.(*types.Pointer); ok {
+			named, ok = ptr.Elem().(*types.Named)
+			if !ok {
+				return nil
+			}
+		} else {
+			return nil
+		}
+	}
+	return c.guards[named.Obj()]
+}
+
+// resolveBase resolves the expression holding a guarded struct — the
+// receiver of a field access or lock call — to its root variable and
+// the field path from it: c -> (c, ""), c.traces -> (c, "traces").
+// Bases rooted in anything but a plain variable (map lookups, call
+// results) are out of scope for the analysis.
+func resolveBase(pass *analyze.Pass, expr ast.Expr) (types.Object, string, bool) {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return resolveBase(pass, e.X)
+	case *ast.StarExpr:
+		return resolveBase(pass, e.X)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj, "", obj != nil
+	case *ast.SelectorExpr:
+		root, path, ok := resolveBase(pass, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		if path != "" {
+			path += "."
+		}
+		return root, path + e.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// exprType resolves the static type of a base expression.
+func exprType(pass *analyze.Pass, expr ast.Expr) types.Type {
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		return nil
+	}
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// checkFunc analyzes one declared function; literals inside are queued
+// and analyzed as their own functions.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	entry := make(state)
+	if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv := fd.Recv.List[0].Names[0]
+		if obj := c.pass.TypesInfo.Defs[recv]; obj != nil {
+			for _, guard := range c.typeGuards(obj.Type()) {
+				entry[lockKey{obj, "", guard}] = true
+			}
+		}
+	}
+	w := &walker{c: c, report: true}
+	w.walkBlock(fd.Body, entry)
+	// Worklist: literals may nest literals of their own.
+	queue := w.lits
+	for i := 0; i < len(queue); i++ {
+		lw := &walker{c: c, report: true}
+		lw.walkBlock(queue[i].Body, make(state))
+		queue = append(queue, lw.lits...)
+	}
+}
+
+type walker struct {
+	c      *checker
+	report bool
+	lits   []*ast.FuncLit // deferred: analyzed as separate functions
+}
+
+// walkBlock threads the state through a statement list, stopping at
+// the first terminating statement (everything after it is
+// unreachable).
+func (w *walker) walkBlock(b *ast.BlockStmt, s state) state {
+	if s == nil {
+		return nil
+	}
+	for _, stmt := range b.List {
+		s = w.walkStmt(stmt, s)
+		if s == nil {
+			break
+		}
+	}
+	return s
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt, s state) state {
+	if s == nil {
+		return nil
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.walkBlock(st, s)
+	case *ast.ExprStmt:
+		return w.walkExpr(st.X, s)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s = w.walkExpr(e, s)
+		}
+		for _, e := range st.Lhs {
+			s = w.walkExpr(e, s)
+		}
+		return s
+	case *ast.ReturnStmt:
+		ast.Inspect(stmt, w.exprVisitor(&s))
+		return nil
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as path-terminating; the
+		// loop fixed point re-derives what survives.
+		return nil
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(stmt, w.exprVisitor(&s))
+		return s
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; a deferred literal is its own function.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+			return s
+		}
+		// Check argument expressions, but swallow the Unlock effect.
+		for _, arg := range st.Call.Args {
+			s = w.walkExpr(arg, s)
+		}
+		w.checkAccess(st.Call.Fun, s)
+		return s
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s)
+		}
+		s = w.walkExpr(st.Cond, s)
+		then := w.walkBlock(st.Body, s.clone())
+		if st.Else != nil {
+			els := w.walkStmt(st.Else, s.clone())
+			return intersect(then, els)
+		}
+		return intersect(then, s)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s)
+		}
+		return w.walkLoop(st.Body, st.Cond, s)
+	case *ast.RangeStmt:
+		s = w.walkExpr(st.X, s)
+		return w.walkLoop(st.Body, nil, s)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			s = w.walkExpr(st.Tag, s)
+		}
+		return w.walkCases(st.Body, s)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s)
+		}
+		s = w.walkStmt(st.Assign, s)
+		return w.walkCases(st.Body, s)
+	case *ast.SelectStmt:
+		return w.walkCases(st.Body, s)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, s)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		} else {
+			w.checkAccess(st.Call.Fun, s)
+		}
+		for _, arg := range st.Call.Args {
+			s = w.walkExpr(arg, s)
+		}
+		return s
+	default:
+		return s
+	}
+}
+
+// walkLoop runs the body to a fixed point: the state feeding iteration
+// N+1 is the entry state intersected with iteration N's exit, so a
+// lock released inside the loop is not considered held at the top of
+// the next pass. The first, state-finding pass is silent; the second
+// reports.
+func (w *walker) walkLoop(body *ast.BlockStmt, cond ast.Expr, s state) state {
+	probe := &walker{c: w.c, report: false}
+	if cond != nil {
+		s = w.walkExpr(cond, s)
+	}
+	exit1 := probe.walkBlock(body, s.clone())
+	entry := intersect(s, exit1)
+	exit := w.walkBlock(body, entry.clone())
+	return intersect(s, exit)
+}
+
+func (w *walker) walkCases(body *ast.BlockStmt, s state) state {
+	out := s
+	first := true
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				s = w.walkExpr(e, s)
+			}
+			stmts = cc.Body
+			hasDefault = hasDefault || cc.List == nil
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				s = w.walkStmt(cc.Comm, s.clone())
+			}
+			stmts = cc.Body
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+		cur := s.clone()
+		for _, st := range stmts {
+			cur = w.walkStmt(st, cur)
+		}
+		if first {
+			out = cur
+			first = false
+		} else {
+			out = intersect(out, cur)
+		}
+	}
+	if !hasDefault {
+		out = intersect(out, s)
+	}
+	return out
+}
+
+// walkExpr applies lock/unlock effects and checks accesses inside one
+// expression, left to right.
+func (w *walker) walkExpr(expr ast.Expr, s state) state {
+	if s == nil {
+		return nil
+	}
+	ast.Inspect(expr, w.exprVisitor(&s))
+	return s
+}
+
+// exprVisitor returns the ast.Inspect callback carrying the state
+// through an expression tree.
+func (w *walker) exprVisitor(s *state) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, e)
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := w.lockOp(e); ok {
+				switch op {
+				case "Lock", "RLock":
+					(*s)[key] = true
+				case "Unlock", "RUnlock":
+					delete(*s, key)
+				}
+				return false
+			}
+			w.checkLockedCall(e, *s)
+			return true
+		case *ast.SelectorExpr:
+			w.checkAccess(e, *s)
+			// Keep walking: the base may itself contain calls.
+			return true
+		}
+		return true
+	}
+}
+
+// lockOp recognizes base.guard.Lock()/Unlock()/RLock()/RUnlock().
+func (w *walker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "Unlock" && op != "RLock" && op != "RUnlock" {
+		return lockKey{}, "", false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	root, path, ok := resolveBase(w.c.pass, mu.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	// Only mutexes that actually guard something participate.
+	tg := w.c.typeGuards(exprType(w.c.pass, mu.X))
+	if tg == nil {
+		return lockKey{}, "", false
+	}
+	guarded := false
+	for _, g := range tg {
+		if g == mu.Sel.Name {
+			guarded = true
+		}
+	}
+	if !guarded {
+		return lockKey{}, "", false
+	}
+	return lockKey{root, path, mu.Sel.Name}, op, true
+}
+
+// checkAccess flags base.field reads/writes of annotated fields made
+// without the guard held.
+func (w *walker) checkAccess(expr ast.Expr, s state) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	root, path, ok := resolveBase(w.c.pass, sel.X)
+	if !ok {
+		return
+	}
+	tg := w.c.typeGuards(exprType(w.c.pass, sel.X))
+	if tg == nil {
+		return
+	}
+	guard, ok := tg[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	if !w.report {
+		return
+	}
+	if !s[lockKey{root, path, guard}] {
+		base := render(root, path)
+		w.c.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here",
+			base, sel.Sel.Name, base, guard)
+	}
+}
+
+// render prints a base for diagnostics: the root name plus field path.
+func render(root types.Object, path string) string {
+	if path == "" {
+		return root.Name()
+	}
+	return root.Name() + "." + path
+}
+
+// checkLockedCall enforces the *Locked suffix convention at call sites.
+func (w *walker) checkLockedCall(call *ast.CallExpr, s state) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	root, path, ok := resolveBase(w.c.pass, sel.X)
+	if !ok {
+		return
+	}
+	tg := w.c.typeGuards(exprType(w.c.pass, sel.X))
+	if tg == nil || !w.report {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, guard := range tg {
+		if seen[guard] {
+			continue
+		}
+		seen[guard] = true
+		if !s[lockKey{root, path, guard}] {
+			base := render(root, path)
+			w.c.pass.Reportf(call.Pos(), "%s.%s asserts the caller holds %s.%s, which is not held here",
+				base, sel.Sel.Name, base, guard)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"softcache/internal/analyze/analyzetest"
+	"softcache/internal/analyze/lockguard"
+)
+
+func TestBad(t *testing.T) {
+	analyzetest.Run(t, lockguard.Analyzer, "testdata/bad", analyzetest.Config{})
+}
+
+func TestGood(t *testing.T) {
+	analyzetest.Run(t, lockguard.Analyzer, "testdata/good", analyzetest.Config{})
+}

@@ -1,0 +1,56 @@
+// Fixture: guarded-field accesses the analyzer must flag.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func bare(c *counter) {
+	c.n++ // want `guarded by c.mu, which is not held`
+}
+
+func afterUnlock(c *counter) {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `guarded by c.mu, which is not held`
+}
+
+func halfBranch(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n = 3 // want `guarded by c.mu, which is not held`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func unlockInLoop(c *counter, xs []int) {
+	c.mu.Lock()
+	for range xs {
+		c.n++ // want `guarded by c.mu, which is not held`
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) bumpLocked() { c.n++ }
+
+func callUnheld(c *counter) {
+	c.bumpLocked() // want `asserts the caller holds c.mu`
+}
+
+func closureUnheld(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want `guarded by c.mu, which is not held`
+	}
+}
+
+type orphan struct {
+	data int // want `guard "gone" named in annotation is not a field of orphan` // guarded by gone
+}

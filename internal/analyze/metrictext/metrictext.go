@@ -1,0 +1,320 @@
+// Package metrictext checks the hand-rolled Prometheus text exposition
+// the serving layer writes (serverMetrics.WriteTo): softcache carries
+// no metrics client library, so the format discipline a library would
+// enforce is enforced here instead.
+//
+// The analyzer activates only in packages that actually render
+// exposition text — ones containing a "# TYPE " string literal — and
+// then checks, across every string literal in the package (multi-line
+// literals are split on \n, so the idiomatic
+// "# TYPE x counter\nx %d\n" pair is seen as two lines):
+//
+//   - every "# TYPE <name> <kind>" line is well-formed: a legal metric
+//     name, a known kind, no duplicate declaration;
+//   - metric names use the softcache_ namespace and counters end in
+//     _total (and only counters do);
+//   - every declared metric has a sample line and every softcache_
+//     sample line has a TYPE declaration — declarations and samples
+//     cannot drift apart;
+//   - every sync/atomic counter field in the package is both updated
+//     (Add/Store) and rendered (Load) somewhere in the package, so a
+//     freshly added counter that never reaches /metrics — or a
+//     leftover render of a counter nothing increments — is caught at
+//     vet time rather than on a dashboard.
+package metrictext
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"softcache/internal/analyze"
+)
+
+// Analyzer is the metrictext invariant check.
+var Analyzer = &analyze.Analyzer{
+	Name: "metrictext",
+	Doc:  "hand-rolled Prometheus text stays well-formed and in sync with its counters",
+	Run:  run,
+}
+
+const typePrefix = "# TYPE "
+
+// namespace is the metric prefix the serving layer owns; sample-line
+// detection keys off it so arbitrary string literals stay out of scope.
+const namespace = "softcache_"
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+var kinds = map[string]bool{
+	"counter":   true,
+	"gauge":     true,
+	"histogram": true,
+	"summary":   true,
+	"untyped":   true,
+}
+
+func run(pass *analyze.Pass) error {
+	lits := stringLiterals(pass)
+	// Activation wants evidence the package really renders exposition
+	// text: at least one complete "# TYPE <name> <kind>" line. A bare
+	// "# TYPE " fragment (a prefix constant — this package has one)
+	// does not open the package for checking.
+	active := false
+	for _, l := range lits {
+		for _, line := range strings.Split(l.value, "\n") {
+			if rest, ok := strings.CutPrefix(line, typePrefix); ok && len(strings.Fields(rest)) == 2 {
+				active = true
+			}
+		}
+	}
+	if !active {
+		return nil
+	}
+	checkExposition(pass, lits)
+	checkAtomics(pass)
+	return nil
+}
+
+type literal struct {
+	pos   token.Pos
+	value string
+}
+
+func stringLiterals(pass *analyze.Pass) []literal {
+	var lits []literal
+	pass.Inspect(func(n ast.Node) bool {
+		bl, ok := n.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			return true
+		}
+		v, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			return true
+		}
+		lits = append(lits, literal{pos: bl.Pos(), value: v})
+		return true
+	})
+	return lits
+}
+
+// checkExposition validates TYPE lines and cross-checks them against
+// sample lines.
+func checkExposition(pass *analyze.Pass, lits []literal) {
+	declared := make(map[string]string)   // name -> kind
+	declaredAt := make(map[string]bool)   // name -> already reported duplicate
+	sampled := make(map[string]token.Pos) // name -> first sample position
+	declPos := make(map[string]token.Pos) // name -> declaration position
+
+	for _, l := range lits {
+		for _, line := range strings.Split(l.value, "\n") {
+			if rest, ok := strings.CutPrefix(line, typePrefix); ok {
+				fields := strings.Fields(rest)
+				if len(fields) != 2 {
+					pass.Reportf(l.pos, "malformed exposition line %q: want \"# TYPE <name> <kind>\"", line)
+					continue
+				}
+				name, kind := fields[0], fields[1]
+				if !nameRe.MatchString(name) {
+					pass.Reportf(l.pos, "metric name %q is not a legal Prometheus name", name)
+					continue
+				}
+				if !strings.HasPrefix(name, namespace) {
+					// Foreign names are reported once and excluded from
+					// the declared/sampled cross-check, whose sample side
+					// only sees the namespace.
+					pass.Reportf(l.pos, "metric %s is outside the %s* namespace", name, namespace)
+					continue
+				}
+				if !kinds[kind] {
+					pass.Reportf(l.pos, "metric %s declared with unknown type %q", name, kind)
+					// Still record the declaration so the sample
+					// cross-check does not pile on a second finding.
+					declared[name] = kind
+					declPos[name] = l.pos
+					sampled[name] = l.pos
+					continue
+				}
+				if kind == "counter" && !strings.HasSuffix(name, "_total") {
+					pass.Reportf(l.pos, "counter %s must end in _total", name)
+				}
+				if kind != "counter" && strings.HasSuffix(name, "_total") {
+					pass.Reportf(l.pos, "metric %s ends in _total but is declared %s, not counter", name, kind)
+				}
+				if _, dup := declared[name]; dup && !declaredAt[name] {
+					pass.Reportf(l.pos, "metric %s has more than one # TYPE declaration", name)
+					declaredAt[name] = true
+					continue
+				}
+				declared[name] = kind
+				declPos[name] = l.pos
+				continue
+			}
+			if strings.HasPrefix(line, namespace) {
+				// A bare metric name with no label set or value is a
+				// name constant, not an exposition line.
+				if !strings.ContainsAny(line, " {") {
+					continue
+				}
+				name := sampleName(line)
+				if name == "" {
+					pass.Reportf(l.pos, "malformed sample line %q", line)
+					continue
+				}
+				if _, ok := sampled[name]; !ok {
+					sampled[name] = l.pos
+				}
+			}
+		}
+	}
+
+	for name, pos := range sampled {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(pos, "sample line for %s has no # TYPE declaration", name)
+		}
+	}
+	for name := range declared {
+		if _, ok := sampled[name]; !ok {
+			pass.Reportf(declPos[name], "metric %s is declared but no sample line renders it", name)
+		}
+	}
+}
+
+// sampleName extracts the metric name from a sample line: the leading
+// name-character run, terminated by '{', ' ' or the format verb.
+func sampleName(line string) string {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':' {
+			i++
+			continue
+		}
+		break
+	}
+	name := line[:i]
+	if !nameRe.MatchString(name) {
+		return ""
+	}
+	// The remainder must start a label set or a value.
+	if i >= len(line) || (line[i] != '{' && line[i] != ' ') {
+		return ""
+	}
+	return name
+}
+
+// checkAtomics cross-checks every sync/atomic struct field in the
+// package: updated fields must be rendered and rendered fields must be
+// updated.
+func checkAtomics(pass *analyze.Pass) {
+	type usage struct {
+		updated  bool
+		rendered bool
+	}
+	fields := make(map[*types.Var]*usage)
+	fieldPos := make(map[*types.Var]token.Pos)
+
+	// Collect the atomic fields of package-local struct types.
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isAtomic(v.Type()) {
+					continue
+				}
+				fields[v] = &usage{}
+				fieldPos[v] = name.Pos()
+			}
+		}
+		return true
+	})
+	if len(fields) == 0 {
+		return
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var kind string
+		switch sel.Sel.Name {
+		case "Add", "Store", "CompareAndSwap", "Swap":
+			kind = "update"
+		case "Load":
+			kind = "render"
+		default:
+			return true
+		}
+		v := atomicField(pass, sel.X)
+		if v == nil {
+			return true
+		}
+		u, ok := fields[v]
+		if !ok {
+			return true
+		}
+		if kind == "update" {
+			u.updated = true
+		} else {
+			u.rendered = true
+		}
+		return true
+	})
+
+	for v, u := range fields {
+		switch {
+		case u.updated && !u.rendered:
+			pass.Reportf(fieldPos[v], "atomic counter %s is updated but never rendered (no Load in this package)", v.Name())
+		case u.rendered && !u.updated:
+			pass.Reportf(fieldPos[v], "atomic counter %s is rendered but never updated (no Add/Store in this package)", v.Name())
+		}
+	}
+}
+
+// atomicField resolves the struct field at the base of an atomic
+// method call receiver: m.requests[ep].Add -> field requests.
+func atomicField(pass *analyze.Pass, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				return v
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isAtomic reports whether t is a sync/atomic value type or an array
+// of them ([epCount]atomic.Uint64).
+func isAtomic(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomic(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

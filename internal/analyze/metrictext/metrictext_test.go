@@ -1,0 +1,16 @@
+package metrictext_test
+
+import (
+	"testing"
+
+	"softcache/internal/analyze/analyzetest"
+	"softcache/internal/analyze/metrictext"
+)
+
+func TestBad(t *testing.T) {
+	analyzetest.Run(t, metrictext.Analyzer, "testdata/bad", analyzetest.Config{})
+}
+
+func TestGood(t *testing.T) {
+	analyzetest.Run(t, metrictext.Analyzer, "testdata/good", analyzetest.Config{})
+}

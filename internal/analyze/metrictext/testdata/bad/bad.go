@@ -1,0 +1,44 @@
+// Fixture: exposition-text drift the analyzer must flag.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+type metrics struct {
+	served atomic.Uint64 // want `updated but never rendered`
+	orphan atomic.Uint64 // want `rendered but never updated`
+	hits   atomic.Uint64
+}
+
+func (m *metrics) bump() {
+	m.served.Add(1)
+	m.hits.Add(1)
+}
+
+func (m *metrics) write(w io.Writer) {
+	// The one well-formed pair that activates the analyzer for the
+	// package.
+	fmt.Fprintf(w, "# TYPE softcache_bad_hits_total counter\nsoftcache_bad_hits_total %d\n", m.hits.Load())
+
+	_ = m.orphan.Load()
+
+	fmt.Fprintln(w, "# TYPE softcache_lonely_total counter") // want `declared but no sample line`
+
+	fmt.Fprintf(w, "softcache_phantom_total %d\n", 0) // want `no # TYPE declaration`
+
+	fmt.Fprintf(w, "# TYPE softcache_hits counter\nsoftcache_hits %d\n", 0) // want `counter softcache_hits must end in _total`
+
+	fmt.Fprintf(w, "# TYPE softcache_size_total gauge\nsoftcache_size_total %d\n", 0) // want `ends in _total but is declared gauge`
+
+	fmt.Fprintf(w, "# TYPE softcache_kind_total widget\nsoftcache_kind_total %d\n", 0) // want `unknown type "widget"`
+
+	fmt.Fprintf(w, "# TYPE other_requests_total counter\nother_requests_total %d\n", 0) // want `outside the softcache_\* namespace`
+
+	fmt.Fprintln(w, "# TYPE broken") // want `malformed exposition line`
+
+	fmt.Fprintf(w, "# TYPE softcache_dup_total counter\nsoftcache_dup_total %d\n", 0)
+	fmt.Fprintf(w, "# TYPE softcache_dup_total counter\nsoftcache_dup_total %d\n", 0) // want `more than one # TYPE declaration`
+}

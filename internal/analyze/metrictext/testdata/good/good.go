@@ -1,0 +1,34 @@
+// Fixture: a miniature of serve's WriteTo — consistent exposition text
+// that must produce no findings.
+package good
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// prefix constants are names, not exposition lines.
+const prefix = "softcache_"
+
+type metrics struct {
+	requests [3]atomic.Uint64
+	inflight atomic.Int64
+	hits     atomic.Uint64
+}
+
+func (m *metrics) observe(ep int) {
+	m.requests[ep].Add(1)
+	m.hits.Add(1)
+	m.inflight.Add(1)
+	m.inflight.Add(-1)
+}
+
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintln(w, "# TYPE softcache_good_requests_total counter")
+	for ep := 0; ep < 3; ep++ {
+		fmt.Fprintf(w, "softcache_good_requests_total{endpoint=%q} %d\n", "ep", m.requests[ep].Load())
+	}
+	fmt.Fprintf(w, "# TYPE softcache_good_hits_total counter\nsoftcache_good_hits_total %d\n", m.hits.Load())
+	fmt.Fprintf(w, "# TYPE softcache_good_inflight gauge\nsoftcache_good_inflight %d\n", m.inflight.Load())
+}

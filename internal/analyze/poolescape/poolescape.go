@@ -1,0 +1,309 @@
+// Package poolescape checks the trace-record pool contract: a batch
+// obtained from trace.GetBatch is on loan. It must go back with
+// PutBatch, and neither the batch nor anything aliasing its backing
+// array (the *[]Record, the dereferenced slice, any reslice of it) may
+// outlive that return — not stored into longer-lived structures, not
+// returned, not sent away, not touched after the Put. Violations are
+// exactly the bug class the pool's foreign-shape hardening (PR 4) and
+// the zero-alloc simulate loops defend against by convention: a
+// retained batch gets recycled under the holder's feet and its records
+// rewritten mid-read.
+//
+// The analysis is intra-procedural and deliberately modest: aliases
+// propagate through assignments, dereferences, reslices and
+// first-argument appends within one function; passing a batch to a
+// callee is trusted (the callee is analyzed on its own). That matches
+// how the pool is actually used — tight decode loops with a deferred
+// PutBatch — and keeps every finding actionable.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"softcache/internal/analyze"
+)
+
+// Analyzer is the poolescape invariant check.
+var Analyzer = &analyze.Analyzer{
+	Name: "poolescape",
+	Doc:  "trace.GetBatch buffers must not escape, outlive, or be used after their PutBatch",
+	Run:  run,
+}
+
+func run(pass *analyze.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isPoolCall reports whether call invokes a function with the given
+// name from a package named "trace" (or the trace package itself).
+func isPoolCall(pass *analyze.Pass, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if id.Name != name {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+}
+
+type checker struct {
+	pass    *analyze.Pass
+	aliases map[types.Object]bool // objects aliasing a pooled batch
+	origins []*ast.CallExpr       // the GetBatch calls
+	putSeen bool                  // some PutBatch covers an alias
+	escaped bool
+}
+
+func checkFunc(pass *analyze.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, aliases: make(map[types.Object]bool)}
+
+	// Seed: every `x := trace.GetBatch()` origin, plus direct leaks —
+	// a GetBatch result assigned to a non-local or dropped on the floor.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolCall(pass, call, "GetBatch") {
+			return true
+		}
+		c.origins = append(c.origins, call)
+		return true
+	})
+	if len(c.origins) == 0 {
+		return
+	}
+
+	// Propagate aliases to a fixed point: assignments whose RHS derives
+	// from the batch make their plain-identifier LHS an alias too.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !c.derives(rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					obj := c.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = c.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && !c.aliases[obj] && !isPackageLevel(obj) {
+						c.aliases[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	c.checkEscapes(fd.Body)
+	c.checkUseAfterPut(fd.Body)
+
+	if !c.putSeen && !c.escaped {
+		for _, origin := range c.origins {
+			c.pass.Reportf(origin.Pos(),
+				"pooled batch from trace.GetBatch is never returned with trace.PutBatch in this function")
+		}
+	}
+}
+
+// derives reports whether expr's value aliases the pooled batch's
+// backing array: the batch pointer itself, its dereference, a reslice
+// or element address of it, or an append growing from it.
+func (c *checker) derives(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.aliases[obj]
+	case *ast.ParenExpr:
+		return c.derives(e.X)
+	case *ast.StarExpr:
+		return c.derives(e.X)
+	case *ast.UnaryExpr:
+		return c.derives(e.X)
+	case *ast.SliceExpr:
+		return c.derives(e.X)
+	case *ast.IndexExpr:
+		// &b[i] or b[i] of a []*T could leak; for []Record elements are
+		// values, but the expression still reaches the backing array
+		// when sliced further, so stay conservative.
+		return c.derives(e.X)
+	case *ast.CallExpr:
+		if isPoolCall(c.pass, e, "GetBatch") {
+			return true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				// append's result may share the first argument's array;
+				// appending *elements of* a batch to something else
+				// copies them and is fine.
+				return c.derives(e.Args[0])
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// checkEscapes flags every way an alias can outlive the function or
+// the Put: returns, stores through pointers/fields/globals, channel
+// sends, composite-literal capture, and goroutine capture.
+func (c *checker) checkEscapes(body *ast.BlockStmt) {
+	report := func(pos ast.Node, how string) {
+		c.escaped = true
+		c.pass.Reportf(pos.Pos(), "pooled batch from trace.GetBatch %s; it may be recycled and rewritten under the holder", how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if c.derives(res) {
+					report(res, "escapes the pool: returned to the caller")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				if !c.derives(rhs) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					if obj := lhsObject(c.pass, l); obj != nil && isPackageLevel(obj) {
+						report(lhs, "escapes the pool: stored in a package-level variable")
+					}
+				default:
+					// Field, index, or pointer target: the batch now
+					// lives somewhere this function does not control.
+					report(lhs, "escapes the pool: stored outside the local frame")
+				}
+			}
+		case *ast.SendStmt:
+			if c.derives(s.Value) {
+				report(s.Value, "escapes the pool: sent on a channel")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if c.derives(e) {
+					report(e, "escapes the pool: stored in a composite literal")
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && c.capturesAlias(lit) {
+				report(s, "escapes the pool: captured by a goroutine")
+			}
+			for _, arg := range s.Call.Args {
+				if c.derives(arg) {
+					report(arg, "escapes the pool: passed to a goroutine")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func lhsObject(pass *analyze.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// capturesAlias reports whether the literal's body references an alias.
+func (c *checker) capturesAlias(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.aliases[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkUseAfterPut walks every statement list: once a non-deferred
+// PutBatch(alias) statement has executed, later statements of the same
+// list must not touch any alias. Sibling branches are disjoint paths
+// and stay exempt.
+func (c *checker) checkUseAfterPut(body *ast.BlockStmt) {
+	var walkList func(list []ast.Stmt)
+	walkList = func(list []ast.Stmt) {
+		putAt := -1
+		for i, stmt := range list {
+			if putAt >= 0 {
+				c.flagAliasUses(stmt)
+				continue
+			}
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && isPoolCall(c.pass, call, "PutBatch") {
+					if len(call.Args) == 1 && c.derives(call.Args[0]) {
+						c.putSeen = true
+						putAt = i
+						continue
+					}
+				}
+			}
+			if ds, ok := stmt.(*ast.DeferStmt); ok {
+				if isPoolCall(c.pass, ds.Call, "PutBatch") && len(ds.Call.Args) == 1 && c.derives(ds.Call.Args[0]) {
+					c.putSeen = true
+					continue
+				}
+			}
+			// Recurse into nested statement lists.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BlockStmt); ok {
+					walkList(b.List)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkList(body.List)
+}
+
+// flagAliasUses reports every alias reference inside stmt.
+func (c *checker) flagAliasUses(stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.aliases[obj] {
+			c.pass.Reportf(id.Pos(), "pooled batch %s used after trace.PutBatch returned it to the pool", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"softcache/internal/analyze/analyzetest"
+	"softcache/internal/analyze/poolescape"
+)
+
+func TestBad(t *testing.T) {
+	analyzetest.Run(t, poolescape.Analyzer, "testdata/bad", analyzetest.Config{})
+}
+
+func TestGood(t *testing.T) {
+	analyzetest.Run(t, poolescape.Analyzer, "testdata/good", analyzetest.Config{})
+}

@@ -1,0 +1,69 @@
+// Fixture: every way a pooled batch can outlive its loan.
+package bad
+
+import "softcache/internal/trace"
+
+var sink *[]trace.Record
+
+func returned() *[]trace.Record {
+	b := trace.GetBatch()
+	return b // want `returned to the caller`
+}
+
+func returnedSlice() []trace.Record {
+	b := trace.GetBatch()
+	defer trace.PutBatch(b)
+	return (*b)[:16] // want `returned to the caller`
+}
+
+func global() {
+	b := trace.GetBatch()
+	sink = b // want `stored in a package-level variable`
+	trace.PutBatch(b)
+}
+
+func stored(dst *[]trace.Record) {
+	b := trace.GetBatch()
+	*dst = *b // want `stored outside the local frame`
+	trace.PutBatch(b)
+}
+
+func sent(ch chan []trace.Record) {
+	b := trace.GetBatch()
+	ch <- *b // want `sent on a channel`
+	trace.PutBatch(b)
+}
+
+func composite() map[string][]trace.Record {
+	b := trace.GetBatch()
+	defer trace.PutBatch(b)
+	m := map[string][]trace.Record{"x": (*b)[:1]} // want `stored in a composite literal`
+	return m
+}
+
+func captured() {
+	b := trace.GetBatch()
+	go func() { // want `captured by a goroutine`
+		_ = (*b)[0]
+	}()
+	trace.PutBatch(b)
+}
+
+func useAfterPut() int {
+	b := trace.GetBatch()
+	n := len(*b)
+	trace.PutBatch(b)
+	return n + len(*b) // want `used after trace.PutBatch`
+}
+
+func aliasAfterPut() {
+	b := trace.GetBatch()
+	recs := (*b)[:0]
+	trace.PutBatch(b)
+	_ = recs // want `used after trace.PutBatch`
+}
+
+func neverPut() int {
+	b := trace.GetBatch() // want `never returned with trace.PutBatch`
+	return len(*b)
+}

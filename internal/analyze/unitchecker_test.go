@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPrintVersion(t *testing.T) {
+	var buf bytes.Buffer
+	PrintVersion(&buf, "softcache-analyze")
+	// cmd/go parses this line to extract a build ID for its vet result
+	// cache; the x/tools wire format is the one it accepts.
+	re := regexp.MustCompile(`^softcache-analyze version devel comments-go-here buildID=[0-9a-f]+\n$`)
+	if !re.MatchString(buf.String()) {
+		t.Fatalf("version line %q does not match the vettool wire format", buf.String())
+	}
+}
+
+func TestPrintFlags(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFlags(&buf, []*Analyzer{stub})
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, buf.String())
+	}
+	names := make(map[string]bool)
+	for _, f := range flags {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"json", "tests", "stub"} {
+		if !names[want] {
+			t.Errorf("-flags output missing %q: %s", want, buf.String())
+		}
+	}
+}
+
+// diagFixture builds a fileset with one fake file and two positioned
+// diagnostics for the writer tests.
+func diagFixture() (*token.FileSet, []Diagnostic) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("pkg/file.go", -1, 1000)
+	return fset, []Diagnostic{
+		{Pos: f.Pos(10), Analyzer: "stub", Message: "first"},
+		{Pos: f.Pos(20), Analyzer: "stub", Message: "second"},
+	}
+}
+
+func TestWriteDiagnosticsJSONIsOneObjectPerLine(t *testing.T) {
+	fset, diags := diagFixture()
+	var buf bytes.Buffer
+	if err := WriteDiagnosticsJSON(&buf, fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one JSON object per finding, got %d lines:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", line, err)
+		}
+		if d.File != "pkg/file.go" || d.Analyzer != "stub" || d.Line == 0 {
+			t.Errorf("diagnostic fields not populated: %+v", d)
+		}
+	}
+}
+
+func TestWriteVetJSONShape(t *testing.T) {
+	fset, diags := diagFixture()
+	var buf bytes.Buffer
+	if err := WriteVetJSON(&buf, fset, "softcache/internal/x", diags); err != nil {
+		t.Fatal(err)
+	}
+	var agg map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &agg); err != nil {
+		t.Fatalf("vet JSON: %v\n%s", err, buf.String())
+	}
+	byAnalyzer, ok := agg["softcache/internal/x"]
+	if !ok {
+		t.Fatalf("missing package key: %s", buf.String())
+	}
+	if len(byAnalyzer["stub"]) != 2 {
+		t.Fatalf("want 2 stub findings, got %v", byAnalyzer)
+	}
+}
+
+func TestLoadTypechecksRealPackage(t *testing.T) {
+	pkgs, err := Load("../..", []string{"softcache/internal/cli"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Name() != "cli" {
+		t.Fatalf("Load: got %v", pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].Info == nil {
+		t.Fatal("Load returned an unparsed or untyped package")
+	}
+}

@@ -42,7 +42,7 @@ type Context struct {
 // requesters block on that Once and share the result.
 type traceCache struct {
 	mu sync.Mutex
-	m  map[string]*traceEntry
+	m  map[string]*traceEntry // guarded by mu
 }
 
 type traceEntry struct {

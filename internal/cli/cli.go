@@ -15,6 +15,13 @@ const (
 	ExitOK      = 0 // success
 	ExitFailure = 1 // runtime failure: simulation error, I/O, failing checks
 	ExitUsage   = 2 // bad flags, bad arguments, unknown names
+	// ExitOperational shares the numeric value of ExitUsage on purpose:
+	// for the linter-style commands (softcache-vet, softcache-analyze)
+	// exit 1 is reserved for findings, so anything that prevented the
+	// check from running at all — unreadable source, a failed load —
+	// must land on 2, the same "the run itself is broken" band as a
+	// usage mistake. Scripts can then trust "1 means the code is dirty".
+	ExitOperational = 2
 )
 
 // usageError marks an error as the caller's fault (exit 2) rather than a
@@ -43,6 +50,35 @@ func IsUsage(err error) bool {
 	return errors.As(err, &ue)
 }
 
+// operationalError marks an error as an environment or infrastructure
+// failure — the check could not run, as opposed to the check failing.
+// Linter-style commands map it to ExitOperational so findings keep
+// exit 1 to themselves.
+type operationalError struct{ err error }
+
+func (e *operationalError) Error() string { return e.err.Error() }
+func (e *operationalError) Unwrap() error { return e.err }
+
+// Operational wraps err so Code maps it to ExitOperational. Wrapping
+// nil returns nil.
+func Operational(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &operationalError{err}
+}
+
+// OperationalErrorf builds an error that Code maps to ExitOperational.
+func OperationalErrorf(format string, args ...any) error {
+	return &operationalError{fmt.Errorf(format, args...)}
+}
+
+// IsOperational reports whether err is (or wraps) an operational error.
+func IsOperational(err error) bool {
+	var oe *operationalError
+	return errors.As(err, &oe)
+}
+
 // Code maps an error to the conventional exit code.
 func Code(err error) int {
 	switch {
@@ -50,6 +86,8 @@ func Code(err error) int {
 		return ExitOK
 	case IsUsage(err):
 		return ExitUsage
+	case IsOperational(err):
+		return ExitOperational
 	default:
 		return ExitFailure
 	}

@@ -388,6 +388,11 @@ func (w *walker) selfDeps(r *Ref) {
 		if closure[l.Var] {
 			continue
 		}
+		if trip, known := tripCount(l); known && trip < 2 {
+			// A loop that runs at most once revisits nothing: zero- and
+			// single-trip loops realise no reuse along their own axis.
+			continue
+		}
 		r.selfDeps = append(r.selfDeps, &Dep{
 			Src: r, Dst: r,
 			Class:    Temporal,
@@ -399,7 +404,11 @@ func (w *walker) selfDeps(r *Ref) {
 		})
 	}
 	// The spatial threshold matches the tagger's: it is the *coefficient*
-	// (not the step-scaled stride) the paper's rule bounds.
+	// (not the step-scaled stride) the paper's rule bounds. Negative
+	// coefficients qualify too — a backwards walk crosses the same lines.
+	if trip, known := tripCount(r.Innermost()); known && trip < 2 {
+		return
+	}
 	if coef, known := r.InnermostCoef(); known && coef != 0 && abs(coef) < SpatialMaxCoef {
 		stride, _ := r.InnermostStride()
 		r.selfDeps = append(r.selfDeps, &Dep{
@@ -454,19 +463,32 @@ func groupEdge(a, b *Ref) *Dep {
 	if c < 0 {
 		src, dst, c = b, a, -c
 	}
+	if carrierIdx, iters, ok := attribute(c, src.Lin, src.Loops); ok {
+		if iters < 0 {
+			// A negative per-iteration stride reverses the time order:
+			// under forward traversal the member with the *smaller*
+			// constant touches the shared element first (A(20-i) retraces
+			// A(19-i) one iteration later), so the lexicographic source
+			// is the trailing-constant reference.
+			src, dst, iters = dst, src, -iters
+		}
+		return &Dep{
+			Src: src, Dst: dst,
+			Class:    Temporal,
+			Kind:     kindOf(src.Access.Write, dst.Access.Write),
+			Distance: src.Lin.Const - dst.Lin.Const,
+			Carrier:  src.Loops[carrierIdx],
+			Level:    carrierIdx + 1,
+			IterDist: iters,
+			Vector:   unitVector(len(src.Loops), carrierIdx, iters),
+		}
+	}
 	d := &Dep{
 		Src: src, Dst: dst,
 		Class:    Temporal,
 		Kind:     kindOf(src.Access.Write, dst.Access.Write),
 		Distance: c,
 		Level:    -1,
-	}
-	if carrierIdx, iters, ok := attribute(c, src.Lin, src.Loops); ok {
-		d.Carrier = src.Loops[carrierIdx]
-		d.Level = carrierIdx + 1
-		d.IterDist = iters
-		d.Vector = unitVector(len(src.Loops), carrierIdx, iters)
-		return d
 	}
 	// Not a whole number of iterations of any single loop: the elements
 	// never coincide; if the constant is within a virtual line the pair
@@ -480,9 +502,12 @@ func groupEdge(a, b *Ref) *Dep {
 // attribute finds the enclosing loop whose iterations explain an element
 // distance c: its effective per-iteration stride must divide c, and when
 // the trip count is a compile-time constant the iteration distance must
-// fit inside it. Among candidates the smallest iteration distance wins
-// (ties to the outermost loop), matching the intuition that reuse is
-// realised at the earliest opportunity.
+// fit inside it. A negative iteration count is a valid attribution with
+// the time order reversed (negative-stride subscripts: the trailing
+// constant leads in time); the caller swaps the endpoints. Among
+// candidates the smallest |iteration distance| wins (ties to the
+// outermost loop), matching the intuition that reuse is realised at the
+// earliest opportunity.
 func attribute(c int, lin loopir.Subscript, loops []*loopir.Loop) (idx, iters int, ok bool) {
 	best := -1
 	bestIters := 0
@@ -492,15 +517,12 @@ func attribute(c int, lin loopir.Subscript, loops []*loopir.Loop) (idx, iters in
 			continue
 		}
 		n := c / stride
-		if n < 0 {
-			// Reuse would require iterating backwards; positive-step
-			// loops cannot realise it.
+		if trip, known := tripCount(l); known && abs(n) >= trip {
+			// Covers zero- and single-trip loops too: with trip <= 1 no
+			// nonzero n fits, so a loop that cannot iterate never carries.
 			continue
 		}
-		if trip, known := tripCount(l); known && n >= trip {
-			continue
-		}
-		if best < 0 || n < bestIters {
+		if best < 0 || abs(n) < abs(bestIters) {
 			best, bestIters = i, n
 		}
 	}

@@ -1,0 +1,234 @@
+package depend
+
+import (
+	"testing"
+
+	"softcache/internal/loopir"
+)
+
+func vecEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNegativeStrideSelf: a backwards walk A(63-i) has stride -1 — still
+// one line-crossing per iteration, so the spatial self dependence stays,
+// with the signed distance and the unit direction vector.
+func TestNegativeStrideSelf(t *testing.T) {
+	g := mustGraph(t, `
+program rev
+array A(64)
+do i = 0, 63
+  load A(63 - i)
+end
+`)
+	r := g.Refs[0]
+	if coef, known := r.InnermostCoef(); !known || coef != -1 {
+		t.Fatalf("coef = %d,%v, want -1,true", coef, known)
+	}
+	deps := r.SelfDeps()
+	if len(deps) != 1 {
+		t.Fatalf("self deps = %v, want exactly the spatial one", deps)
+	}
+	d := deps[0]
+	if d.Class != Spatial || d.Distance != -1 || d.IterDist != 1 {
+		t.Errorf("spatial self = %v, want distance -1 at 1 iter", d)
+	}
+	if !vecEq(d.Vector, []int{1}) {
+		t.Errorf("vector = %v, want [1]", d.Vector)
+	}
+}
+
+// TestNegativeStrideGroup: with subscripts descending in i, the member
+// with the *smaller* constant leads in time — store A(19-i) writes the
+// element load A(20-i) reads one iteration later. Hand-computed: a flow
+// dependence, carried by DO i, distance vector (1).
+func TestNegativeStrideGroup(t *testing.T) {
+	g := mustGraph(t, `
+program revgroup
+array A(64)
+do i = 0, 19
+  load A(20 - i)
+  store A(19 - i)
+end
+`)
+	if len(g.Deps) != 1 {
+		t.Fatalf("got %d edges, want 1", len(g.Deps))
+	}
+	d := g.Deps[0]
+	if d.Src.Lin.Const != 19 || !d.Src.Access.Write {
+		t.Fatalf("src = %v, want the trailing-constant store A(19-i)", d.Src)
+	}
+	if d.Kind != Flow {
+		t.Errorf("kind = %v, want flow (write then read of the same element)", d.Kind)
+	}
+	if d.Class != Temporal || d.Level != 1 || d.IterDist != 1 || d.Carrier.Var != "i" {
+		t.Errorf("edge = %v, want temporal carried by DO i at 1 iter", d)
+	}
+	if d.Distance != -1 {
+		t.Errorf("distance = %d, want -1 (the source trails in memory)", d.Distance)
+	}
+	if !vecEq(d.Vector, []int{1}) {
+		t.Errorf("vector = %v, want [1]", d.Vector)
+	}
+}
+
+// TestCoupledSubscriptsTie: A(i+j) vs A(i+j+1) — both loops' strides
+// divide the constant difference at one iteration, so the dependence has
+// two equally short realisations, (1,0) and (0,1). The elementary model
+// keeps one edge and documents the tie rule: outermost wins.
+func TestCoupledSubscriptsTie(t *testing.T) {
+	g := mustGraph(t, `
+program coupled
+array A(40)
+do i = 0, 9
+  do j = 0, 9
+    load A(i + j)
+    load A(i + j + 1)
+  end
+end
+`)
+	if len(g.Deps) != 1 {
+		t.Fatalf("got %d edges, want 1", len(g.Deps))
+	}
+	d := g.Deps[0]
+	if d.Class != Temporal || d.Level != 1 || d.IterDist != 1 || d.Carrier.Var != "i" {
+		t.Errorf("edge = %v, want temporal carried by the outermost DO i", d)
+	}
+	if !vecEq(d.Vector, []int{1, 0}) {
+		t.Errorf("vector = %v, want [1 0]", d.Vector)
+	}
+}
+
+// TestCoupledSubscriptsEarliest: A(2i+j) at distance 2 — DO i explains it
+// in one iteration, DO j needs two; the smaller iteration distance wins.
+// At distance 1 only DO j divides, so the carrier flips inward.
+func TestCoupledSubscriptsEarliest(t *testing.T) {
+	g := mustGraph(t, `
+program coupled2
+array A(64)
+do i = 0, 9
+  do j = 0, 19
+    load A(2 * i + j)
+    load A(2 * i + j + 2)
+    load A(2 * i + j + 1)
+  end
+end
+`)
+	// Pairs: (+2,+0) dist 2 -> i@1; (+2,+1) dist 1 -> j@1; (+1,+0) dist 1 -> j@1.
+	var byDist = map[int][]*Dep{}
+	for _, d := range g.Deps {
+		byDist[d.Distance] = append(byDist[d.Distance], d)
+	}
+	if len(g.Deps) != 3 {
+		t.Fatalf("got %d edges, want 3: %v", len(g.Deps), g.Deps)
+	}
+	for _, d := range byDist[2] {
+		if d.Carrier.Var != "i" || d.IterDist != 1 || !vecEq(d.Vector, []int{1, 0}) {
+			t.Errorf("distance-2 edge = %v vector %v, want DO i at 1 iter [1 0]", d, d.Vector)
+		}
+	}
+	if len(byDist[1]) != 2 {
+		t.Fatalf("want two distance-1 edges, got %v", byDist)
+	}
+	for _, d := range byDist[1] {
+		if d.Carrier.Var != "j" || d.IterDist != 1 || !vecEq(d.Vector, []int{0, 1}) {
+			t.Errorf("distance-1 edge = %v vector %v, want DO j at 1 iter [0 1]", d, d.Vector)
+		}
+	}
+}
+
+// TestZeroTripLoop: DO i = 5, 3 never executes. A loop that cannot
+// iterate realises no reuse: no self dependences, and the group edge
+// cannot be carried by it — it degrades to the unattributable spatial
+// case (the members would share a line if the loop ran).
+func TestZeroTripLoop(t *testing.T) {
+	g := mustGraph(t, `
+program zerotrip
+array A(16)
+do i = 5, 3
+  load A(i)
+  load A(i + 1)
+end
+`)
+	for _, r := range g.Refs {
+		if len(r.SelfDeps()) != 0 {
+			t.Errorf("%v has self deps %v inside a zero-trip loop", r, r.SelfDeps())
+		}
+	}
+	if len(g.Deps) != 1 {
+		t.Fatalf("got %d edges, want 1", len(g.Deps))
+	}
+	d := g.Deps[0]
+	if d.Level != -1 || d.Class != Spatial || d.Vector != nil {
+		t.Errorf("edge = %v (vector %v), want unattributable spatial with nil vector", d, d.Vector)
+	}
+}
+
+// TestSingleTripLoop: a loop with exactly one iteration is invariant for
+// every subscript not using its variable, but revisits nothing — no
+// temporal self dependence. Widening it to two trips restores the edge.
+func TestSingleTripLoop(t *testing.T) {
+	one := mustGraph(t, `
+program onetrip
+array A(16)
+do i = 0, 15
+  do j = 2, 2
+    load A(i)
+  end
+end
+`)
+	if deps := one.Refs[0].SelfDeps(); len(deps) != 0 {
+		t.Errorf("single-trip DO j produced self deps %v, want none", deps)
+	}
+
+	two := mustGraph(t, `
+program twotrip
+array A(16)
+do i = 0, 15
+  do j = 2, 3
+    load A(i)
+  end
+end
+`)
+	deps := two.Refs[0].SelfDeps()
+	if len(deps) != 1 || deps[0].Class != Temporal || deps[0].Carrier.Var != "j" {
+		t.Fatalf("two-trip DO j self deps = %v, want one temporal on j", deps)
+	}
+	if !vecEq(deps[0].Vector, []int{0, 1}) {
+		t.Errorf("vector = %v, want [0 1]", deps[0].Vector)
+	}
+}
+
+// TestTripCount pins the constant-bounds trip arithmetic the carrier
+// feasibility checks rest on.
+func TestTripCount(t *testing.T) {
+	cases := []struct {
+		lo, hi, step int
+		trip         int
+	}{
+		{0, 9, 1, 10},
+		{2, 2, 1, 1},
+		{5, 3, 1, 0},
+		{0, 9, 4, 3}, // 0, 4, 8
+	}
+	for _, c := range cases {
+		l := loopir.DoStep("i", loopir.C(c.lo), loopir.C(c.hi), c.step)
+		trip, known := tripCount(l)
+		if !known || trip != c.trip {
+			t.Errorf("tripCount(do i = %d, %d step %d) = %d,%v, want %d,true",
+				c.lo, c.hi, c.step, trip, known, c.trip)
+		}
+	}
+	sym := loopir.Do("j", loopir.C(0), loopir.V("n"))
+	if _, known := tripCount(sym); known {
+		t.Errorf("symbolic upper bound reported a known trip count")
+	}
+}

@@ -55,10 +55,10 @@ func toEntry[T any](r Result[T]) Entry {
 // entry, safe for concurrent workers.
 type journalWriter struct {
 	mu     sync.Mutex
-	f      *os.File
-	bw     *bufio.Writer
-	err    error
-	closed bool
+	f      *os.File      // guarded by mu
+	bw     *bufio.Writer // guarded by mu
+	err    error         // guarded by mu
+	closed bool          // guarded by mu
 }
 
 func openJournal(path string) (*journalWriter, error) {

@@ -37,9 +37,9 @@ const entryOverheadBytes = 256
 type TraceCache struct {
 	mu      sync.Mutex
 	budget  int64
-	used    int64
-	ll      *list.List // front = most recently used; completed entries only
-	entries map[string]*traceEntry
+	used    int64                  // guarded by mu
+	ll      *list.List             // guarded by mu; front = most recently used; completed entries only
+	entries map[string]*traceEntry // guarded by mu
 
 	hits         atomic.Uint64
 	misses       atomic.Uint64
