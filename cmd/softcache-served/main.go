@@ -7,7 +7,15 @@
 //
 //	softcache-served                       # listen on 127.0.0.1:8265
 //	softcache-served -addr :9000 -workers 8 -queue 128 -cache-mb 512
-//	softcache-served -timeout 30s -max-timeout 2m -drain 15s
+//	softcache-served -timeout 30s -max-timeout 2m -drain 15s -shard s1
+//	softcache-served -route host1:8265,host2:8265,host3:8265   # router mode
+//
+// With -route the daemon is a cluster router instead of a shard: it
+// consistent-hash shards /v1/simulate and /v1/sweep by trace identity
+// across the listed softcache-served replicas, with health-probe-driven
+// circuit breakers, budgeted retry failover, and optional request
+// hedging (-hedge-after). Shard-only flags (-workers, -queue, -cache-mb,
+// -timeout, -max-timeout, -shard) are ignored in router mode.
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (with -addr :0 the line carries the chosen port). SIGINT or SIGTERM
@@ -28,10 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"softcache/internal/cli"
+	"softcache/internal/cluster"
 	"softcache/internal/serve"
 )
 
@@ -55,6 +65,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "largest per-request deadline a client may ask for")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	maxBody := fs.Int("max-body", 32, "largest request body accepted (MiB)")
+	shard := fs.String("shard", "", "shard ID label for fleet deployments (X-Softcache-Shard header, /metrics)")
+	route := fs.String("route", "", "router mode: comma-separated shard base URLs to consistent-hash across")
+	hedgeAfter := fs.Duration("hedge-after", 0, "router: race a second replica after this delay (0 disables hedging)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "router: interval between shard /healthz probes")
+	rise := fs.Int("rise", 2, "router: consecutive successes that close a tripped breaker")
+	fall := fs.Int("fall", 3, "router: consecutive failures that trip a shard's breaker")
+	cooldown := fs.Duration("cooldown", 5*time.Second, "router: how long a tripped breaker stays open before trial traffic")
+	retries := fs.Int("retries", 0, "router: extra attempts per request (0 = one full failover pass over the fleet)")
+	retryBudget := fs.Float64("retry-budget", 0.1, "router: retry tokens deposited per request (fraction of traffic retries may add)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
@@ -64,20 +84,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *queue < 1 || *cacheMB < 1 || *timeout <= 0 || *maxTimeout <= 0 || *drain <= 0 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("-queue, -cache-mb, -timeout, -max-timeout and -drain must be positive"))
 	}
+	if *maxBody < 1 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-max-body must be positive"))
+	}
+	if *hedgeAfter < 0 || *probeInterval <= 0 || *rise < 1 || *fall < 1 || *cooldown <= 0 || *retries < 0 || *retryBudget <= 0 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("router flags out of range: -hedge-after >= 0; -probe-interval, -cooldown, -retry-budget > 0; -rise, -fall >= 1; -retries >= 0"))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return cli.Exit(stderr, tool, err)
 	}
 
-	handler := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     int64(*cacheMB) << 20,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Log:            stderr,
-	})
+	var handler http.Handler
+	var closeRouter func()
+	if *route != "" {
+		shards := strings.Split(*route, ",")
+		maxAttempts := 0 // 0 = cluster default: one full failover pass
+		if *retries > 0 {
+			maxAttempts = *retries + 1
+		}
+		router, rerr := cluster.New(cluster.Config{
+			Shards:           shards,
+			ProbeInterval:    *probeInterval,
+			Rise:             *rise,
+			Fall:             *fall,
+			Cooldown:         *cooldown,
+			MaxAttempts:      maxAttempts,
+			RetryBudgetRatio: *retryBudget,
+			HedgeAfter:       *hedgeAfter,
+			MaxBodyBytes:     int64(*maxBody) << 20,
+			Log:              stderr,
+		})
+		if rerr != nil {
+			ln.Close()
+			return cli.Exit(stderr, tool, cli.Usage(rerr))
+		}
+		handler = router
+		closeRouter = router.Close
+		fmt.Fprintf(stdout, "routing %d shards\n", len(shards))
+	} else {
+		handler = serve.New(serve.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheBytes:     int64(*cacheMB) << 20,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   int64(*maxBody) << 20,
+			ShardID:        *shard,
+			Log:            stderr,
+		})
+	}
 	srv := &http.Server{Handler: handler}
 
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
@@ -88,6 +145,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	select {
 	case err := <-serveErr:
 		// The listener died without a shutdown request.
+		if closeRouter != nil {
+			closeRouter()
+		}
 		return cli.Exit(stderr, tool, err)
 	case <-ctx.Done():
 	}
@@ -95,9 +155,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "draining (up to %s)\n", *drain)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(shCtx); err != nil {
+	shutdownErr := srv.Shutdown(shCtx)
+	if closeRouter != nil {
+		closeRouter()
+	}
+	if shutdownErr != nil {
 		srv.Close()
-		return cli.Exit(stderr, tool, fmt.Errorf("drain incomplete: %w", err))
+		return cli.Exit(stderr, tool, fmt.Errorf("drain incomplete: %w", shutdownErr))
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return cli.Exit(stderr, tool, err)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -168,5 +169,106 @@ func TestDaemonBadAddr(t *testing.T) {
 	}
 	if !strings.HasPrefix(errb.String(), tool+": ") {
 		t.Fatalf("diagnostic missing tool prefix: %q", errb.String())
+	}
+}
+
+// TestDaemonRouterMode boots three shard daemons plus a router daemon
+// in-process, routes traffic through the router, survives one shard
+// going down, and drains cleanly.
+func TestDaemonRouterMode(t *testing.T) {
+	var shardURLs []string
+	var shardShutdowns []func() int
+	for i := 0; i < 3; i++ {
+		base, _, shutdown := startDaemon(t, "-shard", "s"+strconv.Itoa(i))
+		shardURLs = append(shardURLs, base)
+		shardShutdowns = append(shardShutdowns, shutdown)
+	}
+	hosts := make([]string, len(shardURLs))
+	for i, u := range shardURLs {
+		hosts[i] = strings.TrimPrefix(u, "http://")
+	}
+	base, errb, shutdown := startDaemon(t,
+		"-route", strings.Join(hosts, ","),
+		"-probe-interval", "100ms",
+	)
+
+	req := `{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`
+	var want []byte
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("routed simulate %d: %d %s", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-Softcache-Shard") == "" {
+			t.Fatal("routed response lost the shard identity header")
+		}
+		if i == 0 {
+			want = body
+		} else if string(body) != string(want) {
+			t.Fatal("routed responses for one request body differ")
+		}
+	}
+
+	// Kill one shard; the fleet must keep answering identically.
+	if code := shardShutdowns[0](); code != 0 {
+		t.Fatalf("shard 0 exited %d", code)
+	}
+	shardShutdowns[0] = nil
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != string(want) {
+			t.Fatalf("post-kill request %d: %d (identical=%v)", i, resp.StatusCode, string(body) == string(want))
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "softcache_router_requests_total 5") {
+		t.Fatalf("router metrics missing request count:\n%s", metrics)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("router exited %d; stderr=%q", code, errb.String())
+	}
+	for _, stop := range shardShutdowns {
+		if stop == nil {
+			continue
+		}
+		if code := stop(); code != 0 {
+			t.Fatalf("shard exited %d", code)
+		}
+	}
+}
+
+func TestDaemonRouterUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-route", "ftp://nope:1"},
+		{"-route", "a:1,a:1"},
+		{"-rise", "0"},
+		{"-retry-budget", "0"},
+		{"-hedge-after", "-1s"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		ctx, cancel := context.WithCancel(context.Background())
+		code := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, &errb)
+		cancel()
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr %q)", args, code, errb.String())
+		}
 	}
 }

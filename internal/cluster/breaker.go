@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one of the three classic circuit states.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // traffic flows, counting failures
+	breakerOpen                         // traffic blocked until the cooldown expires
+	breakerHalfOpen                     // trial traffic flows, counting successes
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-shard circuit breaker fed by both the active health
+// prober and request outcomes. Closed trips open after Fall consecutive
+// failures; open admits nothing until Cooldown has elapsed, then turns
+// half-open; half-open closes after Rise consecutive successes and
+// re-opens on any failure. The merged success/failure stream means a
+// burst of request errors can trip the breaker between probes, and a
+// recovering shard is closed again as soon as probes (or trial
+// requests) see it healthy Rise times in a row.
+type breaker struct {
+	rise     int
+	fall     int
+	cooldown time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	mu        sync.Mutex
+	state     breakerState // guarded by mu
+	failures  int          // guarded by mu; consecutive failures while closed
+	successes int          // guarded by mu; consecutive successes while half-open
+	openedAt  time.Time    // guarded by mu; when the circuit last tripped
+	opens     uint64       // guarded by mu; total closed/half-open -> open transitions
+}
+
+// newBreaker builds a breaker; non-positive thresholds get safe
+// defaults (rise 2, fall 3, cooldown 5s).
+func newBreaker(rise, fall int, cooldown time.Duration) *breaker {
+	if rise < 1 {
+		rise = 2
+	}
+	if fall < 1 {
+		fall = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{rise: rise, fall: fall, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether traffic may be sent. An expired open circuit
+// transitions to half-open here, so the first caller after the cooldown
+// becomes the trial request even without an active prober.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = breakerHalfOpen
+		b.successes = 0
+	}
+	return b.state != breakerOpen
+}
+
+// Success records one healthy outcome (probe or request).
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+	case breakerHalfOpen:
+		b.successes++
+		if b.successes >= b.rise {
+			b.state = breakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// Failure records one unhealthy outcome (probe or request).
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.fall {
+			b.tripLocked()
+		}
+	case breakerHalfOpen:
+		b.tripLocked()
+	}
+}
+
+// tripLocked moves to open. Caller holds mu.
+func (b *breaker) tripLocked() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.failures = 0
+	b.successes = 0
+}
+
+// State snapshots the current state (advancing an expired open circuit
+// to half-open, like Allow, so /metrics never shows a stale open).
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = breakerHalfOpen
+		b.successes = 0
+	}
+	return b.state
+}
+
+// Opens reports the total number of times the circuit tripped.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

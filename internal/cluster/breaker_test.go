@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(rise, fall int, cooldown time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(rise, fall, cooldown)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerTripsAfterFall(t *testing.T) {
+	b, _ := newTestBreaker(2, 3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures, fall=3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after fall failures")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state=%v, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens=%d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, 3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker tripped on a non-consecutive failure streak")
+	}
+}
+
+func TestBreakerHalfOpenAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker(2, 1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("fall=1 breaker should open on first failure")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted traffic before the cooldown expired")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker still open after cooldown")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != breakerHalfOpen {
+		t.Fatal("closed before rise successes")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state=%v after rise successes, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, 1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("want half-open trial traffic")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("half-open failure should re-open immediately")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens=%d, want 2", b.Opens())
+	}
+	// The cooldown restarts from the re-open.
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown did not restart on re-open")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[breakerState]string{
+		breakerClosed:    "closed",
+		breakerOpen:      "open",
+		breakerHalfOpen:  "half-open",
+		breakerState(99): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("state %d: %q, want %q", int(s), got, want)
+		}
+	}
+}

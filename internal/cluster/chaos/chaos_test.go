@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPlanZeroInjectsNothing(t *testing.T) {
+	var p Plan
+	for i := uint64(0); i < 1000; i++ {
+		if k := p.At(i); k != KindNone {
+			t.Fatalf("zero plan injected %v at %d", k, i)
+		}
+	}
+}
+
+func TestPlanDeterministicAndFractional(t *testing.T) {
+	p := Plan{Seed: 42, Fraction: 0.2}
+	faults := 0
+	for i := uint64(0); i < 10000; i++ {
+		k := p.At(i)
+		if k != p.At(i) {
+			t.Fatalf("At(%d) not deterministic", i)
+		}
+		if k != KindNone {
+			faults++
+		}
+	}
+	// The schedule is pseudo-random; 20% of 10k should land well within
+	// [15%, 25%].
+	if faults < 1500 || faults > 2500 {
+		t.Fatalf("fraction 0.2 injected %d/10000 faults", faults)
+	}
+}
+
+func TestPlanSeedChangesSchedule(t *testing.T) {
+	a := Plan{Seed: 1, Fraction: 0.5}
+	b := Plan{Seed: 2, Fraction: 0.5}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.At(i) == b.At(i) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// backend returns a shard stand-in that counts hits and serves a fixed
+// body.
+func backend(hits *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"answer":42}`)
+	}))
+}
+
+// proxyFor mounts a Proxy over the backend, forcing every call to kind
+// (KindNone passes everything through).
+func proxyFor(t *testing.T, target string, kind Kind, stall time.Duration) (*Proxy, *httptest.Server) {
+	t.Helper()
+	plan := Plan{}
+	if kind != KindNone {
+		plan = Plan{Fraction: 1, Kinds: []Kind{kind}}
+	}
+	p := New(target, plan, stall)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	p, ts := proxyFor(t, shard.URL, KindNone, 0)
+
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 || string(body) != `{"answer":42}` {
+		t.Fatalf("pass-through: %d %q %v", resp.StatusCode, body, err)
+	}
+	if hits.Load() != 1 || p.Calls() != 1 || len(p.Events()) != 0 {
+		t.Fatalf("hits=%d calls=%d events=%d, want 1/1/0", hits.Load(), p.Calls(), len(p.Events()))
+	}
+}
+
+func TestProxyDropSeversConnection(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	p, ts := proxyFor(t, shard.URL, KindDrop, 0)
+
+	_, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(`{}`))
+	if err == nil {
+		t.Fatal("drop fault produced a response")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("drop fault reached the backend")
+	}
+	if p.CountKind(KindDrop) != 1 {
+		t.Fatalf("drop events=%d, want 1", p.CountKind(KindDrop))
+	}
+}
+
+func TestProxyErrorAnswers503(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	p, ts := proxyFor(t, shard.URL, KindError, 0)
+
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("error fault reached the backend")
+	}
+	if p.CountKind(KindError) != 1 {
+		t.Fatalf("error events=%d, want 1", p.CountKind(KindError))
+	}
+}
+
+func TestProxyErrorBurstPoisonsConsecutiveCalls(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	p := New(shard.URL, Plan{Fraction: 1, Kinds: []Kind{KindError}, Burst: 3}, 0)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("call %d: status=%d, want 503 inside the burst", i, resp.StatusCode)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatal("burst calls reached the backend")
+	}
+	if got := p.CountKind(KindError); got != 3 {
+		t.Fatalf("error events=%d, want 3", got)
+	}
+}
+
+func TestProxyStallDelaysThenForwards(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	const stall = 50 * time.Millisecond
+	_, ts := proxyFor(t, shard.URL, KindStall, stall)
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != `{"answer":42}` {
+		t.Fatalf("stalled call corrupted the response: %d %q", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("stalled call returned in %v, want >= %v", elapsed, stall)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("stalled call did not reach the backend")
+	}
+}
+
+func TestProxyPartialWriteTruncatesMidBody(t *testing.T) {
+	var hits atomic.Int64
+	shard := backend(&hits)
+	defer shard.Close()
+	p, ts := proxyFor(t, shard.URL, KindPartial, 0)
+
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("partial-write fault delivered a complete body")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want unexpected EOF", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("partial-write must relay the real backend response")
+	}
+	if p.CountKind(KindPartial) != 1 {
+		t.Fatalf("partial events=%d, want 1", p.CountKind(KindPartial))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindNone:    "none",
+		KindDrop:    "drop",
+		KindStall:   "stall",
+		KindError:   "error-burst",
+		KindPartial: "partial-write",
+		Kind(99):    "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String()=%q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"softcache/internal/cluster/chaos"
+)
+
+// TestChaosAcceptance is the robustness acceptance run: a 3-shard fleet
+// with a deterministic fault-injection proxy in front of every shard,
+// injecting ~20% faults (drops, stalls, 5xx, partial writes) into a
+// 200-request stream. The run must complete with zero client-visible
+// errors, every response byte-identical to a single-process baseline,
+// and the router's /metrics accounting must be consistent with the
+// proxies' injected-fault logs.
+//
+// Determinism: requests are sequential, the breakers are configured not
+// to trip and hedging is off, so the shard sequence per request is the
+// pure ring order and each proxy sees a reproducible call-index stream —
+// the same seed replays the same run, faults and all.
+func TestChaosAcceptance(t *testing.T) {
+	const (
+		numRequests = 200
+		numKeys     = 8
+		fraction    = 0.2
+		chaosSeed   = 7
+	)
+	fleet := newFleet(t, 3)
+	proxies := make([]*chaos.Proxy, len(fleet))
+	proxyURLs := make([]string, len(fleet))
+	for i, shard := range fleet {
+		proxies[i] = chaos.New(shard.URL, chaos.Plan{
+			Seed:     chaosSeed + uint64(i),
+			Fraction: fraction,
+		}, 2*time.Millisecond)
+		ts := httptest.NewServer(proxies[i])
+		t.Cleanup(ts.Close)
+		proxyURLs[i] = ts.URL
+	}
+
+	_, ts := newTestRouter(t, Config{
+		Shards:           proxyURLs,
+		Fall:             1 << 20, // breakers never trip: routing stays deterministic
+		MaxAttempts:      6,
+		RetryBackoff:     -1,
+		RetryBudgetRatio: 1,
+		RetryBudgetBurst: 1000,
+	})
+
+	baselines := make(map[uint64][]byte, numKeys)
+	for seed := uint64(1); seed <= numKeys; seed++ {
+		baselines[seed] = baseline(t, simBody(seed))
+	}
+
+	degraded := 0
+	for i := 0; i < numRequests; i++ {
+		seed := uint64(i%numKeys) + 1
+		code, header, body := post(t, ts.URL+"/v1/simulate", simBody(seed))
+		if code != 200 {
+			t.Fatalf("request %d (seed %d): client-visible failure %d %s", i, seed, code, body)
+		}
+		if string(body) != string(baselines[seed]) {
+			t.Fatalf("request %d (seed %d): response differs from single-process baseline", i, seed)
+		}
+		if header.Get(DegradedHeader) != "" {
+			degraded++
+		}
+	}
+
+	// Cross-check the router's accounting against the proxies' logs.
+	injected, failures := 0, 0
+	var proxyCalls uint64
+	for _, p := range proxies {
+		injected += len(p.Events())
+		// Stalls delay but succeed; every other kind fails the attempt.
+		failures += p.CountKind(chaos.KindDrop) + p.CountKind(chaos.KindError) + p.CountKind(chaos.KindPartial)
+		proxyCalls += p.Calls()
+	}
+	if injected < numRequests/10 {
+		t.Fatalf("only %d faults injected across %d requests; the run did not stress anything", injected, numRequests)
+	}
+	t.Logf("faults injected: %d (%d attempt-failing), degraded responses: %d", injected, failures, degraded)
+
+	m := routerMetricsBody(t, ts.URL)
+	if v := metricValue(t, m, "softcache_router_requests_total"); v != numRequests {
+		t.Errorf("requests_total=%v, want %d", v, numRequests)
+	}
+	if v := metricValue(t, m, "softcache_router_errors_total"); v != 0 {
+		t.Errorf("errors_total=%v, want 0", v)
+	}
+	// Every failed attempt triggered exactly one retry (no request ran
+	// out of attempts: all 200 succeeded), so the router's retry counter
+	// must equal the proxies' failure-injection count.
+	if v := metricValue(t, m, "softcache_router_retries_total"); v != float64(failures) {
+		t.Errorf("retries_total=%v, but the proxies logged %d attempt-failing faults", v, failures)
+	}
+	// Each attempt is one proxy call: the initial 200 plus the retries.
+	if proxyCalls != uint64(numRequests+failures) {
+		t.Errorf("proxies saw %d calls, want %d requests + %d retries", proxyCalls, numRequests, failures)
+	}
+	// Degraded marking is exact: the metric counts the same responses
+	// the clients saw the header on.
+	if v := metricValue(t, m, "softcache_router_rerouted_total"); v != float64(degraded) {
+		t.Errorf("rerouted_total=%v, but clients saw %d degraded responses", v, degraded)
+	}
+	if v := metricValue(t, m, "softcache_router_hedges_total"); v != 0 {
+		t.Errorf("hedges_total=%v with hedging disabled", v)
+	}
+	if v := metricValue(t, m, "softcache_router_retry_budget_exhausted_total"); v != 0 {
+		t.Errorf("budget_exhausted=%v, want 0 (budget sized for the run)", v)
+	}
+}
+
+// TestChaosStallsWithHedging is the tail-latency half of the chaos
+// suite: stall-only faults with hedging on. Every response must still be
+// correct, and the hedge accounting must be internally consistent.
+func TestChaosStallsWithHedging(t *testing.T) {
+	const (
+		numRequests = 60
+		numKeys     = 6
+		stall       = 100 * time.Millisecond
+	)
+	fleet := newFleet(t, 3)
+	proxies := make([]*chaos.Proxy, len(fleet))
+	proxyURLs := make([]string, len(fleet))
+	for i, shard := range fleet {
+		proxies[i] = chaos.New(shard.URL, chaos.Plan{
+			Seed:     31 + uint64(i),
+			Fraction: 0.3,
+			Kinds:    []chaos.Kind{chaos.KindStall},
+		}, stall)
+		ts := httptest.NewServer(proxies[i])
+		t.Cleanup(ts.Close)
+		proxyURLs[i] = ts.URL
+	}
+
+	_, ts := newTestRouter(t, Config{
+		Shards:           proxyURLs,
+		Fall:             1 << 20,
+		RetryBackoff:     -1,
+		HedgeAfter:       10 * time.Millisecond,
+		RetryBudgetRatio: 1,
+		RetryBudgetBurst: 1000,
+	})
+
+	baselines := make(map[uint64][]byte, numKeys)
+	for seed := uint64(1); seed <= numKeys; seed++ {
+		baselines[seed] = baseline(t, simBody(seed))
+	}
+	for i := 0; i < numRequests; i++ {
+		seed := uint64(i%numKeys) + 1
+		code, _, body := post(t, ts.URL+"/v1/simulate", simBody(seed))
+		if code != 200 {
+			t.Fatalf("request %d: %d %s", i, code, body)
+		}
+		if string(body) != string(baselines[seed]) {
+			t.Fatalf("request %d: response differs from baseline", i)
+		}
+	}
+
+	stalls := 0
+	for _, p := range proxies {
+		stalls += p.CountKind(chaos.KindStall)
+	}
+	if stalls == 0 {
+		t.Fatal("no stalls injected; the run did not exercise hedging")
+	}
+	m := routerMetricsBody(t, ts.URL)
+	hedges := metricValue(t, m, "softcache_router_hedges_total")
+	wins := metricValue(t, m, "softcache_router_hedge_wins_total")
+	losses := metricValue(t, m, "softcache_router_hedge_losses_total")
+	if hedges == 0 {
+		t.Errorf("stall faults injected (%d) but no hedges launched", stalls)
+	}
+	if wins+losses > hedges {
+		t.Errorf("hedge accounting inconsistent: wins %v + losses %v > hedges %v", wins, losses, hedges)
+	}
+	if v := metricValue(t, m, "softcache_router_errors_total"); v != 0 {
+		t.Errorf("errors_total=%v, want 0", v)
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// routerMetrics holds the router's own counters, all atomics so the
+// proxy path updates them without a lock; /metrics renders a snapshot in
+// the Prometheus text exposition format, same hand-rolled discipline as
+// internal/serve (and checked by the same metrictext analyzer).
+type routerMetrics struct {
+	requests        atomic.Uint64 // proxied requests accepted by the router
+	retries         atomic.Uint64 // failed attempts retried on another replica
+	hedges          atomic.Uint64 // hedge attempts launched
+	hedgeWins       atomic.Uint64 // hedge responses relayed to the client
+	hedgeLosses     atomic.Uint64 // primary responses relayed after a hedge launched
+	rerouted        atomic.Uint64 // responses served off the key's home shard
+	budgetExhausted atomic.Uint64 // retries/hedges denied by the retry budget
+	errors          atomic.Uint64 // 502s: every attempt failed
+}
+
+// writeMetrics renders the router counters plus the per-shard breaker,
+// probe and residency state.
+func (rt *Router) writeMetrics(w io.Writer) {
+	m := rt.met
+	fmt.Fprintf(w, "# TYPE softcache_router_requests_total counter\nsoftcache_router_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_retries_total counter\nsoftcache_router_retries_total %d\n", m.retries.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_hedges_total counter\nsoftcache_router_hedges_total %d\n", m.hedges.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_hedge_wins_total counter\nsoftcache_router_hedge_wins_total %d\n", m.hedgeWins.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_hedge_losses_total counter\nsoftcache_router_hedge_losses_total %d\n", m.hedgeLosses.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_rerouted_total counter\nsoftcache_router_rerouted_total %d\n", m.rerouted.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_retry_budget_exhausted_total counter\nsoftcache_router_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_errors_total counter\nsoftcache_router_errors_total %d\n", m.errors.Load())
+
+	shards := make([]string, 0, len(rt.states))
+	for s := range rt.states {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+	keys := rt.keyCounts()
+
+	fmt.Fprintln(w, "# TYPE softcache_router_breaker_opens_total counter")
+	for _, s := range shards {
+		fmt.Fprintf(w, "softcache_router_breaker_opens_total{shard=%q} %d\n", s, rt.states[s].br.Opens())
+	}
+	fmt.Fprintln(w, "# TYPE softcache_router_breaker_open gauge")
+	for _, s := range shards {
+		open := 0
+		if rt.states[s].br.State() == breakerOpen {
+			open = 1
+		}
+		fmt.Fprintf(w, "softcache_router_breaker_open{shard=%q} %d\n", s, open)
+	}
+	fmt.Fprintln(w, "# TYPE softcache_router_shard_up gauge")
+	for _, s := range shards {
+		up := 0
+		if rt.states[s].probeOK.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "softcache_router_shard_up{shard=%q} %d\n", s, up)
+	}
+	fmt.Fprintln(w, "# TYPE softcache_router_shard_failures_total counter")
+	for _, s := range shards {
+		fmt.Fprintf(w, "softcache_router_shard_failures_total{shard=%q} %d\n", s, rt.states[s].failures.Load())
+	}
+	// Residency observability: how many distinct trace keys each shard
+	// owns among those the router has routed, so a failover decision's
+	// cache-warmth cost is measurable rather than guessed.
+	fmt.Fprintln(w, "# TYPE softcache_router_shard_keys gauge")
+	for _, s := range shards {
+		fmt.Fprintf(w, "softcache_router_shard_keys{shard=%q} %d\n", s, keys[s])
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster turns softcache-served into a fleet: a router/proxy
+// that consistent-hash shards simulation requests by trace identity
+// across N replica daemons, so each decoded trace is resident on exactly
+// one shard's coalescing cache. The router is built to stay up when
+// shards do not: active health probes drive a per-shard circuit breaker,
+// failed attempts retry against the next ring replica under a global
+// retry budget, an optional hedge races a second replica for tail
+// latency, and when every preferred replica for a key is down the
+// request is rerouted to any live shard with an explicit degraded-mode
+// header instead of failing.
+//
+// The fault paths are exercised, not hoped for: internal/cluster/chaos
+// is a deterministic fault-injection proxy (drops, stalls, 5xx bursts,
+// partial writes — the wire-level analogue of harness.Corpus's corrupted
+// trace vocabulary) that the test suite places between router and shards.
+//
+// See docs/SERVE.md "Cluster mode" for topology and failure semantics.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a shard.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Keys map to the
+// shard owning the first point clockwise of the key's hash; Order walks
+// on from there, yielding every shard in failover-preference order.
+// Membership changes move only the keys the departed (or arrived) shard
+// owns — the property the rebalance tests pin.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	points []ringPoint     // guarded by mu; sorted by hash
+	shards map[string]bool // guarded by mu
+}
+
+// NewRing builds a ring with the given virtual-node count per shard
+// (values below 1 become 64, plenty to keep the key split within a few
+// percent of even for small fleets).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, shards: make(map[string]bool)}
+}
+
+// fnv1a is the ring's hash — the same function trace.Fingerprint uses,
+// so the whole stack keys identity the same way. The finalizing mix
+// matters here in a way it does not for fingerprints: ring positions
+// come from short, near-identical labels ("shard#0", "shard#1", ...),
+// and raw FNV leaves their high bits correlated enough to skew the key
+// split several-fold. The mix spreads them.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Add inserts shards (idempotently) and re-sorts the circle.
+func (r *Ring) Add(shards ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range shards {
+		if s == "" || r.shards[s] {
+			continue
+		}
+		r.shards[s] = true
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv1a(fmt.Sprintf("%s#%d", s, v)), shard: s})
+		}
+	}
+	pts := r.points // local alias: the sort closure runs with mu held
+	sort.Slice(pts, func(i, j int) bool { return pts[i].hash < pts[j].hash })
+}
+
+// Remove deletes a shard's virtual nodes; keys it owned redistribute to
+// their clockwise successors, every other key keeps its owner.
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.shards[shard] {
+		return
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Shards returns the current membership in no particular order.
+func (r *Ring) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len reports the number of member shards.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// Owner returns the shard owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.searchLocked(key)].shard
+}
+
+// Order returns every shard in preference order for key: the owner
+// first, then each distinct shard met walking clockwise. This is the
+// router's failover sequence — replica i+1 picks up when replica i is
+// down, and the order is stable for a fixed membership.
+func (r *Ring) Order(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := r.searchLocked(key)
+	out := make([]string, 0, len(r.shards))
+	seen := make(map[string]bool, len(r.shards))
+	for i := 0; i < len(r.points) && len(out) < len(r.shards); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// searchLocked finds the index of the first point clockwise of key's
+// hash. Caller holds mu.
+func (r *Ring) searchLocked(key string) int {
+	h := fnv1a(key)
+	pts := r.points // local alias: the search closure runs with mu held
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return i
+}

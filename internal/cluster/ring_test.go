@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates n distinct routing keys shaped like the serve trace
+// cache's workload keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("workload:MV:test:%d", i)
+	}
+	return keys
+}
+
+func TestRingOwnerStable(t *testing.T) {
+	r := NewRing(64)
+	r.Add("a", "b", "c")
+	for _, k := range testKeys(100) {
+		if r.Owner(k) != r.Owner(k) {
+			t.Fatalf("owner of %q not stable", k)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	shards := []string{"s1", "s2", "s3", "s4"}
+	r.Add(shards...)
+	counts := make(map[string]int)
+	n := 4000
+	for _, k := range testKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != len(shards) {
+		t.Fatalf("only %d of %d shards own keys: %v", len(counts), len(shards), counts)
+	}
+	// With 64 vnodes the split should be within a factor of two of even.
+	for s, c := range counts {
+		if c < n/len(shards)/2 || c > n/len(shards)*2 {
+			t.Errorf("shard %s owns %d of %d keys, want near %d", s, c, n, n/len(shards))
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyDepartedKeys pins the consistent-hashing
+// property the router's cache-residency story depends on: removing a
+// shard relocates only the keys it owned.
+func TestRingRemoveMovesOnlyDepartedKeys(t *testing.T) {
+	r := NewRing(64)
+	r.Add("s1", "s2", "s3")
+	keys := testKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("s2")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == "s2" {
+			t.Fatalf("key %q still owned by removed shard", k)
+		}
+		if before[k] != "s2" && after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed in the ring", k, before[k], after)
+		}
+	}
+}
+
+// TestRingAddMovesKeysOnlyToNewShard: joining a shard may claim keys,
+// but every key that moves must move to the joiner.
+func TestRingAddMovesKeysOnlyToNewShard(t *testing.T) {
+	r := NewRing(64)
+	r.Add("s1", "s2", "s3")
+	keys := testKeys(1000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Add("s4")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after != before[k] {
+			moved++
+			if after != "s4" {
+				t.Fatalf("key %q moved %s -> %s, not to the joining shard", k, before[k], after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joining shard claimed no keys")
+	}
+	if moved > len(keys)/2 {
+		t.Fatalf("joining shard claimed %d of %d keys, far above the ~1/4 consistent hashing promises", moved, len(keys))
+	}
+}
+
+func TestRingOrder(t *testing.T) {
+	r := NewRing(64)
+	r.Add("s1", "s2", "s3")
+	for _, k := range testKeys(50) {
+		order := r.Order(k)
+		if len(order) != 3 {
+			t.Fatalf("order for %q lists %d shards, want 3: %v", k, len(order), order)
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("order[0]=%s but owner=%s", order[0], r.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("order for %q repeats %s: %v", k, s, order)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(0) // 0 -> default vnodes
+	if r.Owner("k") != "" || r.Order("k") != nil || r.Len() != 0 {
+		t.Fatal("empty ring should own nothing")
+	}
+	r.Add("s1")
+	r.Add("s1") // idempotent
+	r.Add("")   // ignored
+	if r.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate add, want 1", r.Len())
+	}
+	r.Remove("missing") // no-op
+	r.Remove("s1")
+	if r.Len() != 0 || r.Owner("k") != "" {
+		t.Fatal("ring not empty after removing the only shard")
+	}
+}

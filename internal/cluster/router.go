@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softcache/internal/serve"
+)
+
+// DegradedHeader marks a response served off the key's home shard: the
+// trace is (or will become) resident on a different replica than the
+// ring assigns, so the client paid — or a later request may pay — a cold
+// decode. Routing is degraded, the answer itself is byte-identical.
+const DegradedHeader = "X-Softcache-Degraded"
+
+// maxTrackedKeys bounds the router's routing-key residency map; beyond
+// it new keys go untracked (the gauge undercounts rather than the map
+// growing without bound).
+const maxTrackedKeys = 4096
+
+// Config sizes the router. The zero value is not usable: Shards is
+// required. Every other field has a default chosen for a small fleet on
+// one rack.
+type Config struct {
+	// Shards is the fleet: base URLs of softcache-served replicas
+	// ("http://host:port"; a bare host:port gets http://). Required.
+	Shards []string
+	// VNodes is the virtual-node count per shard on the hash ring
+	// (default 64).
+	VNodes int
+	// ProbeInterval spaces active /healthz probes (default 2s; negative
+	// disables probing — request outcomes alone drive the breakers).
+	// ProbeTimeout bounds one probe (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Rise and Fall are the breaker thresholds: consecutive successes to
+	// close a half-open circuit (default 2) and consecutive failures to
+	// trip a closed one (default 3). Cooldown holds a tripped circuit
+	// open before trial traffic (default 5s).
+	Rise, Fall int
+	Cooldown   time.Duration
+	// MaxAttempts bounds the attempts for one request, first try
+	// included (default 2x the fleet size: every failover path gets a
+	// chance, wrapped once).
+	MaxAttempts int
+	// RetryBackoff is the base sleep before retry n, scaled linearly
+	// (default 25ms; negative disables backoff).
+	RetryBackoff time.Duration
+	// RetryBudgetRatio tokens are deposited per incoming request, up to
+	// RetryBudgetBurst; each retry or hedge withdraws one (defaults 0.1
+	// and 10 — a sick fleet gets ~10% amplification, not N x).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// HedgeAfter races a second replica when the first has not answered
+	// within this duration, cancelling the loser (0 disables).
+	HedgeAfter time.Duration
+	// MaxBodyBytes caps one proxied request body (default
+	// serve.MaxBodyBytes); MaxResponseBytes caps one buffered shard
+	// response (default 64 MiB). Responses are buffered whole so a shard
+	// dying mid-write is a retryable failure, never a truncated client
+	// response.
+	MaxBodyBytes     int64
+	MaxResponseBytes int64
+	// Transport overrides the outbound http.RoundTripper (tests inject
+	// fault transports); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Log receives routing failures; nil discards them.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes < 1 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 2 * len(c.Shards)
+		if c.MaxAttempts < 2 {
+			c.MaxAttempts = 2
+		}
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = serve.MaxBodyBytes
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = 64 << 20
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// shardState is the router's view of one replica.
+type shardState struct {
+	url      string
+	br       *breaker
+	probeOK  atomic.Bool   // last active probe outcome
+	failures atomic.Uint64 // failed attempts against this shard
+}
+
+// Router consistent-hash shards simulate/sweep requests across a fleet
+// of softcache-served replicas, with health-gated failover, bounded
+// retries, optional hedging, and its own /metrics. Create with New,
+// mount on an http.Server, and Close when done (stops the prober).
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	states map[string]*shardState // immutable after New
+	met    *routerMetrics
+	budget *retryBudget
+	client *http.Client
+	mux    *http.ServeMux
+
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
+
+	mu   sync.Mutex
+	keys map[string]string // guarded by mu; routing key -> home shard
+}
+
+// New builds and starts a Router (the health prober begins immediately
+// unless ProbeInterval is negative).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		states: make(map[string]*shardState, len(cfg.Shards)),
+		met:    &routerMetrics{},
+		budget: newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		client: &http.Client{Transport: transport},
+		mux:    http.NewServeMux(),
+		keys:   make(map[string]string),
+	}
+	for _, s := range cfg.Shards {
+		u, err := normalizeShard(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := rt.states[u]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard %s", u)
+		}
+		st := &shardState{url: u, br: newBreaker(cfg.Rise, cfg.Fall, cfg.Cooldown)}
+		// Optimistic until the first probe or request says otherwise.
+		st.probeOK.Store(true)
+		rt.states[u] = st
+		rt.ring.Add(u)
+	}
+
+	rt.mux.HandleFunc("POST /v1/simulate", rt.handleProxy)
+	rt.mux.HandleFunc("POST /v1/sweep", rt.handleProxy)
+	rt.mux.HandleFunc("GET /v1/workloads", rt.handleProxy)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+
+	rt.probeDone = make(chan struct{})
+	pctx, cancel := context.WithCancel(context.Background())
+	rt.stopProbe = cancel
+	if cfg.ProbeInterval > 0 {
+		go rt.probeLoop(pctx)
+	} else {
+		close(rt.probeDone)
+	}
+	return rt, nil
+}
+
+// normalizeShard validates one shard URL, defaulting the scheme to http
+// and trimming a trailing slash.
+func normalizeShard(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("cluster: empty shard address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("cluster: shard %q: %w", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: shard %q: unsupported scheme %q", s, u.Scheme)
+	}
+	if u.Hostname() == "" {
+		return "", fmt.Errorf("cluster: shard %q has no host", s)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Close stops the health prober and waits for it to exit. In-flight
+// proxied requests are unaffected (their contexts belong to the
+// clients).
+func (rt *Router) Close() {
+	rt.stopProbe()
+	<-rt.probeDone
+}
+
+// writeError mirrors the shards' JSON error body shape.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// routingKey derives the consistent-hash key for a request: the trace
+// identity (the same key the shards' trace caches use, i.e. what
+// trace.Fingerprint pins) for simulate/sweep bodies, a content hash for
+// bodies whose selector does not resolve (the shard still owns the
+// authoritative 400), and the path for body-less GETs.
+func routingKey(method string, path string, body []byte) string {
+	if method == http.MethodGet || len(body) == 0 {
+		return "path:" + path
+	}
+	if key, err := serve.RoutingKey(body); err == nil {
+		return key
+	}
+	sum := sha256.Sum256(body)
+	return fmt.Sprintf("body:%x", sum[:12])
+}
+
+// recordKey notes which shard owns a routing key (for the residency
+// gauge), bounded by maxTrackedKeys.
+func (rt *Router) recordKey(key, owner string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, known := rt.keys[key]; !known && len(rt.keys) >= maxTrackedKeys {
+		return
+	}
+	rt.keys[key] = owner
+}
+
+// keyCounts snapshots the tracked keys per owning shard.
+func (rt *Router) keyCounts() map[string]int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	counts := make(map[string]int, len(rt.states))
+	for _, owner := range rt.keys {
+		counts[owner]++
+	}
+	return counts
+}
+
+// shardResponse is one fully buffered shard reply: buffering whole means
+// a backend dying mid-body is an attempt failure the router can retry,
+// never a truncated client response.
+type shardResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// retryable reports whether an attempt outcome should fail over to the
+// next replica: transport errors (connection refused/reset, truncated
+// body) and 5xx do; every 2xx-4xx — including a shard's 429
+// backpressure, which the router must relay, not amplify — does not.
+func retryable(resp *shardResponse, err error) bool {
+	return err != nil || resp.status >= 500
+}
+
+// attempt sends the request to one shard and buffers the response.
+func (rt *Router) attempt(ctx context.Context, shard, method, uri string, header http.Header, body []byte) (*shardResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, method, shard+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxResponseBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > rt.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("cluster: shard response exceeds %d bytes", rt.cfg.MaxResponseBytes)
+	}
+	return &shardResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: data}, nil
+}
+
+// observe feeds one attempt outcome into the shard's breaker and
+// failure counter. Cancelled losers of a hedge race are never observed.
+func (rt *Router) observe(shard string, ok bool) {
+	st := rt.states[shard]
+	if ok {
+		st.br.Success()
+	} else {
+		st.br.Failure()
+		st.failures.Add(1)
+	}
+}
+
+// raceOutcome is one attempt's result during the first (possibly
+// hedged) stage.
+type raceOutcome struct {
+	shard string
+	resp  *shardResponse
+	err   error
+	hedge bool
+}
+
+// race runs the primary attempt and, if it has not answered within
+// HedgeAfter, launches a budget-gated hedge against secondary. The
+// first usable response wins and the loser's context is cancelled; when
+// every launched attempt fails, the last failure is returned. tried
+// reports how many attempts launched (1 or 2).
+func (rt *Router) race(ctx context.Context, primary, secondary, method, uri string, header http.Header, body []byte) (out raceOutcome, tried int) {
+	ch := make(chan raceOutcome, 2)
+	// Both attempt contexts are cancelled on every exit path: the loser
+	// of a won race is cut off here, and its goroutine's pending send
+	// lands in the buffered channel, so nothing leaks.
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	pctx, pcancel := context.WithCancel(ctx)
+	cancels = append(cancels, pcancel)
+	go func() {
+		resp, err := rt.attempt(pctx, primary, method, uri, header, body)
+		ch <- raceOutcome{shard: primary, resp: resp, err: err}
+	}()
+	tried = 1
+
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+
+	hedged := false
+	pending := 1
+	var last raceOutcome
+	for pending > 0 {
+		select {
+		case o := <-ch:
+			pending--
+			if !retryable(o.resp, o.err) {
+				rt.observe(o.shard, true)
+				if hedged {
+					if o.hedge {
+						rt.met.hedgeWins.Add(1)
+					} else {
+						rt.met.hedgeLosses.Add(1)
+					}
+				}
+				return o, tried
+			}
+			rt.observe(o.shard, false)
+			last = o
+		case <-timer.C:
+			if hedged || secondary == "" {
+				continue
+			}
+			hedged = true
+			if !rt.budget.Withdraw() {
+				rt.met.budgetExhausted.Add(1)
+				continue
+			}
+			rt.met.hedges.Add(1)
+			tried = 2
+			pending++
+			sctx, scancel := context.WithCancel(ctx)
+			cancels = append(cancels, scancel)
+			go func() {
+				resp, err := rt.attempt(sctx, secondary, method, uri, header, body)
+				ch <- raceOutcome{shard: secondary, resp: resp, err: err, hedge: true}
+			}()
+		}
+	}
+	return last, tried
+}
+
+// backoff sleeps before retry n (1-based), scaled linearly off the base,
+// honouring ctx. Reports false when the client went away.
+func (rt *Router) backoff(ctx context.Context, n int) bool {
+	if rt.cfg.RetryBackoff <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(time.Duration(n) * rt.cfg.RetryBackoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// handleProxy is the routed path: derive the key, walk the ring's
+// preference order with breaker gating, retry under the budget, hedge
+// the first attempt when configured, and relay the first usable
+// response whole.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	rt.budget.Deposit()
+
+	var body []byte
+	if r.Method != http.MethodGet {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+			} else {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+			}
+			return
+		}
+	}
+
+	key := routingKey(r.Method, r.URL.Path, body)
+	order := rt.ring.Order(key)
+	if len(order) == 0 {
+		rt.met.errors.Add(1)
+		writeError(w, http.StatusBadGateway, "no shards configured")
+		return
+	}
+	owner := order[0]
+	rt.recordKey(key, owner)
+
+	// Preference order: breaker-allowed shards first (ring order), then —
+	// as a last resort when everything looks down — the tripped ones
+	// anyway: trying a probably-dead shard beats refusing outright, and
+	// the retry budget bounds the damage.
+	allowed := make([]string, 0, len(order))
+	denied := make([]string, 0, len(order))
+	for _, s := range order {
+		if rt.states[s].br.Allow() {
+			allowed = append(allowed, s)
+		} else {
+			denied = append(denied, s)
+		}
+	}
+	seq := append(allowed, denied...)
+	uri := r.URL.RequestURI()
+
+	// The sequence wraps: with MaxAttempts above the fleet size (the
+	// default is 2x), a request that failed once on every replica gets a
+	// second pass — transient faults rarely strike the same shard twice.
+	attempts, i := 0, 0
+	var last raceOutcome
+	for attempts < rt.cfg.MaxAttempts {
+		var out raceOutcome
+		tried := 1
+		if attempts == 0 {
+			if rt.cfg.HedgeAfter > 0 && len(seq) > 1 {
+				out, tried = rt.race(r.Context(), seq[0], seq[1], r.Method, uri, r.Header, body)
+			} else {
+				resp, err := rt.attempt(r.Context(), seq[0], r.Method, uri, r.Header, body)
+				out = raceOutcome{shard: seq[0], resp: resp, err: err}
+				rt.observe(out.shard, !retryable(resp, err))
+			}
+		} else {
+			if !rt.budget.Withdraw() {
+				rt.met.budgetExhausted.Add(1)
+				break
+			}
+			rt.met.retries.Add(1)
+			if !rt.backoff(r.Context(), attempts) {
+				return // client went away mid-backoff
+			}
+			shard := seq[i%len(seq)]
+			resp, err := rt.attempt(r.Context(), shard, r.Method, uri, r.Header, body)
+			out = raceOutcome{shard: shard, resp: resp, err: err}
+			rt.observe(out.shard, !retryable(resp, err))
+		}
+		attempts += tried
+		i += tried
+		if !retryable(out.resp, out.err) {
+			rt.relay(w, out, owner)
+			return
+		}
+		last = out
+		if r.Context().Err() != nil {
+			return // client went away; don't burn budget on its behalf
+		}
+	}
+
+	rt.met.errors.Add(1)
+	msg := "all shard attempts failed"
+	if last.err != nil {
+		msg = fmt.Sprintf("%s; last error from %s: %v", msg, last.shard, last.err)
+	} else if last.resp != nil {
+		msg = fmt.Sprintf("%s; last status from %s: %d", msg, last.shard, last.resp.status)
+	}
+	fmt.Fprintf(rt.cfg.Log, "cluster: %s %s key=%s: %s\n", r.Method, r.URL.Path, key, msg)
+	writeError(w, http.StatusBadGateway, msg)
+}
+
+// relay writes one buffered shard response to the client, marking it
+// degraded when it was served off the key's home shard.
+func (rt *Router) relay(w http.ResponseWriter, out raceOutcome, owner string) {
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", "X-Softcache-Shard"} {
+		if v := out.resp.header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	if out.shard != owner {
+		h.Set(DegradedHeader, "rerouted")
+		rt.met.rerouted.Add(1)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(out.resp.body)))
+	w.WriteHeader(out.resp.status)
+	w.Write(out.resp.body)
+}
+
+// handleHealthz reports the router live when at least one shard's
+// breaker admits traffic.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, st := range rt.states {
+		if st.br.Allow() {
+			io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	io.WriteString(w, "no live shards\n")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.writeMetrics(w)
+}
+
+// probeLoop drives the active health checks: one immediate round, then
+// one per ProbeInterval until Close.
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer close(rt.probeDone)
+	rt.probeAll(ctx)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll probes every shard concurrently and feeds the breakers.
+func (rt *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, st := range rt.states {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+			defer cancel()
+			ok := rt.probe(pctx, st.url)
+			st.probeOK.Store(ok)
+			if ok {
+				st.br.Success()
+			} else if ctx.Err() == nil { // shutdown is not a shard failure
+				st.br.Failure()
+			}
+		}(st)
+	}
+	wg.Wait()
+}
+
+// probe is one active /healthz check.
+func (rt *Router) probe(ctx context.Context, shard string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

@@ -19,9 +19,11 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"softcache/internal/cache"
@@ -36,7 +38,8 @@ import (
 // space (8 KiB cache, 32 B lines) and anything beyond them is rejected
 // with 400 rather than attempted.
 const (
-	// MaxBodyBytes bounds one request body (a din upload dominates).
+	// MaxBodyBytes is the default request-body cap (a din upload
+	// dominates); Config.MaxBodyBytes overrides it per daemon.
 	MaxBodyBytes = 32 << 20
 	// MaxConfigs bounds the config group of one simulate request.
 	MaxConfigs = 64
@@ -56,9 +59,22 @@ const (
 type apiError struct {
 	status int
 	msg    string
+	// retryAfter, when positive, is rendered as a Retry-After header (in
+	// seconds) so backpressure rejections tell clients — and the cluster
+	// router — when trying again is worthwhile.
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// write renders the error as the standard JSON body, with the
+// Retry-After header when the failure is backpressure.
+func (e *apiError) write(w http.ResponseWriter) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeError(w, e.status, e.msg)
+}
 
 func badRequest(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
@@ -371,13 +387,40 @@ type WorkloadsResponse struct {
 	Configs   []string       `json:"configs"`
 }
 
+// RoutingKey derives the stable trace identity of a simulate or sweep
+// request body without validating the rest of it: the same key the
+// shards' trace caches use (workload:NAME:SCALE:SEED, or a content hash
+// of a din upload), which is exactly what pins a decoded trace — the
+// identity trace.Fingerprint captures — to one replica's cache. The
+// cluster router consistent-hashes on it; a body whose selector cannot
+// be resolved returns an error and the router falls back to hashing the
+// whole body, leaving the authoritative 400 to a shard.
+func RoutingKey(body []byte) (string, error) {
+	var sel traceSelector
+	if err := json.Unmarshal(body, &sel); err != nil {
+		return "", err
+	}
+	key, _, err := sel.plan()
+	if err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
 // decodeRequest strictly decodes one JSON request body into dst: unknown
 // fields, trailing garbage and oversized bodies are all client errors.
-func decodeRequest(r *http.Request, dst any) *apiError {
-	body := http.MaxBytesReader(nil, r.Body, MaxBodyBytes)
+func decodeRequest(r *http.Request, dst any, maxBody int64) *apiError {
+	body := http.MaxBytesReader(nil, r.Body, maxBody)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", maxBody),
+			}
+		}
 		return badRequest("decoding request: %v", err)
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {

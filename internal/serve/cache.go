@@ -142,7 +142,7 @@ func (c *TraceCache) evictLocked() {
 // TraceCacheStats is a snapshot of the cache counters for /metrics.
 type TraceCacheStats struct {
 	Hits, Misses, Decodes, Evictions, LoadFailures uint64
-	Bytes                                          int64
+	Bytes, Budget                                  int64
 	Entries                                        int
 }
 
@@ -158,6 +158,7 @@ func (c *TraceCache) Stats() TraceCacheStats {
 		Evictions:    c.evictions.Load(),
 		LoadFailures: c.loadFailures.Load(),
 		Bytes:        bytes,
+		Budget:       c.budget,
 		Entries:      entries,
 	}
 }

@@ -45,7 +45,7 @@ func FuzzSimulateRequest(f *testing.F) {
 		// Simulate planning path.
 		r := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(body))
 		var sim SimulateRequest
-		if aerr := decodeRequest(r, &sim); aerr == nil {
+		if aerr := decodeRequest(r, &sim, MaxBodyBytes); aerr == nil {
 			if plan, aerr := sim.validate(); aerr == nil {
 				// The trace loader interprets untrusted din bytes: it must
 				// fail cleanly, never panic. (Workload loads hit the
@@ -58,7 +58,7 @@ func FuzzSimulateRequest(f *testing.F) {
 		// Sweep planning path over the same bytes.
 		r = httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		var sw SweepRequest
-		if aerr := decodeRequest(r, &sw); aerr == nil {
+		if aerr := decodeRequest(r, &sw, MaxBodyBytes); aerr == nil {
 			sw.validate()
 		}
 	})

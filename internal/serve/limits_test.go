@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMaxBodyBytes413 pins the configurable body cap: a request over the
+// limit is refused with 413 (not a generic 400), the status the cluster
+// router relies on to relay the refusal without retrying.
+func TestMaxBodyBytes413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 128})
+
+	small := `{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`
+	code, body := post(t, ts.URL+"/v1/simulate", small)
+	if code != 200 {
+		t.Fatalf("request under the cap: %d %s", code, body)
+	}
+
+	big := fmt.Sprintf(`{"workload":"MV","scale":"test","seed":1,"din":%q}`, strings.Repeat("r 0 4\n", 100))
+	code, body = post(t, ts.URL+"/v1/simulate", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s, want 413", code, body)
+	}
+}
+
+// TestShardIdentity pins the fleet-observability satellite: a daemon
+// configured with a shard ID stamps responses with X-Softcache-Shard and
+// labels itself on /metrics, so the router (and an operator) can tell
+// which replica answered.
+func TestShardIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{ShardID: "s7"})
+
+	req := `{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Softcache-Shard"); got != "s7" {
+		t.Fatalf("X-Softcache-Shard=%q, want \"s7\"", got)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `softcache_shard_info{shard="s7"} 1`) {
+		t.Fatalf("shard info series missing from /metrics:\n%s", metrics)
+	}
+}
+
+// TestShardIDDefaultsOff: without a shard ID there is no header and the
+// info series carries the empty label (the single-process case).
+func TestShardIDDefaultsOff(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Softcache-Shard"); got != "" {
+		t.Fatalf("unconfigured daemon sent X-Softcache-Shard=%q", got)
+	}
+}
+
+// TestCacheBudgetGauge: /metrics exposes the trace cache's byte budget
+// alongside its occupancy, so capacity planning does not require reading
+// the deploy flags.
+func TestCacheBudgetGauge(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheBytes: 2 << 20})
+	_, metrics := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(metrics), "softcache_trace_cache_budget_bytes"); v != 2<<20 {
+		t.Fatalf("budget gauge %v, want %d", v, 2<<20)
+	}
+}
+
+// TestRoutingKey pins the exported routing-key derivation the cluster
+// router shards by: it must equal the daemon's own trace-cache key, so a
+// key routed consistently is also cached exactly once fleet-wide.
+func TestRoutingKey(t *testing.T) {
+	key, err := RoutingKey([]byte(`{"workload":"MV","scale":"test","seed":3,"configs":[{"name":"soft"}]}`))
+	if err != nil || key != "workload:MV:test:3" {
+		t.Fatalf("RoutingKey = %q, %v; want workload:MV:test:3", key, err)
+	}
+	// Seed defaults to 1, matching the handler's own defaulting.
+	key, err = RoutingKey([]byte(`{"workload":"MV","scale":"test"}`))
+	if err != nil || key != "workload:MV:test:1" {
+		t.Fatalf("RoutingKey = %q, %v; want workload:MV:test:1", key, err)
+	}
+	din, err := RoutingKey([]byte(`{"din":"r 0 4\n"}`))
+	if err != nil || !strings.HasPrefix(din, "din:") {
+		t.Fatalf("RoutingKey(din) = %q, %v; want din:<hash>", din, err)
+	}
+	if _, err := RoutingKey([]byte(`{"workload":"no-such-workload"}`)); err == nil {
+		t.Fatal("RoutingKey accepted an unknown workload")
+	}
+	if _, err := RoutingKey([]byte(`not json`)); err == nil {
+		t.Fatal("RoutingKey accepted a non-JSON body")
+	}
+}

@@ -61,7 +61,9 @@ func (m *serverMetrics) observe(ep endpoint, status int, d time.Duration) {
 }
 
 // WriteTo renders the counters (and the trace cache's) as Prometheus text.
-func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache) {
+// shardID labels the daemon in a fleet ("" outside cluster mode).
+func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache, shardID string) {
+	fmt.Fprintf(w, "# TYPE softcache_shard_info gauge\nsoftcache_shard_info{shard=%q} 1\n", shardID)
 	fmt.Fprintln(w, "# TYPE softcache_requests_total counter")
 	for ep := endpoint(0); ep < epCount; ep++ {
 		fmt.Fprintf(w, "softcache_requests_total{endpoint=%q} %d\n", ep, m.requests[ep].Load())
@@ -89,4 +91,8 @@ func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache) {
 	fmt.Fprintf(w, "# TYPE softcache_trace_load_failures_total counter\nsoftcache_trace_load_failures_total %d\n", cs.LoadFailures)
 	fmt.Fprintf(w, "# TYPE softcache_trace_cache_bytes gauge\nsoftcache_trace_cache_bytes %d\n", cs.Bytes)
 	fmt.Fprintf(w, "# TYPE softcache_trace_cache_entries gauge\nsoftcache_trace_cache_entries %d\n", cs.Entries)
+	// Residency headroom: budget alongside occupancy makes the
+	// eviction pressure on this shard's cache a first-class signal for
+	// failover decisions instead of a guess.
+	fmt.Fprintf(w, "# TYPE softcache_trace_cache_budget_bytes gauge\nsoftcache_trace_cache_budget_bytes %d\n", cs.Budget)
 }

@@ -361,9 +361,19 @@ func TestQueueFull429(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	code, body := post(t, ts.URL+"/v1/simulate", req)
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("third request: %d %s (want 429)", code, body)
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request: %d %s (want 429)", resp.StatusCode, body)
+	}
+	// Backpressure must tell clients (and the cluster router) when to
+	// come back instead of leaving them to guess.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After=%q, want \"1\"", ra)
 	}
 	if s.met.rejected.Load() != 1 {
 		t.Fatalf("rejected counter %d, want 1", s.met.rejected.Load())

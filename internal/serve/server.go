@@ -35,6 +35,15 @@ type Config struct {
 	// 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxBodyBytes caps one request body (default MaxBodyBytes, 32 MiB;
+	// softcache-served's -max-body flag). The cluster router applies the
+	// same cap before forwarding.
+	MaxBodyBytes int64
+	// ShardID labels this daemon in a fleet: when set, every response
+	// carries it in the X-Softcache-Shard header and /metrics exposes it
+	// as softcache_shard_info, so cluster tests and dashboards can tell
+	// which replica served (and holds the trace resident).
+	ShardID string
 	// Log receives failure records (panics with stacks, timeouts); nil
 	// discards them.
 	Log io.Writer
@@ -55,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = MaxBodyBytes
 	}
 	if c.Log == nil {
 		c.Log = io.Discard
@@ -118,6 +130,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // latency counters.
 func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ShardID != "" {
+			w.Header().Set("X-Softcache-Shard", s.cfg.ShardID)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		h(sw, r)
@@ -153,8 +168,12 @@ func (s *Server) admit(ctx context.Context) (release func(), err *apiError) {
 		if s.met.queued.Add(1) > int64(s.cfg.QueueDepth) {
 			s.met.queued.Add(-1)
 			s.met.rejected.Add(1)
+			// Retry-After tells clients (and the cluster router, which
+			// relays rather than retries backpressure) when the queue is
+			// worth another look.
 			return nil, &apiError{status: http.StatusTooManyRequests,
-				msg: fmt.Sprintf("queue full (%d waiting); retry later", s.cfg.QueueDepth)}
+				msg:        fmt.Sprintf("queue full (%d waiting); retry later", s.cfg.QueueDepth),
+				retryAfter: 1}
 		}
 		defer s.met.queued.Add(-1)
 		select {
@@ -237,13 +256,13 @@ func (s *Server) runFused(ctx context.Context, deadline time.Time, key string, d
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if aerr := decodeRequest(r, &req); aerr != nil {
-		writeError(w, aerr.status, aerr.msg)
+	if aerr := decodeRequest(r, &req, s.cfg.MaxBodyBytes); aerr != nil {
+		aerr.write(w)
 		return
 	}
 	plan, aerr := req.validate()
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.msg)
+		aerr.write(w)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -255,7 +274,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	release, aerr := s.admit(r.Context())
 	if aerr != nil {
 		if aerr.status != 499 {
-			writeError(w, aerr.status, aerr.msg)
+			aerr.write(w)
 		}
 		return
 	}
@@ -299,26 +318,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if aerr.status != 499 {
-		writeError(w, aerr.status, aerr.msg)
+		aerr.write(w)
 	}
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if aerr := decodeRequest(r, &req); aerr != nil {
-		writeError(w, aerr.status, aerr.msg)
+	if aerr := decodeRequest(r, &req, s.cfg.MaxBodyBytes); aerr != nil {
+		aerr.write(w)
 		return
 	}
 	plan, aerr := req.validate()
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.msg)
+		aerr.write(w)
 		return
 	}
 
 	release, aerr := s.admit(r.Context())
 	if aerr != nil {
 		if aerr.status != 499 {
-			writeError(w, aerr.status, aerr.msg)
+			aerr.write(w)
 		}
 		return
 	}
@@ -369,7 +388,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if aerr.status != 499 {
-		writeError(w, aerr.status, aerr.msg)
+		aerr.write(w)
 	}
 }
 
@@ -399,5 +418,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.WriteTo(w, s.traces)
+	s.met.WriteTo(w, s.traces, s.cfg.ShardID)
 }
