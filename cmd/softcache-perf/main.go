@@ -1,10 +1,12 @@
 // softcache-perf runs the kernel performance-regression suite: a pinned
 // benchmark matrix over the streaming simulation kernel (trace size ×
-// virtual-line size × bounce-back on/off) plus a fused multi-configuration
+// virtual-line size × bounce-back on/off), a fused multi-configuration
 // matrix (core.SimulateMany vs the per-config loop, with the measured
-// speedup), producing the machine-readable BENCH_kernel.json artifact, an
-// optional markdown delta report, and — when a baseline is given — a
-// ns/record regression gate over both matrices.
+// speedup), and a set-sharded matrix (core.SimulateShardedStream at shard
+// counts {1, 2, 4, …} with the speedup over the single-shard row),
+// producing the machine-readable BENCH_kernel.json artifact, an optional
+// markdown delta report, and — when a baseline is given — a ns/record
+// regression gate over all three matrices.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	softcache-perf -baseline BENCH_kernel.json -out /tmp/now.json
 //	softcache-perf -quick -max-regress 0.15 # fail >15% ns/record regressions
 //	softcache-perf -md report.md            # write the delta report to a file
+//	softcache-perf -shards 8                # widen the sharded matrix; 0 skips it
 //
 // With no -baseline, an existing -out file from a previous run is used as
 // the baseline before being overwritten. The delta report goes to stdout
@@ -51,18 +54,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	md := fs.String("md", "", "write the markdown delta report to this file (default: stdout)")
 	minTime := fs.Duration("min-time", 0, "minimum measurement time per case (default 300ms, 100ms with -quick)")
 	seed := fs.Uint64("seed", 1, "workload trace seed")
+	shards := fs.Int("shards", 4, "widest shard count of the set-sharded matrix (0 skips it)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
 	if fs.NArg() > 0 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("unexpected arguments: %v", fs.Args()))
 	}
-	return cli.Exit(stderr, tool, runPerf(*quick, *out, *baseline, *maxRegress, *md, *minTime, *seed, stdout, stderr))
+	return cli.Exit(stderr, tool, runPerf(*quick, *out, *baseline, *maxRegress, *md, *minTime, *seed, *shards, stdout, stderr))
 }
 
-func runPerf(quick bool, out, baseline string, maxRegress float64, md string, minTime time.Duration, seed uint64, stdout, stderr io.Writer) error {
+func runPerf(quick bool, out, baseline string, maxRegress float64, md string, minTime time.Duration, seed uint64, shards int, stdout, stderr io.Writer) error {
 	if maxRegress < 0 {
 		return cli.UsageErrorf("-max-regress must be >= 0, got %g", maxRegress)
+	}
+	if shards < 0 {
+		return cli.UsageErrorf("-shards must be >= 0, got %d", shards)
 	}
 
 	// Load the baseline before the run (and before -out is overwritten).
@@ -94,7 +101,7 @@ func runPerf(quick bool, out, baseline string, maxRegress float64, md string, mi
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	report, err := runner.Run(ctx, perf.Matrix(quick), perf.FusedMatrix(quick))
+	report, err := runner.Run(ctx, perf.Matrix(quick), perf.FusedMatrix(quick), perf.ShardedMatrix(shards))
 	if err != nil {
 		return err
 	}

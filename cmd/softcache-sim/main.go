@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stripT := flag.Bool("strip-temporal", false, "clear temporal tags in the trace")
 	stripS := flag.Bool("strip-spatial", false, "clear spatial tags in the trace")
 	warmup := flag.Int("warmup", 0, "exclude the first N references from the statistics (steady state)")
+	shards := flag.Int("shards", 0, "simulate on N set-sharded workers (0 = sequential; see docs/PERF.md)")
 	listW := flag.Bool("workloads", false, "list workloads and exit")
 	if err := flag.Parse(args); err != nil {
 		return cli.ExitUsage
@@ -97,9 +99,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var res core.Result
-	if *warmup > 0 {
+	switch {
+	case *shards > 1 && *warmup > 0:
+		// Warm-up truncation is a prefix operation on the sequential stream;
+		// it has no well-defined equivalent once the trace is set-partitioned.
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-warmup and -shards are mutually exclusive"))
+	case *shards > 1:
+		plan, perr := core.PlanShards(cfg, *shards)
+		if perr != nil {
+			return cli.Exit(stderr, tool, perr)
+		}
+		mode := "bounded-divergence"
+		if plan.Exact {
+			mode = "exact"
+		}
+		fmt.Fprintf(stderr, "%s: set-sharded run: %d shard(s) (%d requested), %s vs sequential\n",
+			tool, plan.Shards, *shards, mode)
+		res, err = core.SimulateSharded(context.Background(), cfg, t, *shards)
+	case *warmup > 0:
 		res, err = core.SimulateWarm(cfg, t, *warmup)
-	} else {
+	default:
 		res, err = core.Simulate(cfg, t)
 	}
 	if err != nil {

@@ -1,0 +1,194 @@
+package refmodel_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"softcache/internal/cache"
+	"softcache/internal/cache/refmodel"
+	"softcache/internal/core"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// The sharded equivalence harness: core.SimulateSharded against the
+// naive reference model, across the full variant matrix, the issue's
+// shard counts {1, 2, 4, NumCPU}, paper workloads and adversarial random
+// traces.
+//
+// The contract it pins, per configuration class (cache.PlanShards):
+//
+//   - Exact plans (no structure shared across sets): the sharded stats
+//     equal the reference model's bit for bit, at every shard count.
+//   - Coupled plans (bounce-back/victim cache, stream buffers, bypass
+//     buffer, write-through buffer — each shard gets its own full-size
+//     copy): record accounting (references/reads/writes/software
+//     prefetches) stays exact, and the headline metrics stay within the
+//     per-variant bounds below. The bounds are measured worst cases
+//     (shard counts up to 16, all workloads + adversarial traces) plus
+//     ~30% margin; the dominant effect is the multiplied capacity of
+//     the per-shard side structures. See docs/PERF.md.
+//   - Unshardable plans (column-associative, random replacement with
+//     associativity) clamp to one shard and so fall under "exact".
+
+// shardDivergenceBound is the documented tolerance of one coupled
+// variant: relative on AMAT and words/reference (both O(1) scale),
+// absolute on miss ratio (a probability whose sequential value can be
+// near zero under prefetching).
+type shardDivergenceBound struct {
+	relAMAT  float64
+	relWords float64
+	absMiss  float64
+}
+
+// shardDivergenceBounds pins the per-variant tolerance for every
+// coupled variant of variants(). A coupled variant missing here fails
+// the suite, so the table cannot silently fall behind the matrix.
+var shardDivergenceBounds = map[string]shardDivergenceBound{
+	"Soft":               {0.30, 0.40, 0.20},
+	"SoftVariable":       {0.30, 0.50, 0.20},
+	"SoftTemporal":       {0.30, 0.50, 0.20},
+	"SoftSpatial":        {0.30, 0.40, 0.21},
+	"Victim":             {0.30, 0.40, 0.21},
+	"BypassBuffered":     {0.45, 0.55, 0.18},
+	"SetAssoc2":          {0.30, 0.55, 0.20},
+	"SetAssoc4":          {0.30, 0.55, 0.20},
+	"StreamBuffers":      {0.20, 0.25, 0.08},
+	"PrefetchSW":         {0.30, 0.40, 0.20},
+	"PrefetchHW":         {0.30, 0.40, 0.20},
+	"TinySoft":           {0.40, 0.55, 0.16},
+	"WriteThroughAlloc":  {0.05, 0.05, 0.02}, // write-buffer coupling; zero divergence observed
+	"WriteThroughNoAllo": {0.05, 0.05, 0.02},
+}
+
+func shardedShardCounts() []int {
+	return []int{1, 2, 4, runtime.NumCPU()}
+}
+
+// refModelStats replays records through the naive reference model.
+func refModelStats(t *testing.T, cfg cache.Config, records []trace.Record) cache.Stats {
+	t.Helper()
+	ref, err := refmodel.New(cfg)
+	if err != nil {
+		t.Fatalf("refmodel.New: %v", err)
+	}
+	for _, r := range records {
+		ref.Access(r)
+	}
+	return ref.Stats()
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// checkShardedAgainstRef asserts the class-appropriate contract for one
+// (variant, trace, shard count) cell.
+func checkShardedAgainstRef(t *testing.T, name string, cfg cache.Config, tr *trace.Trace, shards int, ref cache.Stats) {
+	t.Helper()
+	plan, err := cache.PlanShards(cfg, shards)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	got, err := core.SimulateSharded(context.Background(), cfg, tr, shards)
+	if err != nil {
+		t.Fatalf("SimulateSharded(%d): %v", shards, err)
+	}
+	s := got.Stats
+	if plan.Exact {
+		if !reflect.DeepEqual(s, ref) {
+			t.Errorf("shards=%d (effective %d): exact plan diverges from reference model:\nsharded:   %+v\nreference: %+v",
+				shards, plan.Shards, s, ref)
+		}
+		return
+	}
+	if _, ok := shardDivergenceBounds[name]; !ok {
+		t.Fatalf("coupled variant %q has no entry in shardDivergenceBounds — measure and pin one", name)
+	}
+	b := shardDivergenceBounds[name]
+	if s.References != ref.References || s.Reads != ref.Reads ||
+		s.Writes != ref.Writes || s.SoftwarePrefetches != ref.SoftwarePrefetches {
+		t.Errorf("shards=%d: record accounting must stay exact on coupled plans: sharded %d/%d/%d/%d, reference %d/%d/%d/%d",
+			shards, s.References, s.Reads, s.Writes, s.SoftwarePrefetches,
+			ref.References, ref.Reads, ref.Writes, ref.SoftwarePrefetches)
+	}
+	if d := relDiff(s.AMAT(), ref.AMAT()); d > b.relAMAT {
+		t.Errorf("shards=%d: AMAT diverges %.4f (bound %.2f): sharded %.4f, reference %.4f",
+			shards, d, b.relAMAT, s.AMAT(), ref.AMAT())
+	}
+	if d := relDiff(s.WordsPerReference(), ref.WordsPerReference()); d > b.relWords {
+		t.Errorf("shards=%d: words/ref diverges %.4f (bound %.2f): sharded %.4f, reference %.4f",
+			shards, d, b.relWords, s.WordsPerReference(), ref.WordsPerReference())
+	}
+	if d := math.Abs(s.MissRatio() - ref.MissRatio()); d > b.absMiss {
+		t.Errorf("shards=%d: miss ratio diverges %.4f absolute (bound %.2f): sharded %.4f, reference %.4f",
+			shards, d, b.absMiss, s.MissRatio(), ref.MissRatio())
+	}
+}
+
+// TestShardedDifferential is the headline suite: every variant of the
+// differential matrix, against the reference model, at shard counts
+// {1, 2, 4, NumCPU}, over paper workloads and adversarial random traces.
+func TestShardedDifferential(t *testing.T) {
+	sources := map[string][]trace.Record{}
+	for _, w := range []string{"MV", "SpMV"} {
+		tr, err := workloads.Trace(w, workloads.ScaleTest, 1)
+		if err != nil {
+			t.Fatalf("workloads.Trace(%s): %v", w, err)
+		}
+		sources[w] = tr.Records
+	}
+	sources["random1"] = randomRecords(21, 20_000)
+	sources["random2"] = randomRecords(22, 20_000)
+	for _, v := range variants() {
+		for srcName, records := range sources {
+			if testing.Short() && !(srcName == "MV" || v.name == "Soft") {
+				continue
+			}
+			t.Run(v.name+"/"+srcName, func(t *testing.T) {
+				ref := refModelStats(t, v.cfg, records)
+				tr := &trace.Trace{Name: srcName, Records: records}
+				for _, shards := range shardedShardCounts() {
+					checkShardedAgainstRef(t, v.name, v.cfg, tr, shards, ref)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedDivergenceBoundsCoverMatrix pins the bookkeeping: every
+// variant is classified, and the bounds table lists exactly the coupled
+// ones (an exact variant with a stale entry is as much a bug as a
+// coupled one without).
+func TestShardedDivergenceBoundsCoverMatrix(t *testing.T) {
+	listed := make(map[string]bool, len(shardDivergenceBounds))
+	for name := range shardDivergenceBounds {
+		listed[name] = true
+	}
+	for _, v := range variants() {
+		plan, err := cache.PlanShards(v.cfg, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if plan.Exact {
+			if listed[v.name] {
+				t.Errorf("%s: exact plan but listed in shardDivergenceBounds — stale entry", v.name)
+			}
+		} else if !listed[v.name] {
+			t.Errorf("%s: coupled plan but missing from shardDivergenceBounds", v.name)
+		}
+		delete(listed, v.name)
+	}
+	for name := range listed {
+		t.Errorf("shardDivergenceBounds entry %q matches no variant", name)
+	}
+}

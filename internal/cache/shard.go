@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"softcache/internal/trace"
+)
+
+// This file holds the set-sharding contract of the parallel kernel
+// (core.SimulateSharded): PlanShards decides how many independent
+// set-partitions a configuration admits and how records route to them,
+// and MergeShardStats folds the per-shard results back into one Stats
+// deterministically, verifying integrity on the way.
+//
+// The enabling observation (ROADMAP "set-sharded parallel kernel", and
+// the Bicameral Cache split in PAPERS.md) is that sets of the main cache
+// are independent address partitions: a reference can only ever touch the
+// set its address maps to. A trace partitioned by set index therefore
+// simulates each partition exactly as the sequential kernel would —
+// PROVIDED nothing couples the sets. The coupling sources in this model,
+// and how the plan treats each, are:
+//
+//   - Bounce-back / victim cache, stream buffers, bypass buffer: shared
+//     fully-/set-associative side structures reachable from every set.
+//     Sharding gives each shard its own full-size copy, which changes
+//     their effective capacity and the stall/lock timing they induce.
+//     The plan still shards (the structures dominate the win the kernel
+//     exists for) but marks the plan inexact; the refmodel differential
+//     suite pins the divergence bounds (see docs/PERF.md).
+//   - Write-through policies: every store posts to the one shared write
+//     buffer, whose occupancy is time-coupled across sets. Same
+//     treatment: shard with per-shard write buffers, inexact.
+//   - Prefetching: issues fetches into the bounce-back cache, so it
+//     inherits that structure's coupling. Inexact.
+//   - Column associativity: a line's alternate location is the hashed
+//     set index^(sets/2), which pairs sets across the contiguous shard
+//     ranges ShardOf uses. Unshardable — the plan clamps to one shard.
+//   - Random replacement with Assoc > 1: victim choice consumes a single
+//     per-cache xorshift stream, so outcomes depend on the global
+//     interleaving of misses. Unshardable, clamps to one shard. (With
+//     Assoc == 1 the stream is never advanced and the config shards
+//     exactly.)
+//
+// Everything else — LRU/FIFO/temporal-priority replacement, virtual
+// lines (fills are aligned to the virtual block, and setsPerShard is
+// kept a multiple of the largest block so a fill never crosses a shard
+// boundary), sub-blocking, plain bypass, write-back-allocate timing
+// (without a bounce-back cache the port is never still locked when the
+// next access issues, and the memory fetch penalty is a pure function
+// of the request) — is set-local, and the plan is exact: sharded
+// counters sum to exactly the sequential ones.
+
+// ShardPlan describes a validated set-partitioning of one configuration.
+type ShardPlan struct {
+	// Shards is the effective shard count (>= 1). It can be lower than
+	// requested: clamped to a power of two, to the set count, to keep
+	// virtual-line fills shard-local, or to 1 when the configuration is
+	// unshardable.
+	Shards int
+	// Exact reports whether a sharded run reproduces the sequential
+	// counters exactly. False means bounded divergence on the timing /
+	// side-structure metrics; see the package comment above and the
+	// sharded differential suite for the pinned bounds.
+	Exact bool
+
+	lineShift  uint   // log2(LineSize)
+	setMask    uint64 // sets-1 (sets is a power of two whenever Shards > 1)
+	shardShift uint   // log2(sets/Shards): set index -> shard index
+}
+
+// PlanShards validates cfg and returns the sharding plan for a requested
+// shard count. requested <= 1 plans a single shard (the sequential
+// kernel), which is exact for every valid configuration.
+func PlanShards(cfg Config, requested int) (ShardPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return ShardPlan{}, err
+	}
+	sets := cfg.CacheSize / (cfg.LineSize * cfg.Assoc)
+	p := ShardPlan{
+		Shards:    1,
+		Exact:     true,
+		lineShift: uint(log2(cfg.LineSize)),
+		setMask:   uint64(sets - 1),
+	}
+	shards := 1
+	if requested > 1 && isPow2(sets) && !cfg.ColumnAssociative &&
+		!(cfg.Replacement == ReplaceRandom && cfg.Assoc > 1) {
+		// Largest power of two <= requested…
+		shards = 1
+		for shards*2 <= requested {
+			shards *= 2
+		}
+		// …such that every shard owns at least one maximal virtual-line
+		// block of sets (so a virtual fill never crosses shards), and at
+		// least one set.
+		block := cfg.virtualLines()
+		if cfg.VariableVirtualLines {
+			if m := trace.VirtualHintBytes(3) / cfg.LineSize; m > block {
+				block = m
+			}
+		}
+		for shards > 1 && sets/shards < block {
+			shards /= 2
+		}
+		for shards > sets {
+			shards /= 2
+		}
+	}
+	p.Shards = shards
+	if shards > 1 {
+		p.Exact = shardExact(cfg)
+		p.shardShift = uint(log2(sets / shards))
+	} else {
+		// Everything routes to shard 0.
+		p.shardShift = uint(log2(nextPow2(sets)))
+	}
+	return p, nil
+}
+
+// shardExact reports whether cfg couples main-cache sets through any
+// shared structure (see the package comment for the case-by-case
+// argument). Only meaningful for plans that actually shard.
+func shardExact(cfg Config) bool {
+	return cfg.BounceBackLines == 0 &&
+		cfg.StreamBuffers == 0 &&
+		cfg.Bypass != BypassBuffered &&
+		!cfg.Prefetch.Enabled &&
+		cfg.Writes == WriteBackAllocate
+}
+
+// ShardOf maps a record address to its shard index. Shards own
+// contiguous, aligned set ranges, so virtual-line fills (aligned blocks
+// of at most setsPerShard sets) stay inside one shard.
+func (p ShardPlan) ShardOf(addr uint64) int {
+	return int(((addr >> p.lineShift) & p.setMask) >> p.shardShift)
+}
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// counters returns pointers to every uint64 counter of s, including the
+// nested memory-side stats, in a fixed order. It is the single place
+// that enumerates the fields: Add, Checksum and (transitively) the merge
+// all derive from it, and a reflection test pins that it covers every
+// counter so a new Stats field cannot silently escape the merge.
+func (s *Stats) counters() []*uint64 {
+	return []*uint64{
+		&s.References, &s.Reads, &s.Writes,
+		&s.MainHits, &s.BounceBackHits, &s.PrefetchHits,
+		&s.BypassBufferHits, &s.StreamBufferHits, &s.StreamBufferAllocations,
+		&s.ColumnSlowHits, &s.Misses,
+		&s.CostCycles, &s.LockStallCycles,
+		&s.Swaps, &s.BouncedBack, &s.BounceBackCanceled, &s.BounceBackAborted,
+		&s.Invalidations,
+		&s.VirtualFills, &s.VirtualLinesFetched, &s.VirtualLinesSkipped,
+		&s.PrefetchesIssued, &s.PrefetchDiscarded, &s.SoftwarePrefetches,
+		&s.SubblockFills, &s.BypassMemFetches,
+		&s.TemporalBitSets,
+		&s.Mem.BytesFetched, &s.Mem.LinesFetched, &s.Mem.Requests,
+		&s.Mem.Writebacks, &s.Mem.WritebackStallCycles,
+		&s.Mem.WriteBufferFullAborts, &s.Mem.BytesWritten,
+		&s.Mem.WriteThroughStalls,
+	}
+}
+
+// Add accumulates o into s counter by counter. Every counter is an
+// additive event count, so summing per-shard stats in a fixed order is
+// the whole merge.
+func (s *Stats) Add(o *Stats) {
+	dst, src := s.counters(), o.counters()
+	for i := range dst {
+		*dst[i] += *src[i]
+	}
+}
+
+// Checksum returns an order-sensitive FNV-1a digest of every counter.
+// It seals a shard's stats at worker completion so any later corruption
+// (a bit flip, an errant write) is detected by MergeShardStats.
+func (s *Stats) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range s.counters() {
+		v := *c
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ShardStats is one shard's sealed contribution to a sharded run.
+type ShardStats struct {
+	// Index is the shard's position in the plan (0 <= Index < Shards).
+	Index int
+	// Stats is the shard's final counters.
+	Stats Stats
+	// Checksum is Stats.Checksum() taken when the shard finished.
+	Checksum uint64
+}
+
+// SealShard packages a finished shard's stats with their integrity
+// checksum.
+func SealShard(index int, stats Stats) ShardStats {
+	return ShardStats{Index: index, Stats: stats, Checksum: stats.Checksum()}
+}
+
+// MergeShardStats deterministically folds per-shard stats into one
+// Stats. The slice may arrive in any completion order: shards are summed
+// in Index order, so the result is independent of scheduling. Before
+// summing it verifies that every checksum still matches its stats and
+// that the indices form exactly {0..n-1}; a failure returns an error
+// naming the offending shard (the seeded-corruption test flips one bit
+// and asserts this trips).
+func MergeShardStats(shards []ShardStats) (Stats, error) {
+	var total Stats
+	if len(shards) == 0 {
+		return total, fmt.Errorf("cache: merge of zero shards")
+	}
+	seen := make([]bool, len(shards))
+	ordered := make([]*Stats, len(shards))
+	for i := range shards {
+		sh := &shards[i]
+		if sh.Index < 0 || sh.Index >= len(shards) {
+			return Stats{}, fmt.Errorf("cache: shard index %d out of range [0,%d)", sh.Index, len(shards))
+		}
+		if seen[sh.Index] {
+			return Stats{}, fmt.Errorf("cache: duplicate shard index %d", sh.Index)
+		}
+		seen[sh.Index] = true
+		if got := sh.Stats.Checksum(); got != sh.Checksum {
+			return Stats{}, fmt.Errorf("cache: shard %d stats corrupted: checksum %#x, sealed %#x", sh.Index, got, sh.Checksum)
+		}
+		ordered[sh.Index] = &sh.Stats
+	}
+	for _, s := range ordered {
+		total.Add(s)
+	}
+	return total, nil
+}

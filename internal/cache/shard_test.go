@@ -1,0 +1,365 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"softcache/internal/mem"
+)
+
+func shardBaseConfig() Config {
+	return Config{
+		CacheSize: 8 * 1024,
+		LineSize:  32,
+		Assoc:     1,
+		HitCycles: 1,
+		Memory:    mem.Config{LatencyCycles: 20, BusBytesPerCycle: 16, WriteBufferEntries: 8, VictimTransferCycles: 2},
+	}
+}
+
+func shardSoftConfig() Config {
+	c := shardBaseConfig()
+	c.BounceBackLines = 8
+	c.BounceBackCycles = 3
+	c.SwapLockCycles = 2
+	c.BounceBackEnabled = true
+	c.VirtualLineSize = 64
+	c.UseTemporalTags = true
+	c.UseSpatialTags = true
+	return c
+}
+
+func mustPlan(t *testing.T, cfg Config, requested int) ShardPlan {
+	t.Helper()
+	p, err := PlanShards(cfg, requested)
+	if err != nil {
+		t.Fatalf("PlanShards(%d): %v", requested, err)
+	}
+	return p
+}
+
+func TestPlanShardsCounts(t *testing.T) {
+	base := shardBaseConfig() // 256 sets
+	cases := []struct {
+		name      string
+		cfg       Config
+		requested int
+		shards    int
+		exact     bool
+	}{
+		{"one", base, 1, 1, true},
+		{"zero", base, 0, 1, true},
+		{"negative", base, -3, 1, true},
+		{"two", base, 2, 2, true},
+		{"four", base, 4, 4, true},
+		{"non-pow2-rounds-down", base, 6, 4, true},
+		{"three-rounds-down", base, 3, 2, true},
+		{"more-than-sets", base, 1024, 256, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustPlan(t, tc.cfg, tc.requested)
+			if p.Shards != tc.shards || p.Exact != tc.exact {
+				t.Fatalf("plan = {Shards:%d Exact:%v}, want {Shards:%d Exact:%v}",
+					p.Shards, p.Exact, tc.shards, tc.exact)
+			}
+		})
+	}
+}
+
+func TestPlanShardsUnshardableClampsToOne(t *testing.T) {
+	col := shardBaseConfig()
+	col.ColumnAssociative = true
+
+	rnd := shardBaseConfig()
+	rnd.Assoc = 2
+	rnd.Replacement = ReplaceRandom
+
+	for name, cfg := range map[string]Config{"column-associative": col, "random-assoc": rnd} {
+		t.Run(name, func(t *testing.T) {
+			p := mustPlan(t, cfg, 8)
+			if p.Shards != 1 || !p.Exact {
+				t.Fatalf("plan = {Shards:%d Exact:%v}, want clamp to one exact shard", p.Shards, p.Exact)
+			}
+		})
+	}
+
+	// Random replacement on a direct-mapped cache never consumes the rng
+	// stream, so it shards freely and exactly.
+	dmRnd := shardBaseConfig()
+	dmRnd.Replacement = ReplaceRandom
+	if p := mustPlan(t, dmRnd, 8); p.Shards != 8 || !p.Exact {
+		t.Fatalf("direct-mapped random plan = {Shards:%d Exact:%v}, want {8 true}", p.Shards, p.Exact)
+	}
+}
+
+func TestPlanShardsVirtualBlockBound(t *testing.T) {
+	// 2 KiB cache, 32 B lines -> 64 sets; variable virtual lines reach
+	// 256 B = 8 lines, so at most 64/8 = 8 shards keep fills shard-local.
+	cfg := shardSoftConfig()
+	cfg.CacheSize = 2 * 1024
+	cfg.VariableVirtualLines = true
+	if p := mustPlan(t, cfg, 64); p.Shards != 8 {
+		t.Fatalf("Shards = %d, want 8 (64 sets / 8-line max block)", p.Shards)
+	}
+	// Without the variable extension the block is 2 lines -> 32 shards.
+	cfg.VariableVirtualLines = false
+	if p := mustPlan(t, cfg, 64); p.Shards != 32 {
+		t.Fatalf("Shards = %d, want 32 (64 sets / 2-line block)", p.Shards)
+	}
+}
+
+func TestPlanShardsExactness(t *testing.T) {
+	soft := shardSoftConfig()
+
+	victim := shardBaseConfig()
+	victim.BounceBackLines = 8
+	victim.BounceBackCycles = 3
+	victim.SwapLockCycles = 2
+
+	stream := shardBaseConfig()
+	stream.StreamBuffers = 4
+	stream.StreamBufferDepth = 4
+
+	bypassPlain := shardBaseConfig()
+	bypassPlain.Bypass = BypassPlain
+	bypassPlain.UseTemporalTags = true
+
+	bypassBuf := bypassPlain
+	bypassBuf.Bypass = BypassBuffered
+	bypassBuf.BypassBufferLines = 8
+
+	wt := shardBaseConfig()
+	wt.Writes = WriteThroughAllocate
+
+	prefetch := soft
+	prefetch.Prefetch = PrefetchConfig{Enabled: true, SoftwareGuided: true, Degree: 1}
+
+	subblocked := shardBaseConfig()
+	subblocked.LineSize = 64
+	subblocked.SubblockSize = 32
+
+	assoc4 := shardBaseConfig()
+	assoc4.Assoc = 4
+
+	exact := map[string]Config{
+		"standard":   shardBaseConfig(),
+		"bypass":     bypassPlain,
+		"subblocked": subblocked,
+		"assoc4-lru": assoc4,
+	}
+	coupled := map[string]Config{
+		"soft":            soft,
+		"victim":          victim,
+		"stream-buffers":  stream,
+		"bypass-buffered": bypassBuf,
+		"write-through":   wt,
+		"prefetch":        prefetch,
+	}
+	for name, cfg := range exact {
+		if p := mustPlan(t, cfg, 4); p.Shards != 4 || !p.Exact {
+			t.Errorf("%s: plan = {Shards:%d Exact:%v}, want {4 true}", name, p.Shards, p.Exact)
+		}
+	}
+	for name, cfg := range coupled {
+		if p := mustPlan(t, cfg, 4); p.Shards != 4 || p.Exact {
+			t.Errorf("%s: plan = {Shards:%d Exact:%v}, want {4 false}", name, p.Shards, p.Exact)
+		}
+	}
+}
+
+func TestPlanShardsRejectsInvalidConfig(t *testing.T) {
+	cfg := shardBaseConfig()
+	cfg.CacheSize = 1000 // not a power of two
+	if _, err := PlanShards(cfg, 4); err == nil {
+		t.Fatal("PlanShards accepted an invalid config")
+	}
+}
+
+func TestShardOfContiguousAlignedRanges(t *testing.T) {
+	cfg := shardSoftConfig()
+	cfg.VariableVirtualLines = true
+	cfg.VirtualLineSize = 64
+	p := mustPlan(t, cfg, 4)
+	if p.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", p.Shards)
+	}
+	sets := cfg.CacheSize / (cfg.LineSize * cfg.Assoc)
+	perShard := sets / p.Shards
+	for set := 0; set < sets; set++ {
+		addr := uint64(set*cfg.LineSize + 7)
+		want := set / perShard
+		if got := p.ShardOf(addr); got != want {
+			t.Fatalf("ShardOf(set %d) = %d, want %d (contiguous ranges)", set, got, want)
+		}
+		// Aliased addresses (same set, different tag) land identically.
+		if got := p.ShardOf(addr + uint64(cfg.CacheSize*5)); got != want {
+			t.Fatalf("ShardOf(aliased set %d) = %d, want %d", set, got, want)
+		}
+	}
+	// Every address of a maximal virtual block maps to one shard, so a
+	// virtual fill never crosses shards.
+	const maxBlock = 256
+	for base := uint64(0); base < uint64(sets*cfg.LineSize); base += maxBlock {
+		first := p.ShardOf(base)
+		for off := uint64(0); off < maxBlock; off += uint64(cfg.LineSize) {
+			if got := p.ShardOf(base + off); got != first {
+				t.Fatalf("virtual block at %#x spans shards %d and %d", base, first, got)
+			}
+		}
+	}
+}
+
+func TestShardOfSingleShardAlwaysZero(t *testing.T) {
+	p := mustPlan(t, shardBaseConfig(), 1)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		if got := p.ShardOf(rng.Uint64()); got != 0 {
+			t.Fatalf("ShardOf = %d on a single-shard plan", got)
+		}
+	}
+}
+
+// randomStats fills every counter (via the same enumeration the merge
+// uses) with seeded random values.
+func randomStats(rng *rand.Rand) Stats {
+	var s Stats
+	for _, c := range s.counters() {
+		*c = rng.Uint64() >> 8 // headroom so sums cannot overflow
+	}
+	return s
+}
+
+func TestMergeShardStatsSumsAndIsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 5
+	shards := make([]ShardStats, n)
+	var want Stats
+	for i := range shards {
+		st := randomStats(rng)
+		want.Add(&st)
+		shards[i] = SealShard(i, st)
+	}
+	merged, err := MergeShardStats(shards)
+	if err != nil {
+		t.Fatalf("MergeShardStats: %v", err)
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged = %+v, want %+v", merged, want)
+	}
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]ShardStats(nil), shards...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err := MergeShardStats(perm)
+		if err != nil {
+			t.Fatalf("permuted merge: %v", err)
+		}
+		if !reflect.DeepEqual(got, merged) {
+			t.Fatalf("merge depends on completion order")
+		}
+	}
+}
+
+// TestMergeShardStatsDetectsCorruption is the seeded-corruption property:
+// flip one bit of one counter in one sealed shard and the merge must
+// refuse. Every counter of every shard is tried.
+func TestMergeShardStatsDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func() []ShardStats {
+		shards := make([]ShardStats, 3)
+		r := rand.New(rand.NewSource(7))
+		for i := range shards {
+			shards[i] = SealShard(i, randomStats(r))
+		}
+		return shards
+	}
+	pristine := build()
+	if _, err := MergeShardStats(pristine); err != nil {
+		t.Fatalf("pristine merge failed: %v", err)
+	}
+	nCounters := len(pristine[0].Stats.counters())
+	for shard := 0; shard < len(pristine); shard++ {
+		for field := 0; field < nCounters; field++ {
+			shards := build()
+			bit := uint(rng.Intn(64))
+			*shards[shard].Stats.counters()[field] ^= 1 << bit
+			if _, err := MergeShardStats(shards); err == nil {
+				t.Fatalf("bit flip in shard %d counter %d went undetected", shard, field)
+			}
+		}
+	}
+}
+
+func TestMergeShardStatsIndexValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(idx int) ShardStats { return SealShard(idx, randomStats(rng)) }
+
+	if _, err := MergeShardStats(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := MergeShardStats([]ShardStats{mk(0), mk(0)}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := MergeShardStats([]ShardStats{mk(0), mk(2)}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := MergeShardStats([]ShardStats{mk(1), mk(0)}); err != nil {
+		t.Errorf("out-of-order (but complete) indices rejected: %v", err)
+	}
+}
+
+// uint64FieldAddrs walks v (a struct value) and returns the address of
+// every uint64 field, recursing into nested structs.
+func uint64FieldAddrs(v reflect.Value) []*uint64 {
+	var out []*uint64
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			out = append(out, f.Addr().Interface().(*uint64))
+		case reflect.Struct:
+			out = append(out, uint64FieldAddrs(f)...)
+		}
+	}
+	return out
+}
+
+// TestCountersCoverEveryStatsField pins that the merge enumeration in
+// counters() covers every uint64 counter of Stats (including nested
+// mem.Stats): adding a field without extending counters() fails here,
+// not silently in the sharded totals.
+func TestCountersCoverEveryStatsField(t *testing.T) {
+	var s Stats
+	want := uint64FieldAddrs(reflect.ValueOf(&s).Elem())
+	got := s.counters()
+	if len(got) != len(want) {
+		t.Fatalf("counters() lists %d fields, reflection finds %d — extend Stats.counters()", len(got), len(want))
+	}
+	set := make(map[*uint64]bool, len(want))
+	for _, p := range want {
+		set[p] = true
+	}
+	for i, p := range got {
+		if !set[p] {
+			t.Fatalf("counters()[%d] does not point at a Stats field", i)
+		}
+		delete(set, p)
+	}
+	if len(set) != 0 {
+		t.Fatalf("%d Stats fields missing from counters()", len(set))
+	}
+}
+
+func TestChecksumSensitiveToOrderAndValue(t *testing.T) {
+	var a, b Stats
+	a.MainHits = 1
+	b.Misses = 1
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum ignores which counter holds the value")
+	}
+	var zero Stats
+	if a.Checksum() == zero.Checksum() {
+		t.Fatal("checksum ignores counter values")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"softcache/internal/cache"
+	"softcache/internal/trace"
+)
+
+// Set-sharded parallel kernel for single-configuration runs. The fused
+// kernel (SimulateMany) parallelises across configurations; this one
+// parallelises a single configuration across CPU cores by partitioning
+// the trace by main-cache set index (cache.PlanShards) and simulating
+// each partition on its own worker with its own simulator, then merging
+// the per-shard counters deterministically (cache.MergeShardStats).
+//
+// For plans marked Exact the merged result is exactly the sequential
+// one; otherwise the divergence is bounded and pinned by the sharded
+// differential suite (internal/cache/refmodel). Either way the run is
+// fully deterministic — worker scheduling cannot affect the result,
+// because each shard's simulation depends only on its own record
+// subsequence and the merge sums in shard order.
+
+// shardQueueDepth bounds the sealed chunks in flight per shard. Deep
+// enough to absorb routing jitter, small enough that a stalled worker
+// back-pressures the producer within a few hundred KiB.
+const shardQueueDepth = 8
+
+// PlanShards re-exports cache.PlanShards so CLI callers can inspect the
+// effective shard count and exactness of a run they are about to start.
+func PlanShards(cfg Config, requested int) (cache.ShardPlan, error) {
+	return cache.PlanShards(cfg, requested)
+}
+
+// SimulateSharded runs cfg over a materialised trace on up to `shards`
+// concurrent set-partitions. shards <= 1 (or an unshardable plan) falls
+// back to the sequential kernel, byte-identical to SimulateContext.
+func SimulateSharded(ctx context.Context, cfg Config, t *trace.Trace, shards int) (Result, error) {
+	plan, err := cache.PlanShards(cfg, shards)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	if plan.Shards == 1 {
+		return SimulateContext(ctx, cfg, t)
+	}
+	return runSharded(cfg, t.Name, plan, func(route func([]trace.Record)) error {
+		recs := t.Records
+		for len(recs) > 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: simulating %s: %w", t.Name, err)
+			}
+			chunk := recs
+			if len(chunk) > trace.BatchSize {
+				chunk = chunk[:trace.BatchSize]
+			}
+			route(chunk)
+			recs = recs[len(chunk):]
+		}
+		return nil
+	})
+}
+
+// SimulateShardedStream is SimulateSharded over a serialised trace: one
+// producer goroutine decodes pooled batches and routes the records to
+// the shard workers, so decode overlaps simulation. shards <= 1 (or an
+// unshardable plan) degenerates to the sequential streaming kernel.
+func SimulateShardedStream(ctx context.Context, cfg Config, r *trace.Reader, shards int) (Result, error) {
+	plan, err := cache.PlanShards(cfg, shards)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	if plan.Shards == 1 {
+		results, err := SimulateMany(ctx, []Config{cfg}, r)
+		if err != nil {
+			return Result{}, err
+		}
+		return results[0], nil
+	}
+	return runSharded(cfg, r.Name(), plan, func(route func([]trace.Record)) error {
+		batch := trace.GetBatch()
+		defer trace.PutBatch(batch)
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: simulating %s: %w", r.Name(), err)
+			}
+			n, err := r.ReadBatch(*batch)
+			route((*batch)[:n])
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+	})
+}
+
+// shardFailure collects the first worker panic so it can be re-raised on
+// the caller's goroutine, preserving the harness's panic-containment
+// contract (a *cache.InvariantError from any shard surfaces exactly as
+// in a sequential run).
+type shardFailure struct {
+	mu sync.Mutex
+	// value is the first recovered panic value, nil if none.
+	value any // guarded by mu
+}
+
+func (f *shardFailure) record(v any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.value == nil {
+		f.value = v
+	}
+}
+
+func (f *shardFailure) get() any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.value
+}
+
+// runSharded drives one sharded simulation: it builds plan.Shards
+// simulators, starts one worker per shard consuming that shard's chunk
+// queue, runs feed (the producer loop) on the calling goroutine, and
+// merges the sealed per-shard stats. feed receives the routing function
+// and returns the producer's error, if any.
+func runSharded(cfg Config, name string, plan cache.ShardPlan, feed func(route func([]trace.Record)) error) (Result, error) {
+	sims := make([]*cache.Simulator, plan.Shards)
+	for i := range sims {
+		sim, err := cache.New(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %w", err)
+		}
+		sims[i] = sim
+	}
+	return runShardedWith(cfg, name, plan, sims, feed)
+}
+
+// runShardedWith is runSharded after simulator construction; split out so
+// tests can inject a failing simulator and pin the panic-propagation
+// contract.
+func runShardedWith(cfg Config, name string, plan cache.ShardPlan, sims []*cache.Simulator, feed func(route func([]trace.Record)) error) (Result, error) {
+	router := trace.NewRouter(plan.Shards, shardQueueDepth, plan.ShardOf)
+	// sealed[i] is written by worker i before wg.Done and read after
+	// wg.Wait — the WaitGroup orders the accesses, no lock needed.
+	sealed := make([]cache.ShardStats, plan.Shards)
+	var fail shardFailure
+	var wg sync.WaitGroup
+	wg.Add(plan.Shards)
+	for i := 0; i < plan.Shards; i++ {
+		go func(i int) {
+			defer wg.Done()
+			in := router.Out(i)
+			defer func() {
+				if v := recover(); v != nil {
+					fail.record(v)
+					// Keep the producer from blocking on a full queue:
+					// drain and recycle whatever is still in flight.
+					for c := range in {
+						trace.PutChunk(c)
+					}
+				}
+			}()
+			sim := sims[i]
+			for c := range in {
+				sim.AccessAll(*c)
+				trace.PutChunk(c)
+			}
+			sealed[i] = cache.SealShard(i, sim.Stats())
+		}(i)
+	}
+	err := feed(router.Route)
+	router.Close()
+	wg.Wait()
+	if v := fail.get(); v != nil {
+		panic(v)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := cache.MergeShardStats(sealed)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	return Result{Trace: name, Config: Describe(cfg), Stats: stats}, nil
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"softcache/internal/cache"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// shardCounts is the property-test matrix of the issue: sequential, two,
+// four and NumCPU shards must agree.
+func shardCounts() []int {
+	return []int{1, 2, 4, runtime.NumCPU()}
+}
+
+// exactShardConfigs are configurations whose sharding plan is exact:
+// the sharded run must reproduce the sequential counters bit for bit.
+func exactShardConfigs() map[string]Config {
+	spatialOnly := Standard()
+	spatialOnly.VirtualLineSize = 64
+	spatialOnly.UseSpatialTags = true
+	return map[string]Config{
+		"Standard":        Standard(),
+		"Subblocked":      Subblocked(),
+		"BypassPlain":     BypassPlain(),
+		"SetAssoc4":       SetAssoc(Standard(), 4),
+		"SimplifiedSoft2": SimplifiedSoftAssoc(2),
+		"FIFO2":           withReplacement(SetAssoc(Standard(), 2), cache.ReplaceFIFO),
+		"SpatialNoVictim": spatialOnly,
+	}
+}
+
+// coupledShardConfigs share a structure across sets (bounce-back, stream
+// buffers, bypass buffer, write buffer): sharding them is deterministic
+// but not exact.
+func coupledShardConfigs() map[string]Config {
+	return map[string]Config{
+		"Soft":              Soft(),
+		"Victim":            Victim(),
+		"StreamBuffers":     StandardStreamBuffers(),
+		"BypassBuffered":    BypassBuffered(),
+		"WriteThroughAlloc": WithWritePolicy(Standard(), cache.WriteThroughAllocate),
+		"PrefetchSW":        WithPrefetch(Soft(), true),
+	}
+}
+
+func withReplacement(cfg Config, p cache.ReplacementPolicy) Config {
+	cfg.Replacement = p
+	return cfg
+}
+
+func shardTestTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimulateShardedExactMatchesSequential is the core equivalence
+// property: for every exact-plan configuration and every shard count,
+// SimulateSharded returns exactly what the sequential kernel returns.
+func TestSimulateShardedExactMatchesSequential(t *testing.T) {
+	tr := shardTestTrace(t)
+	ctx := context.Background()
+	for name, cfg := range exactShardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			want, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range shardCounts() {
+				got, err := SimulateSharded(ctx, cfg, tr, shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d diverges from sequential:\n got %+v\nwant %+v", shards, got.Stats, want.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulateShardedStreamMatchesTrace pins that the streaming producer
+// (decode overlapped with simulation) and the materialised-trace entry
+// point return identical results at every shard count.
+func TestSimulateShardedStreamMatchesTrace(t *testing.T) {
+	tr := shardTestTrace(t)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	ctx := context.Background()
+	for _, cfg := range []Config{Standard(), Soft()} {
+		for _, shards := range shardCounts() {
+			want, err := SimulateSharded(ctx, cfg, tr, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := trace.NewReaderBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SimulateShardedStream(ctx, cfg, r, shards)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s shards=%d: stream and trace kernels disagree", Describe(cfg), shards)
+			}
+		}
+	}
+}
+
+// TestSimulateShardedSingleShardIdentical pins the fallback contract:
+// shards <= 1 is the sequential kernel for EVERY configuration, coupled
+// ones included.
+func TestSimulateShardedSingleShardIdentical(t *testing.T) {
+	tr := shardTestTrace(t)
+	ctx := context.Background()
+	for name, cfg := range coupledShardConfigs() {
+		want, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SimulateSharded(ctx, cfg, tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: single-shard run differs from sequential", name)
+		}
+	}
+}
+
+// TestSimulateShardedCoupledDeterministic: coupled plans diverge from the
+// sequential run, but they must not diverge from themselves — repeated
+// runs (different goroutine interleavings) return identical stats, and
+// the reference/read/write accounting is preserved exactly.
+func TestSimulateShardedCoupledDeterministic(t *testing.T) {
+	tr := shardTestTrace(t)
+	ctx := context.Background()
+	for name, cfg := range coupledShardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			seq, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := SimulateSharded(ctx, cfg, tr, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				again, err := SimulateSharded(ctx, cfg, tr, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(again, first) {
+					t.Fatalf("run %d differs: sharded coupled run is nondeterministic", i)
+				}
+			}
+			s, q := first.Stats, seq.Stats
+			if s.References != q.References || s.Reads != q.Reads ||
+				s.Writes != q.Writes || s.SoftwarePrefetches != q.SoftwarePrefetches {
+				t.Errorf("record accounting not preserved: sharded %d/%d/%d/%d, sequential %d/%d/%d/%d",
+					s.References, s.Reads, s.Writes, s.SoftwarePrefetches,
+					q.References, q.Reads, q.Writes, q.SoftwarePrefetches)
+			}
+		})
+	}
+}
+
+func TestSimulateShardedCancellation(t *testing.T) {
+	tr := shardTestTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateSharded(ctx, Standard(), tr, 4); err == nil {
+		t.Fatal("canceled sharded run returned no error")
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReaderBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateShardedStream(ctx, Standard(), r, 4); err == nil {
+		t.Fatal("canceled sharded stream returned no error")
+	}
+}
+
+func TestSimulateShardedRejectsInvalidConfig(t *testing.T) {
+	tr := shardTestTrace(t)
+	cfg := Standard()
+	cfg.CacheSize = 1000
+	if _, err := SimulateSharded(context.Background(), cfg, tr, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestSimulateShardedPanicPropagation pins the containment contract: a
+// panic on a shard worker (here a nil simulator; in production an
+// invariant-checker *cache.InvariantError) resurfaces on the calling
+// goroutine — where the experiment harness catches it — and the producer
+// does not deadlock on the dead shard's queue.
+func TestSimulateShardedPanicPropagation(t *testing.T) {
+	tr := shardTestTrace(t)
+	cfg := Standard()
+	plan, err := cache.PlanShards(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards != 4 {
+		t.Fatalf("plan.Shards = %d, want 4", plan.Shards)
+	}
+	sims := make([]*cache.Simulator, plan.Shards)
+	for i := range sims {
+		if i == 2 {
+			continue // shard 2 panics on first access
+		}
+		sims[i], err = cache.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("worker panic did not propagate to the caller")
+		}
+	}()
+	runShardedWith(cfg, tr.Name, plan, sims, func(route func([]trace.Record)) error {
+		route(tr.Records)
+		return nil
+	})
+	t.Error("runShardedWith returned normally despite a panicking worker")
+}
+
+// TestSimulateShardedRuntimeChecks runs the sharded kernel with the
+// invariant checker on: each shard's simulator verifies its own
+// accounting invariants every access, so a sharding bug that corrupted
+// per-shard state would panic here.
+func TestSimulateShardedRuntimeChecks(t *testing.T) {
+	tr := shardTestTrace(t)
+	ctx := context.Background()
+	for _, cfg := range []Config{Standard(), Soft()} {
+		if _, err := SimulateSharded(ctx, WithRuntimeChecks(cfg, true), tr, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSimulateShardedAllocsFlat is the zero-steady-state-allocation
+// satellite: the sharded path's allocation count is a constant (the
+// simulators, router, channels and worker stacks) and does not scale
+// with trace length — chunks recycle through the ownership-transfer
+// pool.
+func TestSimulateShardedAllocsFlat(t *testing.T) {
+	small, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := workloads.Trace("MV", workloads.ScalePaper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := Standard()
+	measure := func(tr *trace.Trace) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := SimulateSharded(ctx, cfg, tr, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocsSmall := measure(small)
+	allocsBig := measure(big)
+	extraRecords := float64(len(big.Records) - len(small.Records))
+	perRecord := (allocsBig - allocsSmall) / extraRecords
+	if perRecord > 0.001 {
+		t.Errorf("SimulateSharded allocations scale with trace length: %.1f allocs at %d records vs %.1f at %d (%.4f/record)",
+			allocsBig, len(big.Records), allocsSmall, len(small.Records), perRecord)
+	}
+}
+
+// randomShardTrace builds an adversarial trace for the fuzz target: far
+// jumps, a hot region, writes, hints and software prefetches.
+func randomShardTrace(seed int64, n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: "fuzz"}
+	addr := uint64(rng.Intn(1 << 14))
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			addr = uint64(rng.Intn(1<<14) * 8)
+		case 1:
+			addr += 8
+		case 2:
+			addr += uint64(rng.Intn(256))
+		case 3:
+			addr = uint64(rng.Intn(1<<10) * 8) // hot region
+		}
+		r := trace.Record{
+			Addr:     addr,
+			RefID:    uint32(rng.Intn(8)),
+			Gap:      uint8(1 + rng.Intn(4)),
+			Size:     8,
+			Write:    rng.Intn(10) < 3,
+			Temporal: rng.Intn(4) == 0,
+			Spatial:  rng.Intn(4) == 0,
+		}
+		if r.Spatial && rng.Intn(4) == 0 {
+			r.VirtualHint = uint8(1 + rng.Intn(3))
+		}
+		if rng.Intn(20) == 0 {
+			r.SoftwarePrefetch = true
+			r.Write = false
+		}
+		tr.Append(r)
+	}
+	return tr
+}
+
+// FuzzSimulateSharded cross-checks the sharded kernel against the
+// sequential one on random traces, shard counts and configurations:
+// exact plans must agree bit for bit; coupled plans must preserve record
+// accounting and be self-consistent.
+func FuzzSimulateSharded(f *testing.F) {
+	f.Add(int64(1), uint16(500), uint8(4), uint8(0))
+	f.Add(int64(2), uint16(2049), uint8(2), uint8(1))
+	f.Add(int64(3), uint16(100), uint8(7), uint8(2))
+	f.Add(int64(4), uint16(3000), uint8(64), uint8(3))
+	cfgs := []Config{Standard(), Soft(), SetAssoc(Standard(), 2), StandardStreamBuffers(), Subblocked(), BypassBuffered()}
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, shards uint8, cfgIdx uint8) {
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+		tr := randomShardTrace(seed, int(n)%5000)
+		ctx := context.Background()
+		want, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SimulateSharded(ctx, cfg, tr, int(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := cache.PlanShards(cfg, int(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Exact {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("exact plan diverged (shards=%d):\n got %+v\nwant %+v", plan.Shards, got.Stats, want.Stats)
+			}
+			return
+		}
+		if got.Stats.References != want.Stats.References ||
+			got.Stats.Reads != want.Stats.Reads || got.Stats.Writes != want.Stats.Writes {
+			t.Fatalf("record accounting lost (shards=%d)", plan.Shards)
+		}
+		again, err := SimulateSharded(ctx, cfg, tr, int(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("coupled sharded run is nondeterministic (shards=%d)", plan.Shards)
+		}
+	})
+}

@@ -2,13 +2,33 @@ package perf
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"softcache/internal/cache"
+	"softcache/internal/workloads"
 )
+
+// testShardedGroup is a test-scale sharded group (the pinned matrix is
+// paper-scale, too slow for unit tests).
+func testShardedGroup(config string, counts ...int) []ShardedSpec {
+	var specs []ShardedSpec
+	for _, shards := range counts {
+		s := ShardedSpec{
+			Workload:  "MV",
+			Scale:     workloads.ScaleTest,
+			ScaleName: workloads.ScaleTest.String(),
+			Config:    config,
+			Shards:    shards,
+		}
+		s.Name = fmt.Sprintf("%s/s%d", s.groupKey(), shards)
+		specs = append(specs, s)
+	}
+	return specs
+}
 
 func TestMatrixPinned(t *testing.T) {
 	full := Matrix(false)
@@ -42,8 +62,9 @@ func TestMatrixPinned(t *testing.T) {
 func TestRunnerReportAndGate(t *testing.T) {
 	specs := Matrix(true)[:2]
 	fused := FusedMatrix(true)[:1]
+	sharded := testShardedGroup("standard", 1, 2)
 	r := Runner{MinIters: 1, MinTime: time.Millisecond}
-	report, err := r.Run(context.Background(), specs, fused)
+	report, err := r.Run(context.Background(), specs, fused, sharded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,6 +83,29 @@ func TestRunnerReportAndGate(t *testing.T) {
 		if m.Configs <= 1 || m.Records <= 0 || m.Iters <= 0 ||
 			m.FusedNsPerRecord <= 0 || m.LoopNsPerRecord <= 0 || m.Speedup <= 0 || m.MeanAMAT <= 0 {
 			t.Errorf("matrix row %s has implausible measurement: %+v", m.Name, m)
+		}
+	}
+	if len(report.Sharded) != len(sharded) {
+		t.Fatalf("got %d sharded rows, want %d", len(report.Sharded), len(sharded))
+	}
+	var seqAMAT float64
+	for _, s := range report.Sharded {
+		if s.Records <= 0 || s.Iters <= 0 || s.NsPerRecord <= 0 || s.RecordsPerSec <= 0 ||
+			s.AMAT <= 0 || s.Speedup <= 0 || s.EffectiveShards < 1 {
+			t.Errorf("sharded row %s has implausible measurement: %+v", s.Name, s)
+		}
+		if !s.Exact {
+			t.Errorf("sharded row %s: the standard config must plan exactly", s.Name)
+		}
+		if s.Shards == 1 {
+			seqAMAT = s.AMAT
+		}
+	}
+	// Exact rows are behaviour-identical: the AMAT fingerprint must not
+	// move across shard counts.
+	for _, s := range report.Sharded {
+		if s.AMAT != seqAMAT {
+			t.Errorf("sharded row %s: AMAT %v differs from sequential %v on an exact plan", s.Name, s.AMAT, seqAMAT)
 		}
 	}
 
@@ -114,6 +158,19 @@ func TestRunnerReportAndGate(t *testing.T) {
 		t.Fatalf("gate error does not name the regressed matrix row: %v", err)
 	}
 
+	// A sharded-row regression trips the gate too.
+	slowSharded := *report
+	slowSharded.Cases = append([]Measurement(nil), report.Cases...)
+	slowSharded.Sharded = append([]ShardedMeasurement(nil), report.Sharded...)
+	slowSharded.Sharded[0].NsPerRecord *= 2
+	err = Gate(loaded, &slowSharded, 0.15)
+	if err == nil {
+		t.Fatal("2x sharded regression passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), slowSharded.Sharded[0].Name) {
+		t.Fatalf("gate error does not name the regressed sharded row: %v", err)
+	}
+
 	mdPlain := Markdown(nil, report)
 	mdDelta := Markdown(loaded, report)
 	for _, c := range report.Cases {
@@ -125,6 +182,14 @@ func TestRunnerReportAndGate(t *testing.T) {
 		if !strings.Contains(mdPlain, m.Name) || !strings.Contains(mdDelta, m.Name) {
 			t.Errorf("markdown report missing matrix row %s", m.Name)
 		}
+	}
+	for _, s := range report.Sharded {
+		if !strings.Contains(mdPlain, s.Name) || !strings.Contains(mdDelta, s.Name) {
+			t.Errorf("markdown report missing sharded row %s", s.Name)
+		}
+	}
+	if !strings.Contains(mdPlain, "Set-sharded kernel") {
+		t.Error("report lacks the sharded section")
 	}
 	if !strings.Contains(mdDelta, "Δ ns/record") {
 		t.Error("delta report lacks the delta column")
@@ -174,6 +239,90 @@ func TestFusedMatrixPinned(t *testing.T) {
 	}
 	if _, err := (MatrixSpec{Group: "no-such-group"}).Configs(); err == nil {
 		t.Error("unknown group accepted")
+	}
+}
+
+// TestShardedMatrixPinned mirrors TestMatrixPinned for the sharded rows:
+// names are unique, every config builds and plans, the shards=1 speedup
+// denominator is present in every group, and the cap semantics hold.
+func TestShardedMatrixPinned(t *testing.T) {
+	if got := ShardedMatrix(0); got != nil {
+		t.Fatalf("ShardedMatrix(0) = %d rows, want none", len(got))
+	}
+	four := ShardedMatrix(4)
+	if len(four) != 6 {
+		t.Fatalf("ShardedMatrix(4) has %d rows, want 6 (2 configs x shards {1,2,4})", len(four))
+	}
+	names := map[string]bool{}
+	ones := map[string]bool{}
+	for _, s := range four {
+		if names[s.Name] {
+			t.Fatalf("duplicate sharded row name %q", s.Name)
+		}
+		names[s.Name] = true
+		if !strings.Contains(s.Name, "paper") {
+			t.Errorf("sharded row %s is not paper-scale", s.Name)
+		}
+		cfg, err := s.BuildConfig()
+		if err != nil {
+			t.Fatalf("row %s: %v", s.Name, err)
+		}
+		if _, err := cache.PlanShards(cfg, s.Shards); err != nil {
+			t.Errorf("row %s does not plan: %v", s.Name, err)
+		}
+		if s.Shards == 1 {
+			ones[s.groupKey()] = true
+		}
+	}
+	for _, s := range four {
+		if !ones[s.groupKey()] {
+			t.Errorf("group %s lacks its shards=1 speedup denominator", s.groupKey())
+		}
+	}
+	if got := ShardedMatrix(2); len(got) != 4 {
+		t.Errorf("ShardedMatrix(2) has %d rows, want 4", len(got))
+	}
+	// A wide host appends its own full-width row.
+	wide := ShardedMatrix(8)
+	found := false
+	for _, s := range wide {
+		if s.Shards == 8 {
+			found = true
+		}
+	}
+	if !found || len(wide) != 8 {
+		t.Errorf("ShardedMatrix(8) = %d rows (s8 present: %v), want 8 rows with s8", len(wide), found)
+	}
+	if _, err := (ShardedSpec{Config: "no-such"}).BuildConfig(); err == nil {
+		t.Error("unknown sharded config accepted")
+	}
+}
+
+// TestReadJSONAcceptsV2 keeps pre-sharded baselines loadable: cases and
+// fused rows still gate, sharded rows are simply baseline-less.
+func TestReadJSONAcceptsV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.json")
+	v2 := &Report{Schema: "softcache-perf/v2",
+		Cases:  []Measurement{{CaseSpec: CaseSpec{Name: "MV/test/vl0/bb0"}, NsPerRecord: 10}},
+		Matrix: []MatrixMeasurement{{MatrixSpec: MatrixSpec{Name: "fused/x"}, FusedNsPerRecord: 5}},
+	}
+	if err := WriteJSON(path, v2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(path)
+	if err != nil {
+		t.Fatalf("v2 baseline rejected: %v", err)
+	}
+	cur := &Report{Schema: SchemaID,
+		Cases:   v2.Cases,
+		Matrix:  []MatrixMeasurement{{MatrixSpec: MatrixSpec{Name: "fused/x"}, FusedNsPerRecord: 20}},
+		Sharded: []ShardedMeasurement{{ShardedSpec: ShardedSpec{Name: "sharded/x/s4"}, NsPerRecord: 3}},
+	}
+	if err := Gate(loaded, cur, 0.15); err == nil {
+		t.Fatal("fused regression against v2 baseline passed the gate")
+	}
+	if err := Gate(loaded, &Report{Schema: SchemaID, Sharded: cur.Sharded}, 0.15); err != nil {
+		t.Fatalf("sharded rows without v2 baseline tripped the gate: %v", err)
 	}
 }
 

@@ -1,0 +1,115 @@
+package trace
+
+import "sync"
+
+// Set-sharded routing support for the parallel kernel
+// (core.SimulateSharded): a Router copies a decoded record stream into
+// per-shard chunks and hands them to shard workers over bounded
+// channels.
+//
+// Chunks come from their own pool, deliberately distinct from the
+// GetBatch/PutBatch decode pool: batch buffers have frame-local
+// discipline (the poolescape analyzer forbids them from escaping the
+// acquiring function via channels or goroutines), whereas a chunk's
+// whole purpose is ownership transfer — the router fills it, sends it,
+// and the receiving worker (alone) returns it with PutChunk when done.
+
+// ShardChunkSize is the record capacity of one routed chunk. It matches
+// BatchSize so a worker's AccessAll sees the same batch granularity as
+// the sequential kernel.
+const ShardChunkSize = BatchSize
+
+var chunkPool = sync.Pool{
+	New: func() any {
+		b := make([]Record, 0, ShardChunkSize)
+		return &b
+	},
+}
+
+// GetChunk returns an empty chunk with capacity ShardChunkSize.
+// Ownership is explicit: exactly one goroutine may hold a chunk at a
+// time, and the final holder returns it with PutChunk.
+func GetChunk() *[]Record {
+	return chunkPool.Get().(*[]Record)
+}
+
+// PutChunk returns a chunk to the pool. Chunks whose capacity is not
+// ShardChunkSize (grown or foreign) are dropped so the pool stays
+// homogeneous.
+func PutChunk(c *[]Record) {
+	if c == nil || cap(*c) != ShardChunkSize {
+		return
+	}
+	*c = (*c)[:0]
+	chunkPool.Put(c)
+}
+
+// Router partitions a record stream across per-shard queues. It is
+// single-producer: one goroutine calls Route then Close; each shard's
+// channel has exactly one consumer. No locking is needed — the channels
+// are the only shared state.
+type Router struct {
+	shardOf func(addr uint64) int
+	open    []*[]Record      // chunk being filled, per shard (producer-owned)
+	out     []chan *[]Record // sealed chunks in flight to the workers
+}
+
+// NewRouter builds a router for the given shard count. queueDepth bounds
+// how many sealed chunks may queue per shard before Route blocks (back
+// pressure onto the decoder). shardOf maps a record address to its shard
+// (cache.ShardPlan.ShardOf).
+func NewRouter(shards, queueDepth int, shardOf func(addr uint64) int) *Router {
+	if shards < 1 {
+		panic("trace: NewRouter needs at least one shard")
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	r := &Router{
+		shardOf: shardOf,
+		open:    make([]*[]Record, shards),
+		out:     make([]chan *[]Record, shards),
+	}
+	for i := range r.out {
+		r.open[i] = GetChunk()
+		r.out[i] = make(chan *[]Record, queueDepth)
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.out) }
+
+// Out returns shard i's chunk channel. It is closed by Close; the
+// consumer must PutChunk every chunk it receives, even when abandoning
+// the run early (draining the channel keeps the producer from blocking).
+func (r *Router) Out(i int) <-chan *[]Record { return r.out[i] }
+
+// Route copies recs into the per-shard chunks, sealing and sending each
+// chunk as it fills. recs is only read; the caller keeps ownership of
+// the backing array (it may be a pooled decode batch).
+func (r *Router) Route(recs []Record) {
+	for i := range recs {
+		s := r.shardOf(recs[i].Addr)
+		c := r.open[s]
+		*c = append(*c, recs[i])
+		if len(*c) == cap(*c) {
+			r.out[s] <- c
+			r.open[s] = GetChunk()
+		}
+	}
+}
+
+// Close flushes every partial chunk and closes all shard channels. The
+// router must not be used afterwards.
+func (r *Router) Close() {
+	for s, c := range r.open {
+		if len(*c) > 0 {
+			r.out[s] <- c
+		} else {
+			PutChunk(c)
+		}
+		r.open[s] = nil
+		close(r.out[s])
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChunkPoolShape(t *testing.T) {
+	c := GetChunk()
+	if len(*c) != 0 || cap(*c) != ShardChunkSize {
+		t.Fatalf("GetChunk: len %d cap %d, want 0/%d", len(*c), cap(*c), ShardChunkSize)
+	}
+	*c = append(*c, Record{Addr: 1})
+	PutChunk(c)
+	if got := GetChunk(); len(*got) != 0 {
+		t.Fatalf("recycled chunk not reset: len %d", len(*got))
+	}
+	// Foreign shapes are dropped, and nil is tolerated.
+	odd := make([]Record, 0, 3)
+	PutChunk(&odd)
+	PutChunk(nil)
+}
+
+// drainRouter collects every routed record per shard on one goroutine
+// per shard, as the sharded kernel does.
+func drainRouter(r *Router) [][]Record {
+	out := make([][]Record, r.Shards())
+	var wg sync.WaitGroup
+	wg.Add(r.Shards())
+	for i := 0; i < r.Shards(); i++ {
+		go func(i int) {
+			defer wg.Done()
+			for c := range r.Out(i) {
+				out[i] = append(out[i], *c...)
+				PutChunk(c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func TestRouterPartitionsAndPreservesOrder(t *testing.T) {
+	const shards = 4
+	shardOf := func(addr uint64) int { return int(addr % shards) }
+	r := NewRouter(shards, 2, shardOf)
+
+	// Enough records to force several sealed chunks plus a partial flush.
+	n := ShardChunkSize*3 + 37
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Addr: uint64(i*7 + 3), RefID: uint32(i)}
+	}
+	done := make(chan [][]Record)
+	go func() { done <- drainRouter(r) }()
+	// Route in uneven slices, as the decode loop would.
+	for off := 0; off < n; {
+		end := off + 1000
+		if end > n {
+			end = n
+		}
+		r.Route(recs[off:end])
+		off = end
+	}
+	r.Close()
+	got := <-done
+
+	want := make([][]Record, shards)
+	for _, rec := range recs {
+		s := shardOf(rec.Addr)
+		want[s] = append(want[s], rec)
+	}
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += len(got[s])
+		if len(got[s]) != len(want[s]) {
+			t.Fatalf("shard %d received %d records, want %d", s, len(got[s]), len(want[s]))
+		}
+		for i := range got[s] {
+			if got[s][i] != want[s][i] {
+				t.Fatalf("shard %d record %d = %+v, want %+v (order not preserved)", s, i, got[s][i], want[s][i])
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("routed %d records, want %d", total, n)
+	}
+}
+
+func TestRouterCloseWithoutRecords(t *testing.T) {
+	r := NewRouter(3, 1, func(uint64) int { return 0 })
+	done := make(chan [][]Record)
+	go func() { done <- drainRouter(r) }()
+	r.Close()
+	for s, recs := range <-done {
+		if len(recs) != 0 {
+			t.Fatalf("shard %d received %d records from an empty run", s, len(recs))
+		}
+	}
+}
+
+func TestNewRouterRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRouter(0) did not panic")
+		}
+	}()
+	NewRouter(0, 1, func(uint64) int { return 0 })
+}
