@@ -2,11 +2,14 @@
 // benchmark matrix over the streaming simulation kernel (trace size ×
 // virtual-line size × bounce-back on/off), a fused multi-configuration
 // matrix (core.SimulateMany vs the per-config loop, with the measured
-// speedup), and a set-sharded matrix (core.SimulateShardedStream at shard
-// counts {1, 2, 4, …} with the speedup over the single-shard row),
-// producing the machine-readable BENCH_kernel.json artifact, an optional
-// markdown delta report, and — when a baseline is given — a ns/record
-// regression gate over all three matrices.
+// speedup), a set-sharded matrix (core.SimulateShardedStream at shard
+// counts {1, 2, 4, …} with the speedup over the single-shard row), and a
+// trace-codec decode matrix (flat SCTR vs compressed SCTZ streaming
+// decode, with the compression factor and an always-on corpus-weighted
+// "sctz at or below flat" gate), producing the machine-readable
+// BENCH_kernel.json artifact, an optional markdown delta report, and —
+// when a baseline is given — a ns/record regression gate over all four
+// matrices.
 //
 // Usage:
 //
@@ -101,7 +104,7 @@ func runPerf(quick bool, out, baseline string, maxRegress float64, md string, mi
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	report, err := runner.Run(ctx, perf.Matrix(quick), perf.FusedMatrix(quick), perf.ShardedMatrix(shards))
+	report, err := runner.Run(ctx, perf.Matrix(quick), perf.FusedMatrix(quick), perf.ShardedMatrix(shards), perf.DecodeMatrix(quick))
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "largest per-request deadline a client may ask for")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	maxBody := fs.Int("max-body", 32, "largest request body accepted (MiB)")
+	maxTraceRecords := fs.Int64("max-trace-records", 0, "record budget for one streamed trace body on /v1/simulate/trace (0 = trace format default)")
 	shard := fs.String("shard", "", "shard ID label for fleet deployments (X-Softcache-Shard header, /metrics)")
 	route := fs.String("route", "", "router mode: comma-separated shard base URLs to consistent-hash across")
 	hedgeAfter := fs.Duration("hedge-after", 0, "router: race a second replica after this delay (0 disables hedging)")
@@ -86,6 +87,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxBody < 1 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("-max-body must be positive"))
+	}
+	if *maxTraceRecords < 0 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-max-trace-records must not be negative"))
 	}
 	if *hedgeAfter < 0 || *probeInterval <= 0 || *rise < 1 || *fall < 1 || *cooldown <= 0 || *retries < 0 || *retryBudget <= 0 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("router flags out of range: -hedge-after >= 0; -probe-interval, -cooldown, -retry-budget > 0; -rise, -fall >= 1; -retries >= 0"))
@@ -125,14 +129,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "routing %d shards\n", len(shards))
 	} else {
 		handler = serve.New(serve.Config{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			CacheBytes:     int64(*cacheMB) << 20,
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			MaxBodyBytes:   int64(*maxBody) << 20,
-			ShardID:        *shard,
-			Log:            stderr,
+			Workers:         *workers,
+			QueueDepth:      *queue,
+			CacheBytes:      int64(*cacheMB) << 20,
+			DefaultTimeout:  *timeout,
+			MaxTimeout:      *maxTimeout,
+			MaxBodyBytes:    int64(*maxBody) << 20,
+			MaxTraceRecords: *maxTraceRecords,
+			ShardID:         *shard,
+			Log:             stderr,
 		})
 	}
 	srv := &http.Server{Handler: handler}

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stripS := flag.Bool("strip-spatial", false, "clear spatial tags in the trace")
 	warmup := flag.Int("warmup", 0, "exclude the first N references from the statistics (steady state)")
 	shards := flag.Int("shards", 0, "simulate on N set-sharded workers (0 = sequential; see docs/PERF.md)")
+	stream := flag.Bool("stream", false, "stream -trace through the simulator in O(batch) memory (no materialising)")
 	listW := flag.Bool("workloads", false, "list workloads and exit")
 	if err := flag.Parse(args); err != nil {
 		return cli.ExitUsage
@@ -88,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *assoc > 0 {
 		cfg.Assoc = *assoc
+	}
+
+	if *stream {
+		return runStream(stdout, stderr, cfg, *traceFile, *shards, *warmup, *stripT, *stripS)
 	}
 
 	t, err := loadTrace(*workload, *source, *traceFile, *scaleName, *seed)
@@ -128,6 +133,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return cli.ExitOK
 }
 
+// runStream simulates -trace without materialising it: the file (any
+// sniffed format, mmapped when binary) feeds the simulator in pooled
+// batches, with tags tallied on the way past for the report.
+func runStream(stdout, stderr io.Writer, cfg core.Config, traceFile string, shards, warmup int, stripT, stripS bool) int {
+	if traceFile == "" {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-stream needs -trace"))
+	}
+	if warmup > 0 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-warmup needs the materialised path; drop -stream"))
+	}
+	if stripT || stripS {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-strip-temporal/-strip-spatial need the materialised path; drop -stream"))
+	}
+	f, err := trace.OpenFile(traceFile)
+	if err != nil {
+		return cli.Exit(stderr, tool, err)
+	}
+	defer f.Close()
+	tr := &tagCountingReader{BatchReader: f}
+	var res core.Result
+	if shards > 1 {
+		res, err = core.SimulateShardedStream(context.Background(), cfg, tr, shards)
+	} else {
+		res, err = core.SimulateStream(cfg, tr)
+	}
+	if err != nil {
+		return cli.Exit(stderr, tool, err)
+	}
+	metrics.SimulationReport(stdout, tr.tags, res)
+	return cli.ExitOK
+}
+
+// tagCountingReader tallies tag classes as batches stream past, standing
+// in for Trace.CountTags on the non-materialising path.
+type tagCountingReader struct {
+	trace.BatchReader
+	tags trace.TagCounts
+}
+
+func (r *tagCountingReader) ReadBatch(dst []trace.Record) (int, error) {
+	n, err := r.BatchReader.ReadBatch(dst)
+	r.tags.AddRecords(dst[:n])
+	return n, err
+}
+
 func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*trace.Trace, error) {
 	selected := 0
 	for _, s := range []string{workload, source, traceFile} {
@@ -150,12 +200,12 @@ func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*tra
 		}
 		return tracegen.Generate(p, tracegen.Options{Seed: seed})
 	case traceFile != "":
-		f, err := os.Open(traceFile)
+		f, err := trace.OpenFile(traceFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return trace.Read(f)
+		return trace.ReadAll(f)
 	case workload != "":
 		var scale workloads.Scale
 		switch scaleName {

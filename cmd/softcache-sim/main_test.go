@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"softcache/internal/core"
 	"softcache/internal/metrics"
+	"softcache/internal/trace"
 	"softcache/internal/workloads"
 )
 
@@ -150,5 +153,54 @@ func TestSharded(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if _, _, code := runSim(t, "-definitely-not-a-flag"); code != 2 {
 		t.Fatal("unknown flag should exit 2")
+	}
+}
+
+// TestStreamMatchesMaterialised pins -stream against the in-memory path:
+// both must produce identical statistics from the same compressed trace,
+// and the flat/sctz/streamed answers must all agree.
+func TestStreamMatchesMaterialised(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(ext string) string { return filepath.Join(dir, "mv"+ext) }
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatPath, sctzPath := gen(".trace"), gen(".sctz")
+	ff, err := os.Create(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(ff, tr); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	zf, err := os.Create(sctzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSCTZ(zf, tr); err != nil {
+		t.Fatal(err)
+	}
+	zf.Close()
+
+	runOne := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	base := runOne("-trace", flatPath, "-config", "soft")
+	for _, args := range [][]string{
+		{"-trace", sctzPath, "-config", "soft"},
+		{"-trace", flatPath, "-config", "soft", "-stream"},
+		{"-trace", sctzPath, "-config", "soft", "-stream"},
+		{"-trace", sctzPath, "-config", "soft", "-stream", "-shards", "2"},
+	} {
+		if got := runOne(args...); got != base {
+			t.Errorf("%v diverged from the flat materialised run:\n%s\nvs\n%s", args, got, base)
+		}
 	}
 }

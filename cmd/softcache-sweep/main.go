@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "", "workload name")
 	source := fs.String("source", "", "loop-nest source file")
+	traceFile := fs.String("trace", "", "saved trace file to sweep (any format: flat, sctz, din, din.gz)")
 	configName := fs.String("config", "soft", "base configuration (as in softcache-sim)")
 	scaleName := fs.String("scale", "paper", "workload scale: paper or test")
 	seed := fs.Uint64("seed", 1, "trace generation seed")
@@ -110,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *check {
 		base = core.WithRuntimeChecks(base, true)
 	}
-	t, err := loadTrace(*workload, *source, *scaleName, *seed)
+	t, err := loadTrace(*workload, *source, *traceFile, *scaleName, *seed)
 	if err != nil {
 		return cli.Exit(stderr, tool, err)
 	}
@@ -243,10 +244,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return cli.ExitOK
 }
 
-func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, error) {
+func loadTrace(workload, source, traceFile, scaleName string, seed uint64) (*trace.Trace, error) {
+	selected := 0
+	for _, s := range []string{workload, source, traceFile} {
+		if s != "" {
+			selected++
+		}
+	}
 	switch {
-	case workload != "" && source != "":
-		return nil, cli.UsageErrorf("-workload and -source are mutually exclusive")
+	case selected > 1:
+		return nil, cli.UsageErrorf("-workload, -source and -trace are mutually exclusive")
+	case traceFile != "":
+		// A sweep walks the trace once per matrix row, so it materialises
+		// the records rather than re-decoding the file for every row.
+		f, err := trace.OpenFile(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAll(f)
 	case source != "":
 		data, err := os.ReadFile(source)
 		if err != nil {
@@ -269,6 +285,6 @@ func loadTrace(workload, source, scaleName string, seed uint64) (*trace.Trace, e
 		}
 		return workloads.Trace(workload, scale, seed)
 	default:
-		return nil, cli.UsageErrorf("need -workload or -source")
+		return nil, cli.UsageErrorf("need -workload, -source or -trace")
 	}
 }

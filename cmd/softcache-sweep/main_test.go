@@ -7,6 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
 )
 
 func runSweep(t *testing.T, args ...string) (string, string, int) {
@@ -275,5 +278,35 @@ func TestSweepResumeRejectsReshapedAxis(t *testing.T) {
 	}
 	if strings.Contains(errb, "resumed row:") {
 		t.Fatalf("stale row replayed despite reshaped axis: %q", errb)
+	}
+}
+
+// TestSweepFromTraceFile: -trace accepts a saved compressed trace and
+// produces the same matrix as sweeping the generating workload.
+func TestSweepFromTraceFile(t *testing.T) {
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mv.sctz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSCTZ(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var fromW, fromF, errb bytes.Buffer
+	if code := run([]string{"-workload", "MV", "-scale", "test", "-x", "cache=4,8"}, &fromW, &errb); code != 0 {
+		t.Fatalf("workload sweep: exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-trace", path, "-x", "cache=4,8"}, &fromF, &errb); code != 0 {
+		t.Fatalf("trace-file sweep: exit %d: %s", code, errb.String())
+	}
+	if fromW.String() != fromF.String() {
+		t.Fatalf("matrices diverged:\n%s\nvs\n%s", fromW.String(), fromF.String())
 	}
 }

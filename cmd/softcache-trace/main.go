@@ -1,13 +1,23 @@
-// softcache-trace generates, saves, inspects and characterises reference
-// traces.
+// softcache-trace generates, saves, inspects, converts and characterises
+// reference traces.
 //
 // Usage:
 //
 //	softcache-trace -workload MV -out mv.trace        # generate and save
+//	softcache-trace -workload MV -out mv.sctz         # compressed by extension
 //	softcache-trace -in mv.trace -stats               # fig. 1/4 style stats
 //	softcache-trace -workload SpMV -stats             # directly from a workload
 //	softcache-trace -in mv.trace -dump -n 20          # first records
 //	softcache-trace -workload MV -program             # print the loop nest
+//	softcache-trace -in big.din.gz -out big.sctz -convert   # streaming convert
+//	softcache-trace -in big.sctz -info                # stream metadata + counts
+//	softcache-trace -in big.sctz -verify              # full structural check
+//	softcache-trace -synth 70000000 -out ci.sctz      # adversarial synthetic
+//
+// Conversion, verification, info and synthesis stream in O(batch) memory:
+// a multi-gigabyte capture never materialises. Input formats are sniffed
+// (flat SCTR, compressed SCTZ, din text, gzipped din); the output format
+// follows -format, or the -out extension when -format is auto.
 package main
 
 import (
@@ -40,17 +50,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "", "workload to generate (see softcache-sim -workloads)")
 	source := fs.String("source", "", "loop-nest source file to compile and trace (see internal/lang)")
-	in := fs.String("in", "", "trace file to read")
+	in := fs.String("in", "", "trace file to read (format sniffed: flat, sctz, din, din.gz)")
 	din := fs.String("din", "", "Dinero-format trace file to import (no tags)")
 	out := fs.String("out", "", "write the trace to this file")
+	format := fs.String("format", "auto", "output format: auto, flat, sctz or din (auto picks by -out extension)")
 	scaleName := fs.String("scale", "paper", "workload scale: paper or test")
 	seed := fs.Uint64("seed", 1, "generation seed")
 	stats := fs.Bool("stats", false, "print fig. 1a/1b/4a/4b style characterisation")
 	dump := fs.Bool("dump", false, "dump records")
 	n := fs.Int("n", 10, "records to dump")
 	program := fs.Bool("program", false, "print the workload's loop nest with resolved tags")
+	convert := fs.Bool("convert", false, "stream -in/-din to -out without materialising")
+	verify := fs.Bool("verify", false, "stream-decode -in/-din fully, checking structure and checksums")
+	info := fs.Bool("info", false, "print stream metadata and record counts for -in/-din")
+	synth := fs.Uint64("synth", 0, "generate this many synthetic records to -out (compression-adversarial, sctz)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
+	}
+
+	modes := 0
+	for _, m := range []bool{*convert, *verify, *info, *synth > 0} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-convert, -verify, -info and -synth are mutually exclusive"))
+	}
+	if modes == 1 {
+		var err error
+		switch {
+		case *synth > 0:
+			err = runSynth(stdout, *out, *synth, *seed)
+		case *convert:
+			err = runConvert(stdout, *in, *din, *out, *format)
+		case *verify:
+			err = runVerify(stdout, *in, *din)
+		case *info:
+			err = runInfo(stdout, *in, *din)
+		}
+		if err != nil {
+			return cli.Exit(stderr, tool, err)
+		}
+		return cli.ExitOK
 	}
 
 	t, err := obtainTrace(stdout, *workload, *source, *in, *din, *scaleName, *seed, *program)
@@ -64,10 +106,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "trace %s: %d references\n", t.Name, t.Len())
 
 	if *out != "" {
-		if err := writeTrace(*out, t); err != nil {
+		f, err := pickFormat(*format, *out)
+		if err != nil {
 			return cli.Exit(stderr, tool, err)
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *out)
+		if err := writeTrace(*out, f, t); err != nil {
+			return cli.Exit(stderr, tool, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s (%s)\n", *out, f)
 	}
 
 	if *dump {
@@ -85,16 +131,234 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return cli.ExitOK
 }
 
-func writeTrace(path string, t *trace.Trace) error {
+// pickFormat resolves the -format flag, using the output extension when
+// auto: .sctz selects the compressed format, .din the Dinero text, and
+// anything else the flat binary.
+func pickFormat(format, outPath string) (string, error) {
+	switch format {
+	case "flat", "sctz", "din":
+		return format, nil
+	case "auto", "":
+		switch filepath.Ext(outPath) {
+		case ".sctz":
+			return "sctz", nil
+		case ".din":
+			return "din", nil
+		default:
+			return "flat", nil
+		}
+	default:
+		return "", cli.UsageErrorf("unknown format %q (want auto, flat, sctz or din)", format)
+	}
+}
+
+func writeTrace(path, format string, t *trace.Trace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := trace.Write(f, t); err != nil {
+	switch format {
+	case "sctz":
+		err = trace.WriteSCTZ(f, t)
+	case "din":
+		err = trace.WriteDin(f, t)
+	default:
+		err = trace.Write(f, t)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// openInput opens -in (sniffed) or -din (forced din parse) for streaming.
+func openInput(in, din string) (trace.BatchReader, io.Closer, error) {
+	switch {
+	case in != "" && din != "":
+		return nil, nil, cli.UsageErrorf("-in and -din are mutually exclusive")
+	case din != "":
+		f, err := os.Open(din)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(din), ".gz")
+		name = strings.TrimSuffix(name, filepath.Ext(name))
+		r, err := trace.NewDinReader(f, name)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return r, f, nil
+	case in != "":
+		f, err := trace.OpenFile(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f, nil
+	default:
+		return nil, nil, cli.UsageErrorf("need -in or -din")
+	}
+}
+
+func runSynth(stdout io.Writer, out string, n, seed uint64) error {
+	if out == "" {
+		return cli.UsageErrorf("-synth needs -out")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	written, err := trace.SynthesizeSCTZ(f, "synth", n, seed)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "synthesized %s: %d records, %d bytes (%.2f B/record)\n",
+		out, written, st.Size(), float64(st.Size())/float64(max(written, 1)))
+	return nil
+}
+
+func runConvert(stdout io.Writer, in, din, out, format string) error {
+	if out == "" {
+		return cli.UsageErrorf("-convert needs -out")
+	}
+	r, closer, err := openInput(in, din)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	f, err := pickFormat(format, out)
+	if err != nil {
+		return err
+	}
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	var written uint64
+	switch f {
+	case "sctz":
+		written, err = trace.CopySCTZ(dst, r)
+	case "din":
+		written, err = trace.CopyDin(dst, r)
+	default:
+		written, err = trace.CopyFlat(dst, r)
+	}
+	if err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "converted %d records to %s (%s)\n", written, out, f)
+	return nil
+}
+
+// drain streams r to completion, returning the record count.
+func drain(r trace.BatchReader) (uint64, error) {
+	batch := trace.GetBatch()
+	defer trace.PutBatch(batch)
+	var total uint64
+	for {
+		n, err := r.ReadBatch(*batch)
+		total += uint64(n)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func runVerify(stdout io.Writer, in, din string) error {
+	r, closer, err := openInput(in, din)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	total, err := drain(r)
+	if err != nil {
+		return fmt.Errorf("verify failed after %d records: %w", total, err)
+	}
+	if sr := streamReaderOf(r); sr != nil {
+		fmt.Fprintf(stdout, "verify OK: %d records in %d chunks\n", total, sr.Chunks())
+	} else {
+		fmt.Fprintf(stdout, "verify OK: %d records\n", total)
+	}
+	return nil
+}
+
+// streamReaderOf unwraps r down to an SCTZ StreamReader, if that is what
+// is driving it.
+func streamReaderOf(r trace.BatchReader) *trace.StreamReader {
+	if f, ok := r.(*trace.File); ok {
+		r = f.BatchReader
+	}
+	sr, _ := r.(*trace.StreamReader)
+	return sr
+}
+
+func runInfo(stdout io.Writer, in, din string) error {
+	r, closer, err := openInput(in, din)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+
+	formatName := "din"
+	mapped := false
+	inner := r
+	if f, ok := r.(*trace.File); ok {
+		mapped = f.Mapped()
+		inner = f.BatchReader
+	}
+	switch inner.(type) {
+	case *trace.Reader:
+		formatName = "flat"
+	case *trace.StreamReader:
+		formatName = "sctz"
+	}
+
+	fmt.Fprintf(stdout, "format: %s\n", formatName)
+	fmt.Fprintf(stdout, "name: %s\n", r.Name())
+	if n := r.Len(); n >= 0 {
+		fmt.Fprintf(stdout, "announced records: %d\n", n)
+	} else {
+		fmt.Fprintf(stdout, "announced records: unknown\n")
+	}
+	total, err := drain(r)
+	if err != nil {
+		return fmt.Errorf("decode failed after %d records: %w", total, err)
+	}
+	fmt.Fprintf(stdout, "records: %d\n", total)
+	path := in
+	if path == "" {
+		path = din
+	}
+	var size int64
+	if st, serr := os.Stat(path); serr == nil {
+		size = st.Size()
+		fmt.Fprintf(stdout, "bytes: %d (%.2f B/record)\n", size, float64(size)/float64(max(total, 1)))
+	}
+	if sr := streamReaderOf(r); sr != nil {
+		fmt.Fprintf(stdout, "chunks: %d\n", sr.Chunks())
+		if size > 0 {
+			flatSize := int64(total)*15 + 16 + int64(len(r.Name()))
+			fmt.Fprintf(stdout, "flat equivalent: %d bytes (%.2fx compression)\n", flatSize, float64(flatSize)/float64(size))
+		}
+	}
+	fmt.Fprintf(stdout, "mapped: %v\n", mapped)
+	return nil
 }
 
 func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, seed uint64, program bool) (*trace.Trace, error) {
@@ -134,12 +398,12 @@ func obtainTrace(stdout io.Writer, workload, source, in, din, scaleName string, 
 		}
 		return tracegen.Generate(p, tracegen.Options{Seed: seed})
 	case in != "":
-		f, err := os.Open(in)
+		f, err := trace.OpenFile(in)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return trace.Read(f)
+		return trace.ReadAll(f)
 	case workload != "":
 		var scale workloads.Scale
 		switch scaleName {

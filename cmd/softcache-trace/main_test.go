@@ -139,3 +139,114 @@ func TestDinImport(t *testing.T) {
 		t.Fatal("-din with -workload should fail")
 	}
 }
+
+// TestConvertPipeline drives the streaming modes end to end: generate a
+// workload, save it compressed by extension, convert sctz→flat→din→sctz,
+// and check -info/-verify report consistent record counts throughout.
+func TestConvertPipeline(t *testing.T) {
+	dir := t.TempDir()
+	sctzPath := filepath.Join(dir, "w.sctz")
+	out, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-out", sctzPath)
+	if code != 0 {
+		t.Fatalf("generate: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "(sctz)") {
+		t.Fatalf("extension did not pick sctz:\n%s", out)
+	}
+
+	flatPath := filepath.Join(dir, "w.trace")
+	if out, errb, code = runTool(t, "-in", sctzPath, "-out", flatPath, "-convert"); code != 0 {
+		t.Fatalf("convert to flat: exit %d: %s", code, errb)
+	}
+	dinPath := filepath.Join(dir, "w.din")
+	if _, errb, code = runTool(t, "-in", flatPath, "-out", dinPath, "-convert"); code != 0 {
+		t.Fatalf("convert to din: exit %d: %s", code, errb)
+	}
+	backPath := filepath.Join(dir, "back.sctz")
+	if _, errb, code = runTool(t, "-din", dinPath, "-out", backPath, "-convert"); code != 0 {
+		t.Fatalf("convert din back to sctz: exit %d: %s", code, errb)
+	}
+
+	infoOut, errb, code := runTool(t, "-in", sctzPath, "-info")
+	if code != 0 {
+		t.Fatalf("info: exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"format: sctz", "name: MV", "chunks:", "compression"} {
+		if !strings.Contains(infoOut, want) {
+			t.Fatalf("info missing %q:\n%s", want, infoOut)
+		}
+	}
+
+	verifyOut, errb, code := runTool(t, "-in", backPath, "-verify")
+	if code != 0 {
+		t.Fatalf("verify: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(verifyOut, "verify OK") {
+		t.Fatalf("verify output:\n%s", verifyOut)
+	}
+
+	// The flat and round-tripped record counts must agree.
+	recordsOf := func(infoText string) string {
+		for _, line := range strings.Split(infoText, "\n") {
+			if strings.HasPrefix(line, "records: ") {
+				return line
+			}
+		}
+		return ""
+	}
+	info2, _, _ := runTool(t, "-in", backPath, "-info")
+	if recordsOf(infoOut) == "" || recordsOf(infoOut) != recordsOf(info2) {
+		t.Fatalf("record counts diverged:\n%s\nvs\n%s", infoOut, info2)
+	}
+}
+
+// TestVerifyCorrupt: a corrupted compressed stream fails -verify.
+func TestVerifyCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.sctz")
+	if _, errb, code := runTool(t, "-workload", "MV", "-scale", "test", "-out", path); code != 0 {
+		t.Fatalf("generate: exit %d: %s", code, errb)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, errb, code := runTool(t, "-in", path, "-verify"); code == 0 {
+		t.Fatalf("corrupt stream passed -verify: %s", errb)
+	}
+}
+
+// TestSynth: the synthetic generator streams a deterministic sctz trace
+// that verifies clean.
+func TestSynth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "synth.sctz")
+	out, errb, code := runTool(t, "-synth", "20000", "-out", path)
+	if code != 0 {
+		t.Fatalf("synth: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "synthesized") || !strings.Contains(out, "20000 records") {
+		t.Fatalf("synth output:\n%s", out)
+	}
+	verifyOut, errb, code := runTool(t, "-in", path, "-verify")
+	if code != 0 {
+		t.Fatalf("verify: exit %d: %s", code, errb)
+	}
+	if !strings.Contains(verifyOut, "verify OK: 20000 records") {
+		t.Fatalf("verify output:\n%s", verifyOut)
+	}
+	// Determinism: same seed, same bytes.
+	path2 := filepath.Join(dir, "synth2.sctz")
+	if _, errb, code := runTool(t, "-synth", "20000", "-out", path2); code != 0 {
+		t.Fatalf("synth2: exit %d: %s", code, errb)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("synthetic traces with equal seeds differ")
+	}
+}

@@ -20,6 +20,7 @@ type routerMetrics struct {
 	rerouted        atomic.Uint64 // responses served off the key's home shard
 	budgetExhausted atomic.Uint64 // retries/hedges denied by the retry budget
 	errors          atomic.Uint64 // 502s: every attempt failed
+	streamed        atomic.Uint64 // unbuffered pass-through requests (/v1/simulate/trace)
 }
 
 // writeMetrics renders the router counters plus the per-shard breaker,
@@ -34,6 +35,7 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE softcache_router_rerouted_total counter\nsoftcache_router_rerouted_total %d\n", m.rerouted.Load())
 	fmt.Fprintf(w, "# TYPE softcache_router_retry_budget_exhausted_total counter\nsoftcache_router_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
 	fmt.Fprintf(w, "# TYPE softcache_router_errors_total counter\nsoftcache_router_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_streamed_total counter\nsoftcache_router_streamed_total %d\n", m.streamed.Load())
 
 	shards := make([]string, 0, len(rt.states))
 	for s := range rt.states {

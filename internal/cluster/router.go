@@ -176,6 +176,7 @@ func New(cfg Config) (*Router, error) {
 	}
 
 	rt.mux.HandleFunc("POST /v1/simulate", rt.handleProxy)
+	rt.mux.HandleFunc("POST /v1/simulate/trace", rt.handleProxyStream)
 	rt.mux.HandleFunc("POST /v1/sweep", rt.handleProxy)
 	rt.mux.HandleFunc("GET /v1/workloads", rt.handleProxy)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -519,6 +520,88 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(rt.cfg.Log, "cluster: %s %s key=%s: %s\n", r.Method, r.URL.Path, key, msg)
 	writeError(w, http.StatusBadGateway, msg)
+}
+
+// handleProxyStream routes one streamed trace-simulate request
+// (POST /v1/simulate/trace). The body can be larger than any buffer the
+// router is willing to hold, so the buffered retry/hedge machinery of
+// handleProxy does not apply: the router reads just enough of the body
+// to fingerprint it (serve.StreamRoutingKey over a bounded prefix),
+// picks the first breaker-admitted shard in ring order, and pipes
+// prefix+rest through to it in one unrepeatable attempt. A mid-stream
+// shard death is the client's error to retry — the router cannot replay
+// bytes it never stored.
+func (rt *Router) handleProxyStream(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	rt.met.streamed.Add(1)
+	rt.budget.Deposit()
+
+	prefix := make([]byte, serve.StreamKeyPrefix)
+	n, err := io.ReadFull(r.Body, prefix)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	prefix = prefix[:n]
+
+	key := serve.StreamRoutingKey(prefix)
+	order := rt.ring.Order(key)
+	if len(order) == 0 {
+		rt.met.errors.Add(1)
+		writeError(w, http.StatusBadGateway, "no shards configured")
+		return
+	}
+	owner := order[0]
+	rt.recordKey(key, owner)
+	shard := owner
+	for _, s := range order {
+		if rt.states[s].br.Allow() {
+			shard = s
+			break
+		}
+	}
+
+	body := io.MultiReader(bytes.NewReader(prefix), r.Body)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, shard+r.URL.RequestURI(), body)
+	if err != nil {
+		rt.met.errors.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("building shard request: %v", err))
+		return
+	}
+	// The prefix was consumed from r.Body, so the stitched body's length
+	// is exactly the client's Content-Length (or unknown for chunked
+	// uploads, which the shard accepts just as well).
+	req.ContentLength = r.ContentLength
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.observe(shard, false)
+		rt.met.errors.Add(1)
+		fmt.Fprintf(rt.cfg.Log, "cluster: %s %s key=%s: stream attempt to %s: %v\n",
+			r.Method, r.URL.Path, key, shard, err)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("stream attempt to %s failed: %v", shard, err))
+		return
+	}
+	defer resp.Body.Close()
+	rt.observe(shard, resp.StatusCode < 500)
+
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", "X-Softcache-Shard"} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	if shard != owner {
+		h.Set(DegradedHeader, "rerouted")
+		rt.met.rerouted.Add(1)
+	}
+	w.WriteHeader(resp.StatusCode)
+	// The response streams too: a shard dying mid-reply truncates the
+	// client's body, which is the honest outcome for an unrepeatable
+	// request.
+	io.Copy(w, resp.Body)
 }
 
 // relay writes one buffered shard response to the client, marking it

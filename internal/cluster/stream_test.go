@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"softcache/internal/serve"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// TestStreamPassThrough drives a streamed trace body through the router:
+// the response must match a direct shard hit byte for byte, the request
+// must land on the key's home shard (no Degraded header), and repeated
+// uploads of the same trace must stick to one replica.
+func TestStreamPassThrough(t *testing.T) {
+	fleet := newFleet(t, 3)
+	urls := make([]string, len(fleet))
+	for i, s := range fleet {
+		urls[i] = s.URL
+	}
+	rt, ts := newTestRouter(t, Config{Shards: urls})
+
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sctz bytes.Buffer
+	if err := trace.WriteSCTZ(&sctz, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	postStream := func(base string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulate/trace?config=soft", "application/octet-stream",
+			bytes.NewReader(sctz.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	direct, directBody := postStream(fleet[0].URL)
+	if direct.StatusCode != http.StatusOK {
+		t.Fatalf("direct shard: status %d: %s", direct.StatusCode, directBody)
+	}
+
+	var shard string
+	for i := 0; i < 3; i++ {
+		resp, body := postStream(ts.URL)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed stream %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, directBody) {
+			t.Fatalf("routed response differs from direct:\nrouted: %s\ndirect: %s", body, directBody)
+		}
+		if resp.Header.Get(DegradedHeader) != "" {
+			t.Fatalf("routed stream %d marked degraded with a healthy fleet", i)
+		}
+		got := resp.Header.Get("X-Softcache-Shard")
+		if got == "" {
+			t.Fatalf("routed stream %d carries no shard header", i)
+		}
+		if shard == "" {
+			shard = got
+		} else if got != shard {
+			t.Fatalf("same trace routed to %s then %s", shard, got)
+		}
+	}
+	var r SimulateResponse
+	if err := json.Unmarshal(directBody, &r); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := rt.met.streamed.Load(); n != 3 {
+		t.Fatalf("streamed counter = %d, want 3", n)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	if !strings.Contains(mbuf.String(), "softcache_router_streamed_total 3") {
+		t.Fatalf("metrics missing streamed counter:\n%s", mbuf.String())
+	}
+}
+
+// SimulateResponse mirrors the shard's response shape for decoding in
+// tests (the cluster package does not import serve's response types to
+// keep the proxy format-agnostic).
+type SimulateResponse struct {
+	Trace      string            `json:"trace"`
+	References uint64            `json:"references"`
+	Results    []json.RawMessage `json:"results"`
+}
+
+// TestStreamFailover checks that with the home shard's breaker tripped,
+// a streamed request lands on the next ring replica and is marked
+// degraded rather than refused.
+func TestStreamFailover(t *testing.T) {
+	fleet := newFleet(t, 2)
+	urls := []string{fleet[0].URL, fleet[1].URL}
+	rt, ts := newTestRouter(t, Config{Shards: urls, Fall: 1})
+
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sctz bytes.Buffer
+	if err := trace.WriteSCTZ(&sctz, tr); err != nil {
+		t.Fatal(err)
+	}
+	key := serve.StreamRoutingKey(sctz.Bytes())
+	owner := rt.ring.Order(key)[0]
+
+	// Trip the home shard's breaker directly.
+	rt.states[owner].br.Failure()
+
+	resp, err := http.Post(ts.URL+"/v1/simulate/trace?config=soft", "application/octet-stream",
+		bytes.NewReader(sctz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover stream: status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if resp.Header.Get(DegradedHeader) == "" {
+		t.Fatal("failover response not marked degraded")
+	}
+}

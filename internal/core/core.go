@@ -337,10 +337,12 @@ func Windows(cfg Config, t *trace.Trace, windowSize int) ([]float64, error) {
 
 // SimulateStream runs a serialised trace through a fresh simulator without
 // materialising it in memory, so multi-gigabyte trace files stream at I/O
-// speed. Records are decoded in pooled BatchSize chunks (trace.ReadBatch),
-// so the per-record cost is the simulator's alone and the loop performs no
-// steady-state allocations (TestSimulateStreamAllocsFlat).
-func SimulateStream(cfg Config, r *trace.Reader) (Result, error) {
+// speed. Any trace.BatchReader drives it — the flat reader, the
+// compressed SCTZ StreamReader, a din import — with records decoded in
+// pooled BatchSize chunks, so the per-record cost is the simulator's alone
+// and the loop performs no steady-state allocations
+// (TestSimulateStreamAllocsFlat).
+func SimulateStream(cfg Config, r trace.BatchReader) (Result, error) {
 	sim, err := cache.New(cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)
@@ -377,7 +379,7 @@ func SimulateStream(cfg Config, r *trace.Reader) (Result, error) {
 // ctx is polled between batches (every BatchSize records); on cancellation
 // or any decode error the partial results are discarded and the error is
 // returned wrapped, so callers never observe a half-simulated matrix.
-func SimulateMany(ctx context.Context, cfgs []Config, r *trace.Reader) ([]Result, error) {
+func SimulateMany(ctx context.Context, cfgs []Config, r trace.BatchReader) ([]Result, error) {
 	sims, err := buildSimulators(cfgs)
 	if err != nil {
 		return nil, err

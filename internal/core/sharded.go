@@ -67,7 +67,7 @@ func SimulateSharded(ctx context.Context, cfg Config, t *trace.Trace, shards int
 // producer goroutine decodes pooled batches and routes the records to
 // the shard workers, so decode overlaps simulation. shards <= 1 (or an
 // unshardable plan) degenerates to the sequential streaming kernel.
-func SimulateShardedStream(ctx context.Context, cfg Config, r *trace.Reader, shards int) (Result, error) {
+func SimulateShardedStream(ctx context.Context, cfg Config, r trace.BatchReader, shards int) (Result, error) {
 	plan, err := cache.PlanShards(cfg, shards)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)

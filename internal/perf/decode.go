@@ -1,0 +1,227 @@
+package perf
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// The decode matrix pins the trace codecs themselves: for each corpus
+// workload, the same records are encoded flat (SCTR) and compressed
+// (SCTZ v3) and both are streamed back through their readers — the
+// source-backed path (a buffered reader over the bytes, exactly what a
+// file or socket feeds) that every deployment consumer runs. The rows
+// record ns/record for both codecs and the compression factor, and the
+// gate holds SCTZ to the flat decoder's corpus-weighted cost: the
+// compressed format is only allowed to exist because it decodes at or
+// below the flat baseline while shrinking the bytes.
+
+// DecodeSpec is one pinned decode-matrix row: one (workload, scale)
+// corpus trace, decoded flat vs SCTZ.
+type DecodeSpec struct {
+	Name      string          `json:"name"`
+	Workload  string          `json:"workload"`
+	Scale     workloads.Scale `json:"-"`
+	ScaleName string          `json:"scale"`
+}
+
+// DecodeMatrix returns the pinned decode corpus: a dense strided kernel
+// (MV, the compressor's best case), an irregular sparse kernel (SpMV,
+// its worst case — escape-heavy), and a butterfly-pattern kernel (FFT,
+// in between). quick drops the paper-scale rows, mirroring Matrix.
+func DecodeMatrix(quick bool) []DecodeSpec {
+	scales := []workloads.Scale{workloads.ScaleTest, workloads.ScalePaper}
+	if quick {
+		scales = scales[:1]
+	}
+	var specs []DecodeSpec
+	for _, scale := range scales {
+		for _, w := range []string{"MV", "SpMV", "FFT"} {
+			s := DecodeSpec{
+				Workload:  w,
+				Scale:     scale,
+				ScaleName: scale.String(),
+			}
+			s.Name = fmt.Sprintf("decode/%s/%s", s.Workload, s.ScaleName)
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// DecodeMeasurement is the result of one decode-matrix row.
+type DecodeMeasurement struct {
+	DecodeSpec
+	Records int `json:"records"`
+	Iters   int `json:"iters"`
+	// FlatBytes and SCTZBytes are the encoded sizes; Compression is
+	// flat over sctz (3.0 = the compressed trace is a third the size).
+	FlatBytes   int     `json:"flat_bytes"`
+	SCTZBytes   int     `json:"sctz_bytes"`
+	Compression float64 `json:"compression"`
+	// FlatNsPerRecord and SCTZNsPerRecord are source-backed streaming
+	// decode costs (buffered reader over the bytes, pooled ReadBatch
+	// drain). Ratio is sctz over flat: at or below 1.0 the compressed
+	// decode is no slower than the flat baseline on this row.
+	FlatNsPerRecord float64 `json:"flat_ns_per_record"`
+	SCTZNsPerRecord float64 `json:"sctz_ns_per_record"`
+	Ratio           float64 `json:"ratio"`
+}
+
+// measureDecode times both codecs over one corpus trace, interleaved so
+// machine drift biases neither, draining through the pooled batch path
+// every streaming consumer uses.
+func measureDecode(ctx context.Context, spec DecodeSpec, flat, sctz []byte, n, minIters int, minTime time.Duration) (DecodeMeasurement, error) {
+	drain := func(r trace.BatchReader) error {
+		batch := trace.GetBatch()
+		defer trace.PutBatch(batch)
+		total := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			m, err := r.ReadBatch(*batch)
+			total += m
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if total != n {
+			return fmt.Errorf("perf: %s decoded %d records, want %d", spec.Name, total, n)
+		}
+		return nil
+	}
+	flatPass := func() error {
+		r, err := trace.NewReader(bytes.NewReader(flat))
+		if err != nil {
+			return err
+		}
+		return drain(r)
+	}
+	sctzPass := func() error {
+		r, err := trace.NewStreamReader(bytes.NewReader(sctz))
+		if err != nil {
+			return err
+		}
+		return drain(r)
+	}
+
+	// Warm-up both decoders (pools, branch history, page-in).
+	if err := flatPass(); err != nil {
+		return DecodeMeasurement{}, err
+	}
+	if err := sctzPass(); err != nil {
+		return DecodeMeasurement{}, err
+	}
+
+	runtime.GC()
+	var flatTime, sctzTime time.Duration
+	iters := 0
+	start := time.Now()
+	for iters < minIters || time.Since(start) < 2*minTime {
+		if err := ctx.Err(); err != nil {
+			return DecodeMeasurement{}, err
+		}
+		t0 := time.Now()
+		if err := flatPass(); err != nil {
+			return DecodeMeasurement{}, err
+		}
+		t1 := time.Now()
+		if err := sctzPass(); err != nil {
+			return DecodeMeasurement{}, err
+		}
+		flatTime += t1.Sub(t0)
+		sctzTime += time.Since(t1)
+		iters++
+	}
+
+	totalRecords := float64(n) * float64(iters)
+	m := DecodeMeasurement{
+		DecodeSpec:      spec,
+		Records:         n,
+		Iters:           iters,
+		FlatBytes:       len(flat),
+		SCTZBytes:       len(sctz),
+		Compression:     float64(len(flat)) / float64(len(sctz)),
+		FlatNsPerRecord: float64(flatTime.Nanoseconds()) / totalRecords,
+		SCTZNsPerRecord: float64(sctzTime.Nanoseconds()) / totalRecords,
+	}
+	if m.FlatNsPerRecord > 0 {
+		m.Ratio = m.SCTZNsPerRecord / m.FlatNsPerRecord
+	}
+	return m, nil
+}
+
+// paperDecodeRows filters the rows the absolute corpus-weighted budget is
+// held over: the paper-scale traces. Quick runs carry only test-scale
+// smoke rows, which still gate relatively (against a baseline) but are
+// too small for the ns/record ratio to mean anything absolute.
+func paperDecodeRows(rows []DecodeMeasurement) []DecodeMeasurement {
+	var paper []DecodeMeasurement
+	for _, d := range rows {
+		if d.ScaleName == workloads.ScalePaper.String() {
+			paper = append(paper, d)
+		}
+	}
+	return paper
+}
+
+// DecodeDelta is one decode row's comparison against a baseline run.
+type DecodeDelta struct {
+	Name    string
+	Base    *DecodeMeasurement // nil when the row is new (or the baseline predates v4)
+	Current DecodeMeasurement
+}
+
+// PctNs returns the sctz ns/record change in percent (positive = slower).
+func (d DecodeDelta) PctNs() float64 {
+	if d.Base == nil || d.Base.SCTZNsPerRecord == 0 {
+		return 0
+	}
+	return (d.Current.SCTZNsPerRecord/d.Base.SCTZNsPerRecord - 1) * 100
+}
+
+// CompareDecode matches the current report's decode rows against a
+// baseline by name, mirroring Compare. Pre-v4 baselines have no decode
+// rows, so every row comes back baseline-less.
+func CompareDecode(base, cur *Report) []DecodeDelta {
+	byName := map[string]*DecodeMeasurement{}
+	if base != nil {
+		for i := range base.Decode {
+			byName[base.Decode[i].Name] = &base.Decode[i]
+		}
+	}
+	deltas := make([]DecodeDelta, 0, len(cur.Decode))
+	for _, d := range cur.Decode {
+		deltas = append(deltas, DecodeDelta{Name: d.Name, Base: byName[d.Name], Current: d})
+	}
+	return deltas
+}
+
+// DecodeWeighted aggregates the decode rows record-weighted: the
+// corpus-wide ns/record of each codec, and sctz's ratio against flat.
+// The ratio is the number the streaming-decode gate holds at or below
+// 1.0 — a regression that makes SCTZ slower than the flat format it
+// replaced fails the suite even when no baseline file is present.
+func DecodeWeighted(rows []DecodeMeasurement) (flatNs, sctzNs, ratio float64) {
+	var records float64
+	for _, d := range rows {
+		w := float64(d.Records)
+		records += w
+		flatNs += d.FlatNsPerRecord * w
+		sctzNs += d.SCTZNsPerRecord * w
+	}
+	if records == 0 || flatNs == 0 {
+		return 0, 0, 0
+	}
+	return flatNs / records, sctzNs / records, sctzNs / flatNs
+}

@@ -312,12 +312,18 @@ type Report struct {
 	Matrix []MatrixMeasurement `json:"matrix,omitempty"`
 	// Sharded holds the set-sharded kernel rows; absent before v3.
 	Sharded []ShardedMeasurement `json:"sharded,omitempty"`
+	// Decode holds the trace-codec rows (flat vs SCTZ streaming decode);
+	// absent before v4.
+	Decode []DecodeMeasurement `json:"decode,omitempty"`
 }
 
 // SchemaID identifies the BENCH_kernel.json layout this package writes.
-// v3 added the set-sharded rows; v2 (no sharded rows) and v1 (no fused
-// matrix either) reports still load.
-const SchemaID = "softcache-perf/v3"
+// v4 added the decode matrix (flat vs SCTZ codec rows); v3 (no decode
+// rows), v2 (no sharded rows either) and v1 (cases only) still load.
+const SchemaID = "softcache-perf/v4"
+
+// schemaV3 added the set-sharded rows.
+const schemaV3 = "softcache-perf/v3"
 
 // schemaV2 added the fused matrix rows to v1's cases.
 const schemaV2 = "softcache-perf/v2"
@@ -344,9 +350,10 @@ type Runner struct {
 // experiment harness, so a panicking or failing case yields a structured
 // failure record instead of torpedoing the suite. The fused rows are
 // measured after the cases, one harness unit per (workload, config-group),
-// and the sharded rows last, one unit per (workload, scale, config) with
-// all of that group's shard counts interleaved.
-func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec, sharded []ShardedSpec) (*Report, error) {
+// the sharded rows next, one unit per (workload, scale, config) with all
+// of that group's shard counts interleaved, and the decode rows last, one
+// unit per corpus trace with both codecs interleaved.
+func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec, sharded []ShardedSpec, decode []DecodeSpec) (*Report, error) {
 	minIters := r.MinIters
 	if minIters <= 0 {
 		minIters = 3
@@ -396,6 +403,26 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec, s
 		if err := ensureTrace(s.Workload, s.ScaleName, s.Scale); err != nil {
 			return nil, err
 		}
+	}
+	// Decode rows need both encodings of their corpus trace.
+	encodedZ := map[string][]byte{}
+	for _, d := range decode {
+		key := d.Workload + "/" + d.ScaleName
+		if err := ensureTrace(d.Workload, d.ScaleName, d.Scale); err != nil {
+			return nil, err
+		}
+		if _, ok := encodedZ[key]; ok {
+			continue
+		}
+		tr, err := workloads.Trace(d.Workload, d.Scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("perf: generating %s: %w", key, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteSCTZ(&buf, tr); err != nil {
+			return nil, fmt.Errorf("perf: encoding %s as sctz: %w", key, err)
+		}
+		encodedZ[key] = buf.Bytes()
 	}
 
 	units := make([]harness.Unit[Measurement], len(specs))
@@ -474,6 +501,27 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec, s
 		return nil, fmt.Errorf("perf: %w", err)
 	}
 
+	decodeUnits := make([]harness.Unit[DecodeMeasurement], len(decode))
+	for i, d := range decode {
+		d := d
+		key := d.Workload + "/" + d.ScaleName
+		decodeUnits[i] = harness.Unit[DecodeMeasurement]{
+			Key: d.Name,
+			Meta: map[string]string{
+				"workload": d.Workload,
+				"scale":    d.ScaleName,
+				"seed":     fmt.Sprint(seed),
+			},
+			Run: func(ctx context.Context) (DecodeMeasurement, error) {
+				return measureDecode(ctx, d, encoded[key], encodedZ[key], records[key], minIters, minTime)
+			},
+		}
+	}
+	decodeResults, err := harness.Run(ctx, decodeUnits, harness.Options{Workers: 1, Log: r.Log})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+
 	report := &Report{
 		Schema:    SchemaID,
 		GoVersion: runtime.Version(),
@@ -504,6 +552,13 @@ func (r Runner) Run(ctx context.Context, specs []CaseSpec, fused []MatrixSpec, s
 			continue
 		}
 		report.Sharded = append(report.Sharded, res.Value...)
+	}
+	for _, res := range decodeResults {
+		if !res.OK() {
+			failures = append(failures, res.FailureRecord())
+			continue
+		}
+		report.Decode = append(report.Decode, res.Value)
 	}
 	if len(failures) > 0 {
 		return report, fmt.Errorf("perf: %d case(s) failed:\n%s", len(failures), joinLines(failures))

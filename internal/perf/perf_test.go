@@ -63,8 +63,9 @@ func TestRunnerReportAndGate(t *testing.T) {
 	specs := Matrix(true)[:2]
 	fused := FusedMatrix(true)[:1]
 	sharded := testShardedGroup("standard", 1, 2)
+	decode := DecodeMatrix(true)[:2]
 	r := Runner{MinIters: 1, MinTime: time.Millisecond}
-	report, err := r.Run(context.Background(), specs, fused, sharded)
+	report, err := r.Run(context.Background(), specs, fused, sharded, decode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +108,26 @@ func TestRunnerReportAndGate(t *testing.T) {
 		if s.AMAT != seqAMAT {
 			t.Errorf("sharded row %s: AMAT %v differs from sequential %v on an exact plan", s.Name, s.AMAT, seqAMAT)
 		}
+	}
+	if len(report.Decode) != len(decode) {
+		t.Fatalf("got %d decode rows, want %d", len(report.Decode), len(decode))
+	}
+	for _, d := range report.Decode {
+		if d.Records <= 0 || d.Iters <= 0 || d.FlatBytes <= 0 || d.SCTZBytes <= 0 ||
+			d.Compression <= 0 || d.FlatNsPerRecord <= 0 || d.SCTZNsPerRecord <= 0 || d.Ratio <= 0 {
+			t.Errorf("decode row %s has implausible measurement: %+v", d.Name, d)
+		}
+		if d.SCTZBytes >= d.FlatBytes {
+			t.Errorf("decode row %s: sctz %d bytes not smaller than flat %d", d.Name, d.SCTZBytes, d.FlatBytes)
+		}
+	}
+	// Pin the decode timings before the gate checks: the absolute
+	// corpus-weighted sctz<=flat gate reads the measured numbers, and
+	// millisecond test-scale runs are too noisy to promise that here.
+	for i := range report.Decode {
+		report.Decode[i].FlatNsPerRecord = 10
+		report.Decode[i].SCTZNsPerRecord = 8
+		report.Decode[i].Ratio = 0.8
 	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
@@ -171,6 +192,37 @@ func TestRunnerReportAndGate(t *testing.T) {
 		t.Fatalf("gate error does not name the regressed sharded row: %v", err)
 	}
 
+	// A decode-row sctz regression trips the gate too.
+	slowDecode := *report
+	slowDecode.Cases = append([]Measurement(nil), report.Cases...)
+	slowDecode.Decode = append([]DecodeMeasurement(nil), report.Decode...)
+	slowDecode.Decode[0].SCTZNsPerRecord *= 2
+	err = Gate(loaded, &slowDecode, 0.15)
+	if err == nil {
+		t.Fatal("2x sctz decode regression passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), slowDecode.Decode[0].Name) {
+		t.Fatalf("gate error does not name the regressed decode row: %v", err)
+	}
+
+	// The corpus-weighted sctz<=flat budget is absolute: even against an
+	// identical baseline (no relative regression at all), sctz decoding
+	// slower than flat on the paper-scale corpus fails the suite.
+	overBudget := *report
+	overBudget.Decode = append([]DecodeMeasurement(nil), report.Decode...)
+	for i := range overBudget.Decode {
+		overBudget.Decode[i].ScaleName = workloads.ScalePaper.String()
+		overBudget.Decode[i].SCTZNsPerRecord = overBudget.Decode[i].FlatNsPerRecord * 1.05
+		overBudget.Decode[i].Ratio = 1.05
+	}
+	err = Gate(&overBudget, &overBudget, 0.15)
+	if err == nil {
+		t.Fatal("sctz above the flat corpus-weighted budget passed the gate")
+	}
+	if !strings.Contains(err.Error(), "corpus-weighted") {
+		t.Fatalf("gate error does not name the corpus-weighted budget: %v", err)
+	}
+
 	mdPlain := Markdown(nil, report)
 	mdDelta := Markdown(loaded, report)
 	for _, c := range report.Cases {
@@ -188,8 +240,16 @@ func TestRunnerReportAndGate(t *testing.T) {
 			t.Errorf("markdown report missing sharded row %s", s.Name)
 		}
 	}
+	for _, d := range report.Decode {
+		if !strings.Contains(mdPlain, d.Name) || !strings.Contains(mdDelta, d.Name) {
+			t.Errorf("markdown report missing decode row %s", d.Name)
+		}
+	}
 	if !strings.Contains(mdPlain, "Set-sharded kernel") {
 		t.Error("report lacks the sharded section")
+	}
+	if !strings.Contains(mdPlain, "Trace codec decode matrix") || !strings.Contains(mdPlain, "Corpus-weighted:") {
+		t.Error("report lacks the decode section or its corpus-weighted summary")
 	}
 	if !strings.Contains(mdDelta, "Δ ns/record") {
 		t.Error("delta report lacks the delta column")
@@ -295,6 +355,71 @@ func TestShardedMatrixPinned(t *testing.T) {
 	}
 	if _, err := (ShardedSpec{Config: "no-such"}).BuildConfig(); err == nil {
 		t.Error("unknown sharded config accepted")
+	}
+}
+
+// TestDecodeMatrixPinned mirrors TestMatrixPinned for the decode rows:
+// names are unique, quick is the test-scale subset of full, and every
+// workload names a known corpus trace.
+func TestDecodeMatrixPinned(t *testing.T) {
+	full := DecodeMatrix(false)
+	quick := DecodeMatrix(true)
+	if len(full) != 6 {
+		t.Fatalf("full decode matrix has %d rows, want 6 (2 scales x 3 workloads)", len(full))
+	}
+	if len(quick) != 3 {
+		t.Fatalf("quick decode matrix has %d rows, want 3", len(quick))
+	}
+	fullNames := map[string]bool{}
+	for _, d := range full {
+		if fullNames[d.Name] {
+			t.Fatalf("duplicate decode row name %q", d.Name)
+		}
+		fullNames[d.Name] = true
+		if _, err := workloads.Get(d.Workload); err != nil {
+			t.Errorf("row %s names unknown workload: %v", d.Name, err)
+		}
+	}
+	for _, d := range quick {
+		if !fullNames[d.Name] {
+			t.Errorf("quick row %s not part of the full matrix", d.Name)
+		}
+		if strings.Contains(d.Name, "paper") {
+			t.Errorf("quick decode matrix contains paper-scale row %s", d.Name)
+		}
+	}
+}
+
+// TestReadJSONAcceptsV3 keeps pre-decode baselines loadable: cases, fused
+// and sharded rows still gate, decode rows are simply baseline-less (the
+// absolute corpus-weighted budget still applies to the current run).
+func TestReadJSONAcceptsV3(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v3.json")
+	v3 := &Report{Schema: "softcache-perf/v3",
+		Cases:   []Measurement{{CaseSpec: CaseSpec{Name: "MV/test/vl0/bb0"}, NsPerRecord: 10}},
+		Sharded: []ShardedMeasurement{{ShardedSpec: ShardedSpec{Name: "sharded/x/s4"}, NsPerRecord: 3}},
+	}
+	if err := WriteJSON(path, v3); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(path)
+	if err != nil {
+		t.Fatalf("v3 baseline rejected: %v", err)
+	}
+	cur := &Report{Schema: SchemaID,
+		Cases:   v3.Cases,
+		Sharded: []ShardedMeasurement{{ShardedSpec: ShardedSpec{Name: "sharded/x/s4"}, NsPerRecord: 9}},
+		Decode: []DecodeMeasurement{{
+			DecodeSpec:      DecodeSpec{Name: "decode/MV/test"},
+			Records:         100,
+			FlatNsPerRecord: 10, SCTZNsPerRecord: 8, Ratio: 0.8,
+		}},
+	}
+	if err := Gate(loaded, cur, 0.15); err == nil {
+		t.Fatal("sharded regression against v3 baseline passed the gate")
+	}
+	if err := Gate(loaded, &Report{Schema: SchemaID, Decode: cur.Decode}, 0.15); err != nil {
+		t.Fatalf("decode rows without v3 baseline tripped the gate: %v", err)
 	}
 }
 

@@ -27,8 +27,11 @@ func ReadJSON(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
 	}
-	if r.Schema != SchemaID && r.Schema != schemaV2 && r.Schema != schemaV1 {
-		return nil, fmt.Errorf("perf: %s has schema %q, want %q (or the older %q / %q)", path, r.Schema, SchemaID, schemaV2, schemaV1)
+	switch r.Schema {
+	case SchemaID, schemaV3, schemaV2, schemaV1:
+	default:
+		return nil, fmt.Errorf("perf: %s has schema %q, want %q (or the older %q / %q / %q)",
+			path, r.Schema, SchemaID, schemaV3, schemaV2, schemaV1)
 	}
 	return &r, nil
 }
@@ -163,6 +166,30 @@ func Gate(base, cur *Report, maxRegress float64) error {
 				d.Name, d.Base.NsPerRecord, d.Current.NsPerRecord, d.PctNs(), maxRegress*100))
 		}
 	}
+	for _, d := range CompareDecode(base, cur) {
+		if d.Base == nil {
+			continue
+		}
+		if d.Current.SCTZNsPerRecord > d.Base.SCTZNsPerRecord*(1+maxRegress) {
+			bad = append(bad, fmt.Sprintf("  %s: %.2f -> %.2f sctz ns/record (%+.1f%%, budget %+.0f%%)",
+				d.Name, d.Base.SCTZNsPerRecord, d.Current.SCTZNsPerRecord, d.PctNs(), maxRegress*100))
+		}
+	}
+	// The decode matrix also carries an absolute gate, independent of any
+	// baseline: corpus-weighted SCTZ streaming decode must run at or below
+	// the flat-format ReadBatch cost measured in the same run. SCTZ's
+	// licence to exist is "smaller and no slower"; a codec change that
+	// breaks either half fails here even on a fresh machine with no
+	// committed baseline. The budget is held at the paper-scale corpus:
+	// test-scale smoke traces are too small to amortise the per-chunk
+	// setup cost and would make quick runs flaky.
+	if rows := paperDecodeRows(cur.Decode); len(rows) > 0 {
+		if flatNs, sctzNs, ratio := DecodeWeighted(rows); ratio > 1.0 {
+			bad = append(bad, fmt.Sprintf(
+				"  decode (corpus-weighted): sctz %.2f ns/record vs flat %.2f (%.2fx, budget 1.00x)",
+				sctzNs, flatNs, ratio))
+		}
+	}
 	if len(bad) > 0 {
 		return fmt.Errorf("perf: %d case(s) regressed beyond the %.0f%% ns/record budget:\n%s",
 			len(bad), maxRegress*100, strings.Join(bad, "\n"))
@@ -254,6 +281,36 @@ func Markdown(base, cur *Report) string {
 					s.Name, s.EffectiveShards, s.Exact, s.Records, s.NsPerRecord, human(s.RecordsPerSec), s.Speedup)
 			}
 		}
+	}
+	if len(cur.Decode) > 0 {
+		b.WriteString("\n## Trace codec decode matrix\n\n")
+		b.WriteString("Source-backed streaming decode (buffered reader, pooled ReadBatch); ")
+		b.WriteString("ratio is sctz over flat, gated at or below 1.00x corpus-weighted.\n\n")
+		if base != nil {
+			b.WriteString("| trace | records | compression | flat ns/record | sctz ns/record | baseline | Δ sctz | ratio |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		} else {
+			b.WriteString("| trace | records | compression | flat ns/record | sctz ns/record | ratio |\n")
+			b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+		}
+		for _, d := range CompareDecode(base, cur) {
+			c := d.Current
+			if base != nil {
+				baseNs, delta := "–", "new"
+				if d.Base != nil {
+					baseNs = fmt.Sprintf("%.2f", d.Base.SCTZNsPerRecord)
+					delta = fmt.Sprintf("%+.1f%%", d.PctNs())
+				}
+				fmt.Fprintf(&b, "| %s | %d | %.2fx | %.2f | %.2f | %s | %s | %.2fx |\n",
+					c.Name, c.Records, c.Compression, c.FlatNsPerRecord, c.SCTZNsPerRecord, baseNs, delta, c.Ratio)
+			} else {
+				fmt.Fprintf(&b, "| %s | %d | %.2fx | %.2f | %.2f | %.2fx |\n",
+					c.Name, c.Records, c.Compression, c.FlatNsPerRecord, c.SCTZNsPerRecord, c.Ratio)
+			}
+		}
+		flatNs, sctzNs, ratio := DecodeWeighted(cur.Decode)
+		fmt.Fprintf(&b, "\nCorpus-weighted: flat %.2f ns/record, sctz %.2f ns/record (%.2fx).\n",
+			flatNs, sctzNs, ratio)
 	}
 	return b.String()
 }

@@ -7,8 +7,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate   simulate a config group over one trace
-//	POST /v1/sweep      sweep one or two axes over one trace
+//	POST /v1/simulate        simulate a config group over one trace
+//	POST /v1/simulate/trace  simulate a config group over a streamed trace body
+//	POST /v1/sweep           sweep one or two axes over one trace
 //	GET  /v1/workloads  list the built-in workloads
 //	GET  /healthz       liveness probe
 //	GET  /metrics       request/latency/cache counters (Prometheus text)

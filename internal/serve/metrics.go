@@ -12,6 +12,7 @@ type endpoint int
 
 const (
 	epSimulate endpoint = iota
+	epSimulateTrace
 	epSweep
 	epWorkloads
 	epHealthz
@@ -23,6 +24,8 @@ func (e endpoint) String() string {
 	switch e {
 	case epSimulate:
 		return "simulate"
+	case epSimulateTrace:
+		return "simulate_trace"
 	case epSweep:
 		return "sweep"
 	case epWorkloads:
@@ -49,6 +52,10 @@ type serverMetrics struct {
 	panics    atomic.Uint64 // 500: simulation panic contained by the harness
 	inflight  atomic.Int64  // requests holding a worker slot
 	queued    atomic.Int64  // requests waiting for a worker slot
+	// Streamed-trace decode volume (POST /v1/simulate/trace): records
+	// decoded from request bodies and, for SCTZ bodies, chunks framed.
+	traceRecords atomic.Uint64
+	traceChunks  atomic.Uint64
 }
 
 // observe records one finished request.
@@ -82,6 +89,8 @@ func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache, shardID string) 
 	fmt.Fprintf(w, "# TYPE softcache_simulation_panics_total counter\nsoftcache_simulation_panics_total %d\n", m.panics.Load())
 	fmt.Fprintf(w, "# TYPE softcache_inflight_requests gauge\nsoftcache_inflight_requests %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "# TYPE softcache_queued_requests gauge\nsoftcache_queued_requests %d\n", m.queued.Load())
+	fmt.Fprintf(w, "# TYPE softcache_trace_decode_records_total counter\nsoftcache_trace_decode_records_total %d\n", m.traceRecords.Load())
+	fmt.Fprintf(w, "# TYPE softcache_trace_decode_chunks_total counter\nsoftcache_trace_decode_chunks_total %d\n", m.traceChunks.Load())
 
 	cs := cache.Stats()
 	fmt.Fprintf(w, "# TYPE softcache_trace_cache_hits_total counter\nsoftcache_trace_cache_hits_total %d\n", cs.Hits)

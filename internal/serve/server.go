@@ -37,8 +37,14 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes caps one request body (default MaxBodyBytes, 32 MiB;
 	// softcache-served's -max-body flag). The cluster router applies the
-	// same cap before forwarding.
+	// same cap before forwarding. Streamed trace bodies
+	// (POST /v1/simulate/trace) are exempt: they decode in O(batch)
+	// memory, so the meaningful bound is MaxTraceRecords, not bytes.
 	MaxBodyBytes int64
+	// MaxTraceRecords caps how many records one streamed trace body may
+	// decode (default trace.MaxRecords; softcache-served's
+	// -max-trace-records flag). Exceeding it fails the request with 413.
+	MaxTraceRecords int64
 	// ShardID labels this daemon in a fleet: when set, every response
 	// carries it in the X-Softcache-Shard header and /metrics exposes it
 	// as softcache_shard_info, so cluster tests and dashboards can tell
@@ -67,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = MaxBodyBytes
+	}
+	if c.MaxTraceRecords <= 0 {
+		c.MaxTraceRecords = trace.MaxRecords
 	}
 	if c.Log == nil {
 		c.Log = io.Discard
@@ -97,6 +106,7 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.Handle("POST /v1/simulate", s.instrument(epSimulate, s.handleSimulate))
+	s.mux.Handle("POST /v1/simulate/trace", s.instrument(epSimulateTrace, s.handleSimulateTrace))
 	s.mux.Handle("POST /v1/sweep", s.instrument(epSweep, s.handleSweep))
 	s.mux.Handle("GET /v1/workloads", s.instrument(epWorkloads, s.handleWorkloads))
 	s.mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
@@ -218,19 +228,20 @@ func (s *Server) loadTrace(ctx context.Context, key string, load func() (*trace.
 	}
 }
 
-// runFused executes one config group over the trace as a single harness
-// unit: one fused pass (core.SimulateManyTrace) with panic containment and
-// the per-request deadline, mapped to an HTTP outcome.
-func (s *Server) runFused(ctx context.Context, deadline time.Time, key string, descs []string, cfgs []core.Config, tr *trace.Trace) ([]core.Result, *apiError) {
+// runFused executes one config group as a single harness unit: one fused
+// trace pass (run is core.SimulateManyTrace over a cached trace, or
+// core.SimulateMany over a streamed body) with panic containment and the
+// per-request deadline, mapped to an HTTP outcome. onErr, when non-nil,
+// maps a run error to its status; nil means run errors are the server's
+// fault (500) — the cached path validated everything up front.
+func (s *Server) runFused(ctx context.Context, deadline time.Time, key string, descs []string, run func(context.Context) ([]core.Result, error), onErr func(error) *apiError) ([]core.Result, *apiError) {
 	left := time.Until(deadline)
 	if left <= 0 {
 		s.met.timeouts.Add(1)
 		return nil, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}
 	}
 	units := []harness.Unit[harness.Fused[core.Result]]{
-		harness.FusedUnit(key, nil, descs, func(runCtx context.Context) ([]core.Result, error) {
-			return core.SimulateManyTrace(runCtx, cfgs, tr)
-		}),
+		harness.FusedUnit(key, nil, descs, run),
 	}
 	results, err := harness.Run(ctx, units, harness.Options{Workers: 1, Timeout: left, Log: s.cfg.Log})
 	if err != nil {
@@ -250,6 +261,9 @@ func (s *Server) runFused(ctx context.Context, deadline time.Time, key string, d
 	case harness.StatusCanceled:
 		return nil, &apiError{status: 499, msg: "client went away"}
 	default:
+		if onErr != nil {
+			return nil, onErr(res.Err)
+		}
 		return nil, &apiError{status: http.StatusInternalServerError, msg: res.Err.Error()}
 	}
 }
@@ -290,7 +304,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// Pass the cancel-only request context: the deadline rides in
 		// harness.Options.Timeout so the harness can tell a timeout (504)
 		// from a vanished client.
-		results, aerr = s.runFused(r.Context(), deadline, plan.traceKey, plan.descs, plan.cfgs, tr)
+		results, aerr = s.runFused(r.Context(), deadline, plan.traceKey, plan.descs,
+			func(runCtx context.Context) ([]core.Result, error) {
+				return core.SimulateManyTrace(runCtx, plan.cfgs, tr)
+			}, nil)
 		if aerr == nil {
 			if format == "text" {
 				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -364,7 +381,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for i, cfgs := range plan.rows {
 			var results []core.Result
 			key := fmt.Sprintf("row:%d", i)
-			results, aerr = s.runFused(r.Context(), deadline, key, plan.rowDescs[i], cfgs, tr)
+			rowCfgs := cfgs
+			results, aerr = s.runFused(r.Context(), deadline, key, plan.rowDescs[i],
+				func(runCtx context.Context) ([]core.Result, error) {
+					return core.SimulateManyTrace(runCtx, rowCfgs, tr)
+				}, nil)
 			if aerr != nil {
 				break
 			}

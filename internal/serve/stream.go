@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"softcache/internal/core"
+	"softcache/internal/metrics"
+	"softcache/internal/trace"
+)
+
+// POST /v1/simulate/trace is the streaming face of /v1/simulate: the body
+// IS the trace (flat SCTR, compressed SCTZ, or din text — sniffed, like
+// every other trace entry point), the config group rides in query
+// parameters, and the records flow from the socket through the fused
+// kernel in pooled batches. Nothing is materialised and nothing is
+// cached, so the endpoint is exempt from MaxBodyBytes: the bound that
+// matters for a stream is records decoded, which Config.MaxTraceRecords
+// caps (softcache-served's -max-trace-records flag). A multi-gigabyte
+// capture simulates in O(batch) memory.
+
+// StreamKeyPrefix is how many leading body bytes StreamRoutingKey
+// fingerprints. The cluster router cannot buffer a streamed body to
+// derive its routing key the way it does for JSON requests, so shard
+// affinity hangs off a bounded prefix: 64 KiB covers the header plus the
+// first chunks of any real capture, which is as identity-stable as a
+// whole-body hash for streams that are re-uploads of the same trace.
+const StreamKeyPrefix = 64 << 10
+
+// StreamRoutingKey derives the consistent-hash key for a streamed trace
+// body from its bounded prefix (up to StreamKeyPrefix bytes). It is the
+// streaming analogue of RoutingKey: same trace bytes, same key, same
+// home shard — even though no shard caches the stream, affinity keeps a
+// re-uploaded trace's load on one replica instead of spraying the fleet.
+func StreamRoutingKey(prefix []byte) string {
+	if len(prefix) > StreamKeyPrefix {
+		prefix = prefix[:StreamKeyPrefix]
+	}
+	sum := sha256.Sum256(prefix)
+	return fmt.Sprintf("stream:%x", sum[:12])
+}
+
+// budgetReader enforces the daemon's record budget over any trace
+// format and tallies what streams past: cumulative record count (the
+// response's references field), tag classes (the text report needs
+// them), and the daemon-wide decode counter. The budget is cumulative
+// across the whole body — chunked formats cannot dodge it by announcing
+// small pieces — and exceeding it poisons the reader with ErrTooLarge.
+type budgetReader struct {
+	inner  trace.BatchReader
+	budget int64
+	read   atomic.Int64 // written by the simulation goroutine, read after it finishes
+	tags   trace.TagCounts
+	err    error
+}
+
+func (r *budgetReader) Name() string { return r.inner.Name() }
+func (r *budgetReader) Len() int     { return r.inner.Len() }
+
+func (r *budgetReader) ReadBatch(dst []trace.Record) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	n, err := r.inner.ReadBatch(dst)
+	read := r.read.Add(int64(n))
+	r.tags.AddRecords(dst[:n])
+	if read > r.budget {
+		r.err = fmt.Errorf("%w: body exceeds the %d-record budget", trace.ErrTooLarge, r.budget)
+		return n, r.err
+	}
+	return n, err
+}
+
+// streamPlan is a validated /v1/simulate/trace query string.
+type streamPlan struct {
+	cfgs    []core.Config
+	descs   []string
+	timeout int64
+	format  string
+}
+
+// parseStreamQuery validates the query parameters of a streamed simulate
+// request. The grammar mirrors the JSON ConfigSpec: config may repeat
+// (one result per name, same order), and the numeric overrides apply to
+// every named config, exactly like softcache-sim's flags.
+func parseStreamQuery(q url.Values) (*streamPlan, *apiError) {
+	known := map[string]bool{
+		"config": true, "cache_kb": true, "line": true, "vline": true,
+		"latency": true, "assoc": true, "timeout_ms": true, "format": true,
+	}
+	for k := range q {
+		if !known[k] {
+			return nil, badRequest("unknown query parameter %q", k)
+		}
+	}
+	intParam := func(key string) (int, *apiError) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, badRequest("query parameter %s=%q is not an integer", key, v)
+		}
+		return n, nil
+	}
+	spec := ConfigSpec{}
+	var aerr *apiError
+	if spec.CacheKB, aerr = intParam("cache_kb"); aerr != nil {
+		return nil, aerr
+	}
+	if spec.Line, aerr = intParam("line"); aerr != nil {
+		return nil, aerr
+	}
+	if q.Get("vline") != "" {
+		v, aerr := intParam("vline")
+		if aerr != nil {
+			return nil, aerr
+		}
+		spec.VLine = &v
+	}
+	if spec.Latency, aerr = intParam("latency"); aerr != nil {
+		return nil, aerr
+	}
+	if spec.Assoc, aerr = intParam("assoc"); aerr != nil {
+		return nil, aerr
+	}
+	timeoutMS, aerr := intParam("timeout_ms")
+	if aerr != nil {
+		return nil, aerr
+	}
+	if timeoutMS < 0 || int64(timeoutMS) > maxTimeoutMS {
+		return nil, badRequest("timeout_ms %d out of range [0, %d]", timeoutMS, maxTimeoutMS)
+	}
+	format := q.Get("format")
+	if format != "" && format != "json" && format != "text" {
+		return nil, badRequest("unknown format %q (want json or text)", format)
+	}
+
+	names := q["config"]
+	if len(names) == 0 {
+		names = []string{"soft"}
+	}
+	if len(names) > MaxConfigs {
+		return nil, badRequest("%d configs exceed the per-request limit %d", len(names), MaxConfigs)
+	}
+	p := &streamPlan{timeout: int64(timeoutMS), format: format}
+	for i, name := range names {
+		cs := spec
+		cs.Name = name
+		cfg, err := cs.build()
+		if err != nil {
+			return nil, badRequest("config %d: %v", i, err)
+		}
+		p.cfgs = append(p.cfgs, cfg)
+		p.descs = append(p.descs, core.Describe(cfg))
+	}
+	return p, nil
+}
+
+// streamBodyError maps a streaming simulate failure to its HTTP status.
+// Every error out of the decode-simulate loop is the body's fault — the
+// configs were validated before a byte was read — so the default is 400,
+// with the record budget surfacing as 413 like the JSON body cap does.
+func streamBodyError(err error) *apiError {
+	if errors.Is(err, trace.ErrTooLarge) {
+		return &apiError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+	}
+	return badRequest("%v", err)
+}
+
+func (s *Server) handleSimulateTrace(w http.ResponseWriter, r *http.Request) {
+	plan, aerr := parseStreamQuery(r.URL.Query())
+	if aerr != nil {
+		aerr.write(w)
+		return
+	}
+
+	release, aerr := s.admit(r.Context())
+	if aerr != nil {
+		if aerr.status != 499 {
+			aerr.write(w)
+		}
+		return
+	}
+	defer release()
+
+	// The header sniff happens inside the worker slot: it is the first
+	// read of a body that may still be crossing the network.
+	br, err := trace.NewAnyReader(r.Body, "upload")
+	if err != nil {
+		streamBodyError(err).write(w)
+		return
+	}
+	rd := &budgetReader{inner: br, budget: s.cfg.MaxTraceRecords}
+	// Decode accounting is committed whether the run succeeds or not: a
+	// stream that fails mid-body still decoded its records and chunks.
+	defer func() {
+		s.met.traceRecords.Add(uint64(rd.read.Load()))
+		if sr, ok := br.(*trace.StreamReader); ok {
+			s.met.traceChunks.Add(sr.Chunks())
+		}
+	}()
+
+	deadline := time.Now().Add(s.timeoutFor(plan.timeout))
+	results, aerr := s.runFused(r.Context(), deadline, "stream:"+rd.Name(), plan.descs,
+		func(runCtx context.Context) ([]core.Result, error) {
+			return core.SimulateMany(runCtx, plan.cfgs, rd)
+		}, streamBodyError)
+	if aerr != nil {
+		if aerr.status != 499 {
+			aerr.write(w)
+		}
+		return
+	}
+
+	if plan.format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i, res := range results {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			metrics.SimulationReport(w, rd.tags, res)
+		}
+		return
+	}
+	resp := SimulateResponse{Trace: rd.Name(), References: uint64(rd.read.Load())}
+	for _, res := range results {
+		resp.Results = append(resp.Results, ConfigResult{
+			Config:      res.Config,
+			AMAT:        res.AMAT(),
+			MissRatio:   res.MissRatio(),
+			WordsPerRef: res.Stats.WordsPerReference(),
+			Stats:       res.Stats,
+		})
+	}
+	writeJSON(w, resp)
+}

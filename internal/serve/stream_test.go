@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// streamBody POSTs raw bytes to /v1/simulate/trace with the given query.
+func streamBody(t *testing.T, base, query string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/simulate/trace"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func testTraceBytes(t *testing.T) (tr *trace.Trace, flat, sctz []byte) {
+	t.Helper()
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb, zb bytes.Buffer
+	if err := trace.Write(&fb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSCTZ(&zb, tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr, fb.Bytes(), zb.Bytes()
+}
+
+func TestSimulateTraceStreamed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr, flat, sctz := testTraceBytes(t)
+
+	// The same trace streamed in either binary format must produce the
+	// identical response (modulo nothing: both formats carry the name).
+	stFlat, bodyFlat := streamBody(t, ts.URL, "?config=soft&config=standard", flat)
+	if stFlat != http.StatusOK {
+		t.Fatalf("flat stream: status %d: %s", stFlat, bodyFlat)
+	}
+	stZ, bodyZ := streamBody(t, ts.URL, "?config=soft&config=standard", sctz)
+	if stZ != http.StatusOK {
+		t.Fatalf("sctz stream: status %d: %s", stZ, bodyZ)
+	}
+	if !bytes.Equal(bodyFlat, bodyZ) {
+		t.Fatalf("flat and sctz streams disagree:\nflat: %s\nsctz: %s", bodyFlat, bodyZ)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(bodyZ, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.References != uint64(tr.Len()) {
+		t.Fatalf("references = %d, want %d", resp.References, tr.Len())
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+
+	// The streamed answer must agree with the materialised endpoint run
+	// over the same uploaded records (din carries addr+dir only, so the
+	// comparison uses the binary upload against the workload baseline).
+	stJSON, bodyJSON := post(t, ts.URL+"/v1/simulate",
+		`{"workload":"MV","scale":"test","configs":[{"name":"soft"},{"name":"standard"}]}`)
+	if stJSON != http.StatusOK {
+		t.Fatalf("materialised simulate: status %d: %s", stJSON, bodyJSON)
+	}
+	var base SimulateResponse
+	if err := json.Unmarshal(bodyJSON, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != len(resp.Results) {
+		t.Fatalf("result count mismatch: %d vs %d", len(base.Results), len(resp.Results))
+	}
+	for i := range base.Results {
+		if base.Results[i] != resp.Results[i] {
+			t.Fatalf("result %d: streamed %+v != materialised %+v", i, resp.Results[i], base.Results[i])
+		}
+	}
+
+	// Text format renders one report per config.
+	stText, bodyText := streamBody(t, ts.URL, "?config=soft&format=text", sctz)
+	if stText != http.StatusOK {
+		t.Fatalf("text stream: status %d: %s", stText, bodyText)
+	}
+	if !strings.Contains(string(bodyText), "AMAT") {
+		t.Fatalf("text report missing AMAT:\n%s", bodyText)
+	}
+
+	// The decode counters must have moved and be rendered in /metrics.
+	stM, metricsBody := get(t, ts.URL+"/metrics")
+	if stM != http.StatusOK {
+		t.Fatalf("metrics: status %d", stM)
+	}
+	m := string(metricsBody)
+	if !strings.Contains(m, "softcache_trace_decode_records_total") ||
+		strings.Contains(m, "softcache_trace_decode_records_total 0\n") {
+		t.Fatalf("decode records counter absent or zero:\n%s", m)
+	}
+	if !strings.Contains(m, "softcache_trace_decode_chunks_total") ||
+		strings.Contains(m, "softcache_trace_decode_chunks_total 0\n") {
+		t.Fatalf("decode chunks counter absent or zero after an SCTZ stream:\n%s", m)
+	}
+}
+
+func TestSimulateTraceDin(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	din := "0 1000\n1 1008\n0 2000\n"
+	st, body := streamBody(t, ts.URL, "?config=standard", []byte(din))
+	if st != http.StatusOK {
+		t.Fatalf("din stream: status %d: %s", st, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.References != 3 {
+		t.Fatalf("references = %d, want 3", resp.References)
+	}
+}
+
+func TestSimulateTraceRecordBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTraceRecords: 100})
+	_, flat, sctz := testTraceBytes(t) // MV test scale is well over 100 records
+	for name, body := range map[string][]byte{"flat": flat, "sctz": sctz} {
+		st, resp := streamBody(t, ts.URL, "", body)
+		if st != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s over budget: status %d (want 413): %s", name, st, resp)
+		}
+		if !strings.Contains(string(resp), "budget") {
+			t.Errorf("%s over budget: error body does not name the budget: %s", name, resp)
+		}
+	}
+}
+
+func TestSimulateTraceBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, _, sctz := testTraceBytes(t)
+
+	cases := []struct {
+		name, query string
+		body        []byte
+		want        int
+	}{
+		{"garbage body", "", []byte("not a trace\n"), http.StatusBadRequest},
+		{"truncated sctz", "", sctz[:len(sctz)-9], http.StatusBadRequest},
+		{"unknown config", "?config=nope", sctz, http.StatusBadRequest},
+		{"unknown param", "?wat=1", sctz, http.StatusBadRequest},
+		{"bad override", "?line=banana", sctz, http.StatusBadRequest},
+		{"bad format", "?format=xml", sctz, http.StatusBadRequest},
+		{"too many configs", "?" + strings.Repeat("config=soft&", MaxConfigs+1), sctz, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		st, resp := streamBody(t, ts.URL, tc.query, tc.body)
+		if st != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, st, tc.want, resp)
+		}
+	}
+
+	// A corrupt SCTZ chunk (bit flip past the header) must fail the
+	// request with 400, not 500: the body is client data.
+	corrupt := append([]byte(nil), sctz...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	st, resp := streamBody(t, ts.URL, "", corrupt)
+	if st != http.StatusBadRequest {
+		t.Errorf("corrupt sctz: status %d (want 400): %s", st, resp)
+	}
+}
+
+func TestStreamRoutingKeyStable(t *testing.T) {
+	_, _, sctz := testTraceBytes(t)
+	k1 := StreamRoutingKey(sctz)
+	k2 := StreamRoutingKey(sctz)
+	if k1 != k2 {
+		t.Fatalf("same bytes, different keys: %s vs %s", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "stream:") {
+		t.Fatalf("key %q lacks the stream: prefix", k1)
+	}
+	// Only the bounded prefix participates: appending beyond it must not
+	// change the key, while perturbing an early byte must.
+	long := make([]byte, StreamKeyPrefix+1024)
+	copy(long, sctz)
+	if StreamRoutingKey(long) != StreamRoutingKey(long[:StreamKeyPrefix]) {
+		t.Fatal("bytes past the prefix changed the key")
+	}
+	perturbed := append([]byte(nil), sctz...)
+	perturbed[8] ^= 1
+	if StreamRoutingKey(perturbed) == k1 {
+		t.Fatal("different prefix bytes produced the same key")
+	}
+}

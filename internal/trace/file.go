@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// NewAnyReader sniffs the stream's leading bytes and returns a streaming
+// BatchReader for whichever trace format they announce: flat SCTR,
+// compressed SCTZ, or — when no binary magic matches — din text (plain or
+// gzip-compressed, which DinReader sniffs itself). name is used only for
+// din input; the binary formats carry their own. This is the one entry
+// point CLIs and servers need to accept "a trace" from a file, pipe or
+// request body without being told its format.
+func NewAnyReader(r io.Reader, name string) (BatchReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(4) // a short stream falls through to the din parser
+	switch {
+	case string(head) == magic:
+		return newReader(br)
+	case string(head) == sctzMagic:
+		return newStreamReader(br)
+	default:
+		return NewDinReader(br, name)
+	}
+}
+
+// File is an open on-disk trace: a BatchReader plus the resources backing
+// it. Binary-format files are memory-mapped on platforms that support it,
+// so decoding runs over the page cache with no read syscalls or staging
+// copies; other files (and other platforms) stream through a buffered
+// reader. Close releases the mapping and the descriptor; the File must not
+// be used after Close when a mapping was active.
+type File struct {
+	BatchReader
+	f      *os.File
+	mapped []byte
+}
+
+// OpenFile opens path as a trace in any supported format (see
+// NewAnyReader). For din input the trace is named after the file with its
+// .gz and format extensions stripped.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var head [4]byte
+	n, _ := f.ReadAt(head[:], 0)
+	if n == 4 && st.Mode().IsRegular() && mmapSupported {
+		if s := string(head[:]); s == magic || s == sctzMagic {
+			if data, merr := mmapFile(f, st.Size()); merr == nil {
+				var br BatchReader
+				if s == magic {
+					br, err = NewReaderBytes(data)
+				} else {
+					br, err = NewStreamReaderBytes(data)
+				}
+				if err != nil {
+					munmapFile(data)
+					f.Close()
+					return nil, fmt.Errorf("%s: %w", path, err)
+				}
+				return &File{BatchReader: br, f: f, mapped: data}, nil
+			}
+			// mmap refused (exotic filesystem, too large for the address
+			// space): fall through to the streaming path.
+		}
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".gz")
+	name = strings.TrimSuffix(name, filepath.Ext(name))
+	br, err := NewAnyReader(f, name)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{BatchReader: br, f: f}, nil
+}
+
+// Mapped reports whether the file is being decoded from a memory mapping.
+func (f *File) Mapped() bool { return f.mapped != nil }
+
+// Close unmaps and closes the underlying file.
+func (f *File) Close() error {
+	var err error
+	if f.mapped != nil {
+		err = munmapFile(f.mapped)
+		f.mapped = nil
+	}
+	if cerr := f.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

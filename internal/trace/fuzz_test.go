@@ -114,3 +114,106 @@ func FuzzReadDin(f *testing.F) {
 		}
 	})
 }
+
+// sctzFaultSeeds builds the SCTZ corruption corpus: a healthy compressed
+// stream plus truncations at every framing boundary, corrupted magic and
+// version, hostile chunk counts and payload lengths, flipped plane bytes
+// (checksum coverage) and index bytes pointing past the dictionary.
+func sctzFaultSeeds(f *testing.F) [][]byte {
+	var healthy bytes.Buffer
+	tr := &Trace{Name: "seed"}
+	for i := 0; i < 600; i++ {
+		tr.Append(Record{Addr: 0x1000 + uint64(i)*8, RefID: uint32(i % 5), Size: 8, Gap: 1, Temporal: i%2 == 0})
+	}
+	if err := WriteSCTZ(&healthy, tr); err != nil {
+		f.Fatal(err)
+	}
+	h := healthy.Bytes()
+	headerLen := 4 + 2 + 2 + len("seed") + 8
+	clone := func() []byte { return append([]byte(nil), h...) }
+
+	seeds := [][]byte{h}
+	// Truncations: mid-magic, mid-header, mid-chunk-header, mid-plane,
+	// just before the end marker.
+	for _, at := range []int{0, 2, 5, headerLen - 3, headerLen + 4, headerLen + 20, len(h) / 2, len(h) - 9, len(h) - 1} {
+		if at >= 0 && at < len(h) {
+			seeds = append(seeds, clone()[:at])
+		}
+	}
+	badMagic := clone()
+	badMagic[0] = 'X'
+	seeds = append(seeds, badMagic)
+
+	badVersion := clone()
+	binary.LittleEndian.PutUint16(badVersion[4:6], 0x7fff)
+	seeds = append(seeds, badVersion)
+
+	hugeTotal := clone()
+	binary.LittleEndian.PutUint64(hugeTotal[headerLen-8:headerLen], MaxRecords+1)
+	seeds = append(seeds, hugeTotal)
+
+	hugeChunk := clone()
+	binary.LittleEndian.PutUint32(hugeChunk[headerLen:headerLen+4], ^uint32(0))
+	seeds = append(seeds, hugeChunk)
+
+	hugePayload := clone()
+	binary.LittleEndian.PutUint32(hugePayload[headerLen+4:headerLen+8], ^uint32(0))
+	seeds = append(seeds, hugePayload)
+
+	// One flipped byte in each third of the first chunk's payload, so the
+	// dict, index and escape planes all see checksum damage.
+	for _, frac := range []int{4, 2} {
+		flip := clone()
+		flip[headerLen+8+len(flip)/frac%64] ^= 0x20
+		seeds = append(seeds, flip)
+	}
+	markerPayload := clone()
+	binary.LittleEndian.PutUint32(markerPayload[len(markerPayload)-4:], 7)
+	seeds = append(seeds, markerPayload)
+
+	return seeds
+}
+
+// FuzzStreamReader feeds arbitrary bytes to the SCTZ decoder: it must
+// never panic, never over-read past announced bounds, and either fail
+// cleanly or produce a structurally valid trace.
+func FuzzStreamReader(f *testing.F) {
+	for _, s := range sctzFaultSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("SCTZ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewStreamReaderBytes(data)
+		if err != nil {
+			return
+		}
+		tr, err := ReadAll(r)
+		if err != nil {
+			// The sticky error must repeat, not resynchronise.
+			if _, err2 := r.ReadBatch(make([]Record, 8)); err2 == nil {
+				t.Fatal("decode continued after an error")
+			}
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if want := r.Len(); want >= 0 && want != len(tr.Records) {
+			t.Fatalf("announced %d records, decoded %d", want, len(tr.Records))
+		}
+		// The streaming and buffered paths must agree bit for bit.
+		tr2, err := ReadSCTZ(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("bufio path rejected what the bytes path accepted: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("bufio path decoded %d records, bytes path %d", len(tr2.Records), len(tr.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d differs between paths", i)
+			}
+		}
+	})
+}

@@ -376,23 +376,55 @@ func (r *Reader) ReadBatch(dst []Record) (int, error) {
 	return complete, nil
 }
 
-// Read deserialises a whole trace previously written with Write.
+// BatchReader is the streaming decode contract shared by every trace
+// source: the flat binary Reader, the compressed StreamReader (sctz.go)
+// and the din text importer (DinReader). ReadBatch follows
+// Reader.ReadBatch's contract exactly — up to len(dst) records per call,
+// (0, io.EOF) after the last one, n > 0 alongside a non-nil error when a
+// problem surfaces mid-batch. Len reports the total record count when the
+// source announced one, -1 otherwise; consumers must treat it as a
+// preallocation hint, never a promise.
+type BatchReader interface {
+	Name() string
+	Len() int
+	ReadBatch(dst []Record) (int, error)
+}
+
+// Read deserialises a whole trace previously written with Write or
+// WriteSCTZ: the leading magic selects the decoder, so every consumer of
+// saved binary traces accepts both formats transparently.
 func Read(r io.Reader) (*Trace, error) {
-	sr, err := NewReader(r)
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(len(magic)) // short or failed peeks fall through to the flat parser's error
+	var sr BatchReader
+	var err error
+	if string(head) == sctzMagic {
+		sr, err = newStreamReader(br)
+	} else {
+		sr, err = newReader(br)
+	}
 	if err != nil {
 		return nil, err
 	}
+	return ReadAll(sr)
+}
+
+// ReadAll drains a BatchReader into a materialised Trace.
+func ReadAll(r BatchReader) (*Trace, error) {
 	// Cap the preallocation: a corrupt or hostile header must not be able
 	// to demand gigabytes before a single record has been read.
-	prealloc := sr.total
+	prealloc := r.Len()
+	if prealloc < 0 {
+		prealloc = 0
+	}
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
-	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, prealloc)}
+	t := &Trace{Name: r.Name(), Records: make([]Record, 0, prealloc)}
 	batch := GetBatch()
 	defer PutBatch(batch)
 	for {
-		n, err := sr.ReadBatch(*batch)
+		n, err := r.ReadBatch(*batch)
 		t.Records = append(t.Records, (*batch)[:n]...)
 		if err == io.EOF {
 			return t, nil

@@ -78,3 +78,33 @@ func BenchmarkReadBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStreamReadBatch measures the SCTZ chunked decode against the
+// same synthetic stream BenchmarkReadBatch uses, so the two paths compare
+// directly (the official gate is the softcache-perf decode matrix).
+func BenchmarkStreamReadBatch(b *testing.B) {
+	t := synthTrace(1 << 20)
+	var buf bytes.Buffer
+	if err := WriteSCTZ(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Logf("flat %d B, sctz %d B (%.2fx)", len(t.Records)*recordSize, len(data),
+		float64(len(t.Records)*recordSize)/float64(len(data)))
+	dst := make([]Record, BatchSize)
+	b.SetBytes(int64(len(t.Records)) * recordSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewStreamReaderBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			n, err := r.ReadBatch(dst)
+			if n == 0 && err != nil {
+				break
+			}
+		}
+	}
+}

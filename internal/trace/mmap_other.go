@@ -1,0 +1,16 @@
+//go:build !(linux || darwin)
+
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("trace: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the OpenFile fast path; see mmap_other.go for the
+// portable stub.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The caller owns the mapping and
+// must release it with munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("trace: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -139,7 +139,15 @@ func (c TagCounts) Total() int { return c.None + c.SpatialOnly + c.TemporalOnly 
 // CountTags classifies every record of the trace.
 func (t *Trace) CountTags() TagCounts {
 	var c TagCounts
-	for _, r := range t.Records {
+	c.AddRecords(t.Records)
+	return c
+}
+
+// AddRecords accumulates the classification of recs into c, so streaming
+// consumers can tally tags batch by batch without materialising a trace.
+func (c *TagCounts) AddRecords(recs []Record) {
+	for i := range recs {
+		r := &recs[i]
 		switch {
 		case r.Temporal && r.Spatial:
 			c.Both++
@@ -151,5 +159,4 @@ func (t *Trace) CountTags() TagCounts {
 			c.None++
 		}
 	}
-	return c
 }

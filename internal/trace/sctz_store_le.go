@@ -1,0 +1,41 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package trace
+
+import "unsafe"
+
+// On little-endian targets the packed-word convention (see storeRecordPortable)
+// coincides with Record's in-memory layout, so a decoded record lands in the
+// destination slice as three 8-byte stores instead of seven field writes —
+// the difference between the SCTZ hot loop beating the flat decoder and
+// merely matching it. The asserts below fail the build if the struct ever
+// stops lining up; the portable fallback then becomes the fix, not a rewrite.
+var (
+	_ [24 - unsafe.Sizeof(Record{})]byte
+	_ [unsafe.Sizeof(Record{}) - 24]byte
+	_ [8 - unsafe.Offsetof(Record{}.RefID)]byte
+	_ [unsafe.Offsetof(Record{}.RefID) - 8]byte
+	_ [12 - unsafe.Offsetof(Record{}.Gap)]byte
+	_ [13 - unsafe.Offsetof(Record{}.Size)]byte
+	_ [14 - unsafe.Offsetof(Record{}.Write)]byte
+	_ [15 - unsafe.Offsetof(Record{}.Temporal)]byte
+	_ [16 - unsafe.Offsetof(Record{}.Spatial)]byte
+	_ [17 - unsafe.Offsetof(Record{}.VirtualHint)]byte
+	_ [18 - unsafe.Offsetof(Record{}.SoftwarePrefetch)]byte
+	_ [unsafe.Offsetof(Record{}.Gap) - 12]byte
+	_ [unsafe.Offsetof(Record{}.Size) - 13]byte
+	_ [unsafe.Offsetof(Record{}.Write) - 14]byte
+	_ [unsafe.Offsetof(Record{}.Temporal) - 15]byte
+	_ [unsafe.Offsetof(Record{}.Spatial) - 16]byte
+	_ [unsafe.Offsetof(Record{}.VirtualHint) - 17]byte
+	_ [unsafe.Offsetof(Record{}.SoftwarePrefetch) - 18]byte
+)
+
+// storeRecord writes a packed record (see storeRecordPortable for the word
+// convention) into *d as three word stores.
+func storeRecord(d *Record, w0, w1, w2 uint64) {
+	p := (*[3]uint64)(unsafe.Pointer(d))
+	p[0] = w0
+	p[1] = w1
+	p[2] = w2
+}

@@ -1,0 +1,9 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package trace
+
+// storeRecord on big-endian targets unpacks the word convention field by
+// field; the little-endian build stores the three words directly.
+func storeRecord(d *Record, w0, w1, w2 uint64) {
+	storeRecordPortable(d, w0, w1, w2)
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"io"
+	"math/rand"
+)
+
+// SynthesizeSCTZ streams n synthetic records to w as an open-ended SCTZ
+// stream without materialising them, so CI can stage multi-gigabyte
+// inputs in O(batch) memory. The mix is deliberately adversarial for the
+// compressor — seven of eight records take fresh random addresses and
+// refIDs, so they escape to literal form and the stream stays near flat
+// size — while the strided eighth keeps the dictionary path exercised.
+// The same (name, n, seed) always produces the identical byte stream.
+func SynthesizeSCTZ(w io.Writer, name string, n, seed uint64) (uint64, error) {
+	sw, err := NewStreamWriter(w, name)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const sites = 64
+	var strideAddr [sites]uint64
+	for i := range strideAddr {
+		strideAddr[i] = uint64(i) << 32
+	}
+	batch := make([]Record, sctzChunkRecords)
+	var done uint64
+	for done < n {
+		m := uint64(len(batch))
+		if n-done < m {
+			m = n - done
+		}
+		for i := range batch[:m] {
+			r := &batch[i]
+			seq := done + uint64(i)
+			if seq%8 == 0 {
+				site := seq / 8 % sites
+				strideAddr[site] += 8
+				*r = Record{
+					Addr:     strideAddr[site],
+					RefID:    uint32(site),
+					Gap:      1,
+					Size:     8,
+					Temporal: site%2 == 0,
+				}
+				continue
+			}
+			flags := rng.Uint32()
+			*r = Record{
+				Addr:             rng.Uint64() & (1<<40 - 1),
+				RefID:            uint32(rng.Intn(1 << 20)),
+				Gap:              uint8(1 + rng.Intn(16)),
+				Size:             uint8(4 << rng.Intn(2)),
+				Write:            flags&1 != 0,
+				Temporal:         flags&2 != 0,
+				Spatial:          flags&4 != 0,
+				VirtualHint:      uint8(flags >> 3 & 3),
+				SoftwarePrefetch: flags&32 != 0,
+			}
+		}
+		if err := sw.Write(batch[:m]); err != nil {
+			return done, err
+		}
+		done += m
+	}
+	if err := sw.Close(); err != nil {
+		return done, err
+	}
+	return done, nil
+}
