@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench perf perf-check figures faults serve examples clean
+.PHONY: all build test vet bench perf perf-check figures faults serve result-race examples clean
 
 all: build vet test
 
@@ -51,6 +51,14 @@ faults:
 # Run the simulation service daemon on the default port. See docs/SERVE.md.
 serve:
 	$(GO) run ./cmd/softcache-served
+
+# The result-cache equivalence layer under the race detector — what CI's
+# "result-cache equivalence suite" step runs. See docs/SERVE.md "Result
+# cache".
+result-race:
+	$(GO) test -race -count=1 ./internal/resultcache
+	$(GO) test -race -count=1 -run 'Result|Fingerprint|PrefixCollision|RestartedShard' \
+		./internal/serve ./internal/cluster ./cmd/softcache-served
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -8,6 +8,7 @@
 //	softcache-served                       # listen on 127.0.0.1:8265
 //	softcache-served -addr :9000 -workers 8 -queue 128 -cache-mb 512
 //	softcache-served -timeout 30s -max-timeout 2m -drain 15s -shard s1
+//	softcache-served -result-cache-dir /var/lib/softcache/results  # durable result cache
 //	softcache-served -route host1:8265,host2:8265,host3:8265   # router mode
 //
 // With -route the daemon is a cluster router instead of a shard: it
@@ -15,7 +16,15 @@
 // across the listed softcache-served replicas, with health-probe-driven
 // circuit breakers, budgeted retry failover, and optional request
 // hedging (-hedge-after). Shard-only flags (-workers, -queue, -cache-mb,
-// -timeout, -max-timeout, -shard) are ignored in router mode.
+// -timeout, -max-timeout, -shard, -result-cache-dir) are ignored in
+// router mode.
+//
+// With -result-cache-dir a shard keeps a durable result cache
+// (internal/resultcache): rendered simulate/sweep/stream responses are
+// stored in an append-only CRC-framed segment log and repeat requests
+// are answered from disk (X-Softcache-Result: hit) without a kernel
+// run. The directory belongs to one daemon at a time and survives
+// restarts; -result-cache-bytes bounds the live entries.
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (with -addr :0 the line carries the chosen port). SIGINT or SIGTERM
@@ -42,6 +51,7 @@ import (
 
 	"softcache/internal/cli"
 	"softcache/internal/cluster"
+	"softcache/internal/resultcache"
 	"softcache/internal/serve"
 )
 
@@ -67,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	maxBody := fs.Int("max-body", 32, "largest request body accepted (MiB)")
 	maxTraceRecords := fs.Int64("max-trace-records", 0, "record budget for one streamed trace body on /v1/simulate/trace (0 = trace format default)")
+	resultDir := fs.String("result-cache-dir", "", "durable result-cache directory; empty disables the result cache (shard mode only)")
+	resultBytes := fs.Int64("result-cache-bytes", 256<<20, "result-cache live-byte budget (bytes)")
 	shard := fs.String("shard", "", "shard ID label for fleet deployments (X-Softcache-Shard header, /metrics)")
 	route := fs.String("route", "", "router mode: comma-separated shard base URLs to consistent-hash across")
 	hedgeAfter := fs.Duration("hedge-after", 0, "router: race a second replica after this delay (0 disables hedging)")
@@ -90,6 +102,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxTraceRecords < 0 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("-max-trace-records must not be negative"))
+	}
+	if *resultBytes < 1 {
+		return cli.Exit(stderr, tool, cli.UsageErrorf("-result-cache-bytes must be positive"))
 	}
 	if *hedgeAfter < 0 || *probeInterval <= 0 || *rise < 1 || *fall < 1 || *cooldown <= 0 || *retries < 0 || *retryBudget <= 0 {
 		return cli.Exit(stderr, tool, cli.UsageErrorf("router flags out of range: -hedge-after >= 0; -probe-interval, -cooldown, -retry-budget > 0; -rise, -fall >= 1; -retries >= 0"))
@@ -128,6 +143,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		closeRouter = router.Close
 		fmt.Fprintf(stdout, "routing %d shards\n", len(shards))
 	} else {
+		var results *resultcache.Cache
+		if *resultDir != "" {
+			var rcErr error
+			results, rcErr = resultcache.Open(*resultDir, *resultBytes, 0)
+			if rcErr != nil {
+				ln.Close()
+				return cli.Exit(stderr, tool, rcErr)
+			}
+			// Closed after the listener drains, below: the server must not
+			// serve requests against a closed log.
+			defer results.Close()
+			st := results.Stats()
+			fmt.Fprintf(stdout, "result cache: %s (%d entries, %d bytes)\n", *resultDir, st.Entries, st.Bytes)
+		}
 		handler = serve.New(serve.Config{
 			Workers:         *workers,
 			QueueDepth:      *queue,
@@ -137,6 +166,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			MaxBodyBytes:    int64(*maxBody) << 20,
 			MaxTraceRecords: *maxTraceRecords,
 			ShardID:         *shard,
+			ResultCache:     results,
 			Log:             stderr,
 		})
 	}

@@ -149,6 +149,7 @@ func TestDaemonUsageErrors(t *testing.T) {
 		{"stray-arg"},
 		{"-queue", "0"},
 		{"-drain", "0s"},
+		{"-result-cache-bytes", "0"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -251,6 +252,61 @@ func TestDaemonRouterMode(t *testing.T) {
 		if code := stop(); code != 0 {
 			t.Fatalf("shard exited %d", code)
 		}
+	}
+}
+
+// postSim posts one simulate request and returns status, headers, body.
+func postSim(t *testing.T, base, req string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestDaemonResultCacheRestart is the whole-process restart-recovery
+// check: a daemon with -result-cache-dir answers, drains on SIGTERM
+// (ctx cancel is the same path), and a new daemon over the same
+// directory serves the repeat request from disk — result hit,
+// byte-identical body.
+func TestDaemonResultCacheRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-result-cache-dir", dir, "-shard", "s0"}
+	req := `{"workload":"MV","scale":"test","configs":[{"name":"soft"},{"name":"standard"}]}`
+
+	base, errb, shutdown := startDaemon(t, args...)
+	code, hdr, first := postSim(t, base, req)
+	if code != 200 || hdr.Get("X-Softcache-Result") != "miss" {
+		t.Fatalf("first request: %d result=%q: %s", code, hdr.Get("X-Softcache-Result"), first)
+	}
+	code, hdr, second := postSim(t, base, req)
+	if code != 200 || hdr.Get("X-Softcache-Result") != "hit" {
+		t.Fatalf("repeat request: %d result=%q", code, hdr.Get("X-Softcache-Result"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("hit bytes differ from miss bytes")
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exited %d; stderr=%q", code, errb.String())
+	}
+
+	base, errb, shutdown = startDaemon(t, args...)
+	defer shutdown()
+	code, hdr, third := postSim(t, base, req)
+	if code != 200 {
+		t.Fatalf("post-restart request: %d %s", code, third)
+	}
+	if hdr.Get("X-Softcache-Result") != "hit" {
+		t.Fatalf("post-restart result = %q, want hit (stderr=%q)", hdr.Get("X-Softcache-Result"), errb.String())
+	}
+	if !bytes.Equal(first, third) {
+		t.Fatal("post-restart response is not byte-identical to the original computation")
 	}
 }
 

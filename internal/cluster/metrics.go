@@ -21,6 +21,8 @@ type routerMetrics struct {
 	budgetExhausted atomic.Uint64 // retries/hedges denied by the retry budget
 	errors          atomic.Uint64 // 502s: every attempt failed
 	streamed        atomic.Uint64 // unbuffered pass-through requests (/v1/simulate/trace)
+	resultHits      atomic.Uint64 // relayed responses stamped X-Softcache-Result: hit
+	resultMisses    atomic.Uint64 // relayed responses stamped X-Softcache-Result: miss
 }
 
 // writeMetrics renders the router counters plus the per-shard breaker,
@@ -36,6 +38,11 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE softcache_router_retry_budget_exhausted_total counter\nsoftcache_router_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
 	fmt.Fprintf(w, "# TYPE softcache_router_errors_total counter\nsoftcache_router_errors_total %d\n", m.errors.Load())
 	fmt.Fprintf(w, "# TYPE softcache_router_streamed_total counter\nsoftcache_router_streamed_total %d\n", m.streamed.Load())
+	// Fleet-level result-cache traffic, tallied off the relayed
+	// X-Softcache-Result header: what fraction of answered requests were
+	// fetched from a shard's durable result cache vs recomputed.
+	fmt.Fprintf(w, "# TYPE softcache_router_result_hits_total counter\nsoftcache_router_result_hits_total %d\n", m.resultHits.Load())
+	fmt.Fprintf(w, "# TYPE softcache_router_result_misses_total counter\nsoftcache_router_result_misses_total %d\n", m.resultMisses.Load())
 
 	shards := make([]string, 0, len(rt.states))
 	for s := range rt.states {

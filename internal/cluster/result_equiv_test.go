@@ -1,0 +1,303 @@
+package cluster
+
+// Cluster-side of the result-cache equivalence suite: the router must
+// relay the X-Softcache-Result and X-Softcache-Trace-Fingerprint stamps
+// end to end, tally fleet-level hit/miss traffic, and — the headline —
+// keep serving byte-identical answers when a shard dies (failover
+// recomputes on the survivor, then hits its cache) or restarts (the cold
+// process answers from its durable log without a single trace decode).
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"softcache/internal/resultcache"
+	"softcache/internal/serve"
+	"softcache/internal/trace"
+	"softcache/internal/workloads"
+)
+
+// newCachedShard builds one serve daemon backed by a durable result
+// cache over dir. The cache is closed on cleanup, after the servers.
+func newCachedShard(t *testing.T, id, dir string) (*serve.Server, *resultcache.Cache) {
+	t.Helper()
+	rc, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	return serve.New(serve.Config{ShardID: id, ResultCache: rc, Log: io.Discard}), rc
+}
+
+// newCachedFleet starts n cached shards on their own temp directories.
+func newCachedFleet(t *testing.T, n int) ([]*httptest.Server, []*resultcache.Cache) {
+	t.Helper()
+	fleet := make([]*httptest.Server, n)
+	caches := make([]*resultcache.Cache, n)
+	for i := range fleet {
+		s, rc := newCachedShard(t, "s"+string(rune('0'+i)), t.TempDir())
+		fleet[i] = httptest.NewServer(s)
+		t.Cleanup(fleet[i].Close)
+		caches[i] = rc
+	}
+	return fleet, caches
+}
+
+// streamVia posts raw trace bytes to /v1/simulate/trace via base.
+func streamVia(t *testing.T, base, query string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/simulate/trace"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func flatTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	tr, err := workloads.Trace("MV", workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// resultCounters reads the router's fleet-level result-cache tallies.
+func resultCounters(t *testing.T, routerURL string) (hits, misses float64) {
+	t.Helper()
+	m := routerMetricsBody(t, routerURL)
+	return metricValue(t, m, "softcache_router_result_hits_total"),
+		metricValue(t, m, "softcache_router_result_misses_total")
+}
+
+// TestRouterRelaysResultHeaders: a simulate through the router carries
+// the shard's result-cache outcome to the client, byte-identical to the
+// single-process baseline, and the router's fleet tallies count it.
+func TestRouterRelaysResultHeaders(t *testing.T) {
+	fleet, _ := newCachedFleet(t, 2)
+	_, ts := newTestRouter(t, Config{Shards: shardURLs(fleet), RetryBackoff: -1})
+
+	body := simBody(1)
+	want := baseline(t, body)
+
+	code, hdr, got := post(t, ts.URL+"/v1/simulate", body)
+	if code != 200 || hdr.Get(serve.ResultHeader) != "miss" {
+		t.Fatalf("first request: %d %s=%q", code, serve.ResultHeader, hdr.Get(serve.ResultHeader))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("routed miss is not byte-identical to the baseline")
+	}
+
+	code, hdr, got = post(t, ts.URL+"/v1/simulate", body)
+	if code != 200 || hdr.Get(serve.ResultHeader) != "hit" {
+		t.Fatalf("repeat request: %d %s=%q", code, serve.ResultHeader, hdr.Get(serve.ResultHeader))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("routed hit is not byte-identical to the baseline")
+	}
+
+	hits, misses := resultCounters(t, ts.URL)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("router result tallies = %v hits / %v misses, want 1/1", hits, misses)
+	}
+}
+
+// TestRouterRelaysStreamFingerprint: the unbuffered stream proxy path
+// must relay both the trace fingerprint and the result outcome, and the
+// repeat upload must hit without the shard re-decoding.
+func TestRouterRelaysStreamFingerprint(t *testing.T) {
+	fleet, caches := newCachedFleet(t, 2)
+	_, ts := newTestRouter(t, Config{Shards: shardURLs(fleet), RetryBackoff: -1})
+	flat := flatTraceBytes(t)
+
+	code, hdr, first := streamVia(t, ts.URL, "?config=soft", flat)
+	if code != 200 || hdr.Get(serve.ResultHeader) != "miss" {
+		t.Fatalf("first stream: %d %s=%q: %s", code, serve.ResultHeader, hdr.Get(serve.ResultHeader), first)
+	}
+	fp := hdr.Get(serve.TraceFingerprintHeader)
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not 64 hex chars", fp)
+	}
+
+	code, hdr, second := streamVia(t, ts.URL, "?config=soft", flat)
+	if code != 200 || hdr.Get(serve.ResultHeader) != "hit" {
+		t.Fatalf("repeat stream: %d %s=%q", code, serve.ResultHeader, hdr.Get(serve.ResultHeader))
+	}
+	if hdr.Get(serve.TraceFingerprintHeader) != fp {
+		t.Fatalf("fingerprint changed across identical uploads: %q vs %q", hdr.Get(serve.TraceFingerprintHeader), fp)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("stream hit bytes differ from miss bytes")
+	}
+
+	hits, misses := resultCounters(t, ts.URL)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("router result tallies = %v hits / %v misses, want 1/1", hits, misses)
+	}
+	var totalHits uint64
+	for _, rc := range caches {
+		totalHits += rc.Stats().Hits
+	}
+	if totalHits != 1 {
+		t.Fatalf("fleet result caches report %d hits, want 1", totalHits)
+	}
+}
+
+// TestFailoverServesFromSurvivorResultCache is the cluster headline:
+// kill the home shard and the rerouted request recomputes on the
+// survivor (miss, degraded), whose durable cache then answers the next
+// repeat (hit, degraded) — every response byte-identical to baseline.
+func TestFailoverServesFromSurvivorResultCache(t *testing.T) {
+	fleet, caches := newCachedFleet(t, 2)
+	rt, ts := newTestRouter(t, Config{Shards: shardURLs(fleet), RetryBackoff: -1})
+
+	victim := 0
+	victimURL, err := normalizeShard(fleet[victim].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := seedOwnedBy(t, rt, victimURL)
+	body := simBody(seed)
+	want := baseline(t, body)
+
+	step := func(label, outcome, degraded string) {
+		t.Helper()
+		code, hdr, got := post(t, ts.URL+"/v1/simulate", body)
+		if code != 200 {
+			t.Fatalf("%s: status %d: %s", label, code, got)
+		}
+		if o := hdr.Get(serve.ResultHeader); o != outcome {
+			t.Fatalf("%s: %s = %q, want %q", label, serve.ResultHeader, o, outcome)
+		}
+		if d := hdr.Get(DegradedHeader); d != degraded {
+			t.Fatalf("%s: degraded = %q, want %q", label, d, degraded)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: response diverged from baseline", label)
+		}
+	}
+
+	step("home miss", "miss", "")
+	step("home hit", "hit", "")
+
+	fleet[victim].CloseClientConnections()
+	fleet[victim].Close()
+
+	step("survivor miss", "miss", "rerouted")
+	step("survivor hit", "hit", "rerouted")
+
+	hits, misses := resultCounters(t, ts.URL)
+	if hits != 2 || misses != 2 {
+		t.Fatalf("router result tallies = %v hits / %v misses, want 2/2", hits, misses)
+	}
+	st := caches[1].Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("survivor cache stats = hits %d misses %d stores %d, want 1/1/1", st.Hits, st.Misses, st.Stores)
+	}
+}
+
+// swapHandler lets a test "restart" a shard in place: the listener (and
+// therefore the shard URL the router routes to) stays up while the
+// handler behind it is replaced with a fresh process's.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (sh *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	h := sh.h
+	sh.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (sh *swapHandler) set(h http.Handler) {
+	sh.mu.Lock()
+	sh.h = h
+	sh.mu.Unlock()
+}
+
+// TestRestartedShardAnswersFromDisk restarts a shard over its cache
+// directory: the cold process must serve the repeat request from the
+// durable log — result hit, byte-identical, zero trace decodes.
+func TestRestartedShardAnswersFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	rc1, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &swapHandler{h: serve.New(serve.Config{ShardID: "s0", ResultCache: rc1, Log: io.Discard})}
+	shard := httptest.NewServer(sh)
+	t.Cleanup(shard.Close)
+	_, ts := newTestRouter(t, Config{Shards: []string{shard.URL}, RetryBackoff: -1})
+
+	body := simBody(7)
+	want := baseline(t, body)
+	code, hdr, got := post(t, ts.URL+"/v1/simulate", body)
+	if code != 200 || hdr.Get(serve.ResultHeader) != "miss" || !bytes.Equal(got, want) {
+		t.Fatalf("pre-restart request: %d %s=%q", code, serve.ResultHeader, hdr.Get(serve.ResultHeader))
+	}
+
+	// Restart: the old process's cache closes cleanly, a new one opens
+	// the same directory.
+	if err := rc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rc2, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc2.Close() })
+	sh.set(serve.New(serve.Config{ShardID: "s0", ResultCache: rc2, Log: io.Discard}))
+
+	code, hdr, got = post(t, ts.URL+"/v1/simulate", body)
+	if code != 200 {
+		t.Fatalf("post-restart request: %d %s", code, got)
+	}
+	if hdr.Get(serve.ResultHeader) != "hit" {
+		t.Fatalf("post-restart outcome = %q, want hit", hdr.Get(serve.ResultHeader))
+	}
+	if hdr.Get(DegradedHeader) != "" {
+		t.Fatalf("restart is not a failover: degraded = %q", hdr.Get(DegradedHeader))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-restart response diverged from baseline")
+	}
+
+	// The cold process never touched a trace: the answer came off disk.
+	m := shardMetricsBody(t, shard.URL)
+	if v := metricValue(t, m, "softcache_trace_decodes_total"); v != 0 {
+		t.Fatalf("restarted shard decoded %v traces, want 0", v)
+	}
+	if v := metricValue(t, m, "softcache_result_cache_hits_total"); v != 1 {
+		t.Fatalf("restarted shard result hits = %v, want 1", v)
+	}
+}
+
+// shardMetricsBody fetches a shard's own /metrics page.
+func shardMetricsBody(t *testing.T, shardURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(shardURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

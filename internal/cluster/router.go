@@ -588,11 +588,12 @@ func (rt *Router) handleProxyStream(w http.ResponseWriter, r *http.Request) {
 	rt.observe(shard, resp.StatusCode < 500)
 
 	h := w.Header()
-	for _, k := range []string{"Content-Type", "Retry-After", "X-Softcache-Shard"} {
+	for _, k := range relayHeaders {
 		if v := resp.Header.Get(k); v != "" {
 			h.Set(k, v)
 		}
 	}
+	rt.countResult(resp.Header.Get(serve.ResultHeader))
 	if shard != owner {
 		h.Set(DegradedHeader, "rerouted")
 		rt.met.rerouted.Add(1)
@@ -604,15 +605,37 @@ func (rt *Router) handleProxyStream(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, resp.Body)
 }
 
+// relayHeaders are the shard response headers the router forwards to the
+// client: content metadata, backpressure hints, and the cache-identity
+// pair (which shard answered, whether its result cache hit, and — for
+// streams — the upload's content fingerprint) that makes fleet-level
+// cache behaviour observable end to end.
+var relayHeaders = []string{
+	"Content-Type", "Retry-After", "X-Softcache-Shard",
+	serve.ResultHeader, serve.TraceFingerprintHeader,
+}
+
+// countResult tallies relayed result-cache outcomes so the router's
+// /metrics shows fleet-level hit traffic without scraping every shard.
+func (rt *Router) countResult(outcome string) {
+	switch outcome {
+	case "hit":
+		rt.met.resultHits.Add(1)
+	case "miss":
+		rt.met.resultMisses.Add(1)
+	}
+}
+
 // relay writes one buffered shard response to the client, marking it
 // degraded when it was served off the key's home shard.
 func (rt *Router) relay(w http.ResponseWriter, out raceOutcome, owner string) {
 	h := w.Header()
-	for _, k := range []string{"Content-Type", "Retry-After", "X-Softcache-Shard"} {
+	for _, k := range relayHeaders {
 		if v := out.resp.header.Get(k); v != "" {
 			h.Set(k, v)
 		}
 	}
+	rt.countResult(out.resp.header.Get(serve.ResultHeader))
 	if out.shard != owner {
 		h.Set(DegradedHeader, "rerouted")
 		rt.met.rerouted.Add(1)

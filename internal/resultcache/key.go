@@ -1,0 +1,44 @@
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key is the identity of one cached result: which kind of computation,
+// over which trace, with which canonicalized config group, rendered in
+// which response format — all bound to the kernel/schema version, so a
+// kernel change (core.KernelVersion bump) invalidates every prior entry
+// at lookup time without touching the log.
+type Key struct {
+	// Kind names the computation ("simulate", "sweep", "stream", ...).
+	Kind string
+	// Trace is the trace identity: a serve-layer trace key for named
+	// workloads / din uploads, or a content fingerprint for streams.
+	Trace string
+	// Configs is the canonical serialization of the config group (for the
+	// serve layer, the deterministic JSON of the built []core.Config plus
+	// any request axes — not the user's spelling of it).
+	Configs string
+	// Version is the kernel/schema version (core.KernelVersion).
+	Version string
+	// Format is the response format the cached bytes were rendered in
+	// ("json", "text"): same simulation, different bytes, different entry.
+	Format string
+}
+
+// String derives the stable cache key. Fields are length-prefixed before
+// hashing so no concatenation of different field values can collide, and
+// the human-readable Kind survives as a prefix for log/debug legibility.
+func (k Key) String() string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, part := range []string{k.Kind, k.Trace, k.Configs, k.Version, k.Format} {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(part)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(part))
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("%s:%x", k.Kind, sum[:16])
+}

@@ -1,0 +1,58 @@
+package resultcache
+
+// Key-derivation tests: every field of a Key must separate entries, and
+// a core.KernelVersion bump must atomically invalidate everything stored
+// under the old version (the serve-side wiring of this key is pinned in
+// internal/serve's TestResultKeyCarriesKernelVersion).
+
+import (
+	"testing"
+
+	"softcache/internal/core"
+)
+
+func TestKeyDerivationSeparatesEveryField(t *testing.T) {
+	base := Key{Kind: "simulate", Trace: "workload:MV:test:1", Configs: `[{"CacheKB":16}]`, Version: core.KernelVersion, Format: "json"}
+	seen := map[string]Key{base.String(): base}
+	variants := []Key{
+		{Kind: "sweep", Trace: base.Trace, Configs: base.Configs, Version: base.Version, Format: base.Format},
+		{Kind: base.Kind, Trace: "workload:MV:test:2", Configs: base.Configs, Version: base.Version, Format: base.Format},
+		{Kind: base.Kind, Trace: base.Trace, Configs: `[{"CacheKB":32}]`, Version: base.Version, Format: base.Format},
+		{Kind: base.Kind, Trace: base.Trace, Configs: base.Configs, Version: base.Version + "-next", Format: base.Format},
+		{Kind: base.Kind, Trace: base.Trace, Configs: base.Configs, Version: base.Version, Format: "text"},
+		// Length-prefixing means shuffling bytes across field boundaries
+		// must not collide.
+		{Kind: "simulat", Trace: "eworkload:MV:test:1", Configs: base.Configs, Version: base.Version, Format: base.Format},
+	}
+	for _, k := range variants {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("key collision between %+v and %+v", prev, k)
+		}
+		seen[s] = k
+	}
+	if base.String() != base.String() {
+		t.Fatal("key derivation is not deterministic")
+	}
+}
+
+// TestKernelVersionBumpInvalidatesEntries is the satellite guarantee:
+// entries stored under one kernel version are unreachable after a bump,
+// with no log surgery required.
+func TestKernelVersionBumpInvalidatesEntries(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(version string) string {
+		return Key{Kind: "simulate", Trace: "workload:MV:test:1", Configs: "[]", Version: version, Format: "json"}.String()
+	}
+	c := openTest(t, dir, 0, 0)
+	mustPut(t, c, mk(core.KernelVersion), []byte("v1 body"))
+	c.Close()
+
+	re := openTest(t, dir, 0, 0)
+	wantGet(t, re, mk(core.KernelVersion), []byte("v1 body"))
+	wantMiss(t, re, mk(core.KernelVersion+".bumped"))
+	// And the bumped generation stores its own entry alongside.
+	mustPut(t, re, mk(core.KernelVersion+".bumped"), []byte("v2 body"))
+	wantGet(t, re, mk(core.KernelVersion+".bumped"), []byte("v2 body"))
+	wantGet(t, re, mk(core.KernelVersion), []byte("v1 body"))
+}

@@ -1,0 +1,366 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T, dir string, budget, segBytes int64) *Cache {
+	t.Helper()
+	c, err := Open(dir, budget, segBytes)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustPut(t *testing.T, c *Cache, key string, val []byte) {
+	t.Helper()
+	if err := c.Put(key, val); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func wantGet(t *testing.T, c *Cache, key string, val []byte) {
+	t.Helper()
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatalf("Get(%s): miss, want hit", key)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("Get(%s) = %q, want %q", key, got, val)
+	}
+}
+
+func wantMiss(t *testing.T, c *Cache, key string) {
+	t.Helper()
+	if got, ok := c.Get(key); ok {
+		t.Fatalf("Get(%s) = %q, want miss", key, got)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	vals := map[string][]byte{
+		"simulate:a": []byte("alpha body"),
+		"simulate:b": bytes.Repeat([]byte{0x00, 0xff, 0x7f}, 1000),
+		"sweep:c":    []byte(""),
+	}
+	for k, v := range vals {
+		mustPut(t, c, k, v)
+	}
+	for k, v := range vals {
+		wantGet(t, c, k, v)
+	}
+	wantMiss(t, c, "simulate:absent")
+	st := c.Stats()
+	if st.Stores != 3 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 3 stores, 3 entries", st)
+	}
+	if st.Hits != 3 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 3 hits (bare Get misses are uncounted)", st)
+	}
+	wantBytes := int64(0)
+	for k, v := range vals {
+		wantBytes += int64(len(k)) + int64(len(v)) + entryOverheadBytes
+	}
+	if st.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+}
+
+func TestOverwriteKeepsLatest(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	mustPut(t, c, "k", []byte("v1"))
+	mustPut(t, c, "k", []byte("v2 is longer"))
+	wantGet(t, c, "k", []byte("v2 is longer"))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 after overwrite", st.Entries)
+	}
+	if want := int64(len("k")+len("v2 is longer")) + entryOverheadBytes; st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d (old record's cost released)", st.Bytes, want)
+	}
+}
+
+func TestPutRejectsBadSizes(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	if err := c.Put("", []byte("v")); err == nil {
+		t.Fatal("Put with empty key succeeded")
+	}
+	if err := c.Put(string(bytes.Repeat([]byte("k"), maxKeyBytes+1)), []byte("v")); err == nil {
+		t.Fatal("Put with oversized key succeeded")
+	}
+	if err := c.Put("k", make([]byte, MaxValueBytes+1)); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("Put oversized value: err = %v, want ErrValueTooLarge", err)
+	}
+}
+
+func TestLRUEvictionHonoursByteBudget(t *testing.T) {
+	// Budget is floored at minBudget, so size entries to that floor.
+	val := make([]byte, minBudget/3)
+	c := openTest(t, t.TempDir(), 1, 0)
+	mustPut(t, c, "a", val)
+	mustPut(t, c, "b", val)
+	mustPut(t, c, "c", val) // over budget: evicts a (the LRU tail)
+	wantMiss(t, c, "a")
+	wantGet(t, c, "b", val)
+
+	// b was just touched, so the next eviction takes c.
+	mustPut(t, c, "d", val)
+	wantMiss(t, c, "c")
+	wantGet(t, c, "b", val)
+	wantGet(t, c, "d", val)
+
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes %d exceeds budget %d", st.Bytes, st.Budget)
+	}
+
+	// An entry bigger than the whole budget still becomes resident — the
+	// newest entry is never evicted by its own store.
+	huge := make([]byte, minBudget+1024)
+	mustPut(t, c, "huge", huge)
+	wantGet(t, c, "huge", huge)
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want only the oversized newest entry", st.Entries)
+	}
+}
+
+func TestSegmentRotationAndReclamation(t *testing.T) {
+	dir := t.TempDir()
+	const segBytes = 4 << 10
+	c := openTest(t, dir, 0, segBytes)
+	val := make([]byte, 1<<10)
+	for i := 0; i < 16; i++ {
+		mustPut(t, c, fmt.Sprintf("k%02d", i), val)
+	}
+	st := c.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want rotation to have produced several", st.Segments)
+	}
+	// Overwrite every key: all old records die; their sealed segments
+	// must be deleted from disk once nothing live remains in them.
+	for i := 0; i < 16; i++ {
+		mustPut(t, c, fmt.Sprintf("k%02d", i), val)
+	}
+	for i := 0; i < 16; i++ {
+		wantGet(t, c, fmt.Sprintf("k%02d", i), val)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(ents), c.Stats().Segments; got != want {
+		t.Fatalf("disk has %d segment files, stats says %d live segments", got, want)
+	}
+	if got := c.Stats().Segments; got > 8 {
+		t.Fatalf("segments = %d after full overwrite, want dead segments reclaimed", got)
+	}
+}
+
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	vals := map[string][]byte{}
+	c := openTest(t, dir, 0, 4<<10)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("simulate:key-%02d", i)
+		v := bytes.Repeat([]byte{byte(i)}, 200+i*31)
+		vals[k] = v
+		mustPut(t, c, k, v)
+	}
+	mustPut(t, c, "simulate:key-03", []byte("overwritten"))
+	vals["simulate:key-03"] = []byte("overwritten")
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := openTest(t, dir, 0, 4<<10)
+	for k, v := range vals {
+		wantGet(t, re, k, v)
+	}
+	if st := re.Stats(); st.Entries != len(vals) {
+		t.Fatalf("entries after reopen = %d, want %d", st.Entries, len(vals))
+	}
+	// The reopened log keeps accepting writes.
+	mustPut(t, re, "post-restart", []byte("fresh"))
+	wantGet(t, re, "post-restart", []byte("fresh"))
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, 0, 0)
+	mustPut(t, c, "a", []byte("alpha"))
+	mustPut(t, c, "b", []byte("beta"))
+	c.Close()
+
+	// Simulate an append interrupted mid-record: garbage past the last
+	// whole frame.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want exactly one", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := []byte{0x10, 0x00, 0x00, 0x00, 0xff, 0xff} // half a frame header + junk
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(segs[0])
+
+	re := openTest(t, dir, 0, 0)
+	wantGet(t, re, "a", []byte("alpha"))
+	wantGet(t, re, "b", []byte("beta"))
+	after, _ := os.Stat(segs[0])
+	if after.Size() != before.Size()-int64(len(tail)) {
+		t.Fatalf("tail not truncated: size %d, want %d", after.Size(), before.Size()-int64(len(tail)))
+	}
+	// Appends continue on the clean boundary and survive another cycle.
+	mustPut(t, re, "c", []byte("gamma"))
+	re.Close()
+	re2 := openTest(t, dir, 0, 0)
+	for k, v := range map[string][]byte{"a": []byte("alpha"), "b": []byte("beta"), "c": []byte("gamma")} {
+		wantGet(t, re2, k, v)
+	}
+}
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	const n = 16
+	started := make(chan struct{})
+	releaseCompute := make(chan struct{})
+	var computes int
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, hit, err := c.Do(context.Background(), "hot", func() ([]byte, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				close(started)
+				<-releaseCompute
+				return []byte("the answer"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], hits[i] = val, hit
+		}(i)
+	}
+	<-started
+	close(releaseCompute)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1 (coalesced)", computes)
+	}
+	nhit := 0
+	for i := range results {
+		if !bytes.Equal(results[i], []byte("the answer")) {
+			t.Fatalf("caller %d got %q", i, results[i])
+		}
+		if hits[i] {
+			nhit++
+		}
+	}
+	if nhit != n-1 {
+		t.Fatalf("hits = %d, want %d (all but the computer)", nhit, n-1)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != uint64(n-1) || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want misses=1 hits=%d stores=1", st, n-1)
+	}
+}
+
+func TestDoFailedComputeNotSharedWithWaiters(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	boom := errors.New("boom")
+	inFlight := make(chan struct{})
+	releaseFail := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstErr error
+	go func() {
+		defer wg.Done()
+		_, _, firstErr = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(inFlight)
+			<-releaseFail
+			return nil, boom
+		})
+	}()
+	<-inFlight
+
+	wg.Add(1)
+	var waiterVal []byte
+	var waiterErr error
+	go func() {
+		defer wg.Done()
+		waiterVal, _, waiterErr = c.Do(context.Background(), "k", func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+	}()
+	close(releaseFail)
+	wg.Wait()
+
+	if !errors.Is(firstErr, boom) {
+		t.Fatalf("computer err = %v, want boom", firstErr)
+	}
+	if waiterErr != nil || !bytes.Equal(waiterVal, []byte("recovered")) {
+		t.Fatalf("waiter got (%q, %v), want its own successful compute", waiterVal, waiterErr)
+	}
+	// The failure was not cached.
+	wantGet(t, c, "k", []byte("recovered"))
+}
+
+func TestDoWaiterHonoursContext(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), "k", func() ([]byte, error) {
+		close(inFlight)
+		<-release
+		return []byte("late"), nil
+	})
+	<-inFlight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClosedCacheDegradesToDirectCompute(t *testing.T) {
+	c := openTest(t, t.TempDir(), 0, 0)
+	mustPut(t, c, "k", []byte("v"))
+	c.Close()
+	wantMiss(t, c, "k")
+	if err := c.Put("k2", []byte("v2")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed: %v, want ErrClosed", err)
+	}
+	val, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("direct"), nil })
+	if err != nil || hit || !bytes.Equal(val, []byte("direct")) {
+		t.Fatalf("Do on closed = (%q, %v, %v), want uncached direct compute", val, hit, err)
+	}
+}

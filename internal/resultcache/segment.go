@@ -1,0 +1,279 @@
+package resultcache
+
+// The on-disk layout is a sequence of segment files named
+// %016x.seg (seq, ascending). Each segment is:
+//
+//	magic "SCRL" | u32 LE format version
+//
+// followed by CRC-framed records:
+//
+//	u32 LE keyLen | u32 LE valLen | key | value | u32 LE CRC32-C
+//
+// where the checksum covers the 8-byte length header, the key, and the
+// value. Records only ever append; a re-store of a key appends a new
+// record that overrides the earlier one at scan time. Open scans segments
+// in sequence order and stops a segment's scan at the first frame that
+// does not verify: on the newest segment that is the torn tail of an
+// interrupted append and is truncated away so the file is clean for new
+// appends; on older (sealed) segments the remainder is simply not
+// indexed — those records degrade to misses, never to wrong answers.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segMagic        = "SCRL"
+	segFormat       = 1
+	segHeaderSize   = 8 // magic + u32 version
+	frameHeaderSize = 8 // u32 keyLen + u32 valLen
+	frameCRCSize    = 4
+	segSuffix       = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crc32c is the record checksum: CRC32-C over the value bytes alone for
+// read-back verification; frames on disk additionally checksum their
+// header and key via frameCRC.
+func crc32c(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// segment is one log file. The file handle stays open for pread-style
+// value reads until the segment is reclaimed or the cache closes.
+type segment struct {
+	seq  uint64
+	path string
+	f    *os.File
+	size int64 // bytes written, maintained by append
+	live int   // index entries referencing this segment; the owning Cache's mu synchronizes it
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", seq, segSuffix))
+}
+
+// createSegment starts a fresh segment file with its header.
+func createSegment(dir string, seq uint64) (*segment, error) {
+	path := segmentPath(dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segFormat)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &segment{seq: seq, path: path, f: f, size: segHeaderSize}, nil
+}
+
+// append writes one framed record and returns the file offset of the
+// value bytes plus the CRC32-C of the value (what Get re-verifies).
+func (s *segment) append(key string, val []byte) (valOff int64, valCRC uint32, err error) {
+	frame := make([]byte, frameHeaderSize+len(key)+len(val)+frameCRCSize)
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(val)))
+	copy(frame[frameHeaderSize:], key)
+	copy(frame[frameHeaderSize+len(key):], val)
+	crc := crc32.Checksum(frame[:frameHeaderSize+len(key)+len(val)], castagnoli)
+	binary.LittleEndian.PutUint32(frame[frameHeaderSize+len(key)+len(val):], crc)
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		return 0, 0, fmt.Errorf("resultcache: %w", err)
+	}
+	valOff = s.size + frameHeaderSize + int64(len(key))
+	s.size += int64(len(frame))
+	return valOff, crc32c(val), nil
+}
+
+// close releases the file handle.
+func (s *segment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// remove reclaims a fully dead segment: close the handle, delete the file.
+func (s *segment) remove() {
+	s.close()
+	os.Remove(s.path)
+}
+
+// scannedRecord is one verified record yielded by scanSegment.
+type scannedRecord struct {
+	key    string
+	valOff int64
+	vlen   int
+	valCRC uint32
+}
+
+// scanSegment walks a segment file's frames, returning every record that
+// verifies and the byte offset just past the last good frame. A missing
+// or foreign header yields goodEnd 0 (the whole file is unusable). The
+// scan is intentionally forgiving: any framing violation — short header,
+// absurd lengths, bad checksum, truncated value — ends the scan rather
+// than erroring, because a half-written or bit-flipped log must degrade
+// to misses, not block startup.
+func scanSegment(data []byte) (recs []scannedRecord, goodEnd int64) {
+	if len(data) < segHeaderSize || string(data[:4]) != segMagic ||
+		binary.LittleEndian.Uint32(data[4:8]) != segFormat {
+		return nil, 0
+	}
+	off := int64(segHeaderSize)
+	for {
+		if off+frameHeaderSize > int64(len(data)) {
+			return recs, off
+		}
+		klen := int64(binary.LittleEndian.Uint32(data[off:]))
+		vlen := int64(binary.LittleEndian.Uint32(data[off+4:]))
+		if klen == 0 || klen > maxKeyBytes || vlen > MaxValueBytes {
+			return recs, off
+		}
+		end := off + frameHeaderSize + klen + vlen + frameCRCSize
+		if end > int64(len(data)) {
+			return recs, off
+		}
+		body := data[off : off+frameHeaderSize+klen+vlen]
+		want := binary.LittleEndian.Uint32(data[end-frameCRCSize:])
+		if crc32.Checksum(body, castagnoli) != want {
+			return recs, off
+		}
+		val := data[off+frameHeaderSize+klen : off+frameHeaderSize+klen+vlen]
+		recs = append(recs, scannedRecord{
+			key:    string(data[off+frameHeaderSize : off+frameHeaderSize+klen]),
+			valOff: off + frameHeaderSize + klen,
+			vlen:   int(vlen),
+			valCRC: crc32c(val),
+		})
+		off = end
+	}
+}
+
+// loadSegments rebuilds the index from dir. Called once from Open; the
+// cache is not shared yet, but the lock is taken anyway (uncontended) so
+// the guarded-field discipline holds uniformly.
+func (c *Cache) loadSegments() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	var seqs []uint64
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	for i, seq := range seqs {
+		path := segmentPath(c.dir, seq)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("resultcache: %w", err)
+		}
+		recs, goodEnd := scanSegment(data)
+		last := i == len(seqs)-1
+		if goodEnd == 0 {
+			// Unrecognisable header: nothing in this file is usable. Drop
+			// it so it cannot shadow the sequence space.
+			os.Remove(path)
+			continue
+		}
+		if last && goodEnd < int64(len(data)) {
+			// Torn tail of the newest segment: truncate back to the last
+			// whole record so future appends start on a clean boundary.
+			if err := os.Truncate(path, goodEnd); err != nil {
+				return fmt.Errorf("resultcache: %w", err)
+			}
+		}
+		mode := os.O_RDONLY
+		if last {
+			mode = os.O_RDWR
+		}
+		f, err := os.OpenFile(path, mode, 0o644)
+		if err != nil {
+			return fmt.Errorf("resultcache: %w", err)
+		}
+		seg := &segment{seq: seq, path: path, f: f, size: goodEnd}
+		c.segs[seq] = seg
+		for _, rec := range recs {
+			if old, ok := c.index[rec.key]; ok {
+				// Superseded record: unlink only. Segment reclamation is
+				// deferred to the post-load pass below — removeLocked could
+				// otherwise delete the very segment we are indexing.
+				delete(c.index, old.key)
+				c.ll.Remove(old.elem)
+				c.bytes -= old.cost
+				old.seg.live--
+			}
+			e := &entry{
+				key:  rec.key,
+				seg:  seg,
+				off:  rec.valOff,
+				vlen: rec.vlen,
+				crc:  rec.valCRC,
+				cost: int64(len(rec.key)) + int64(rec.vlen) + entryOverheadBytes,
+			}
+			e.elem = c.ll.PushFront(e)
+			c.index[rec.key] = e
+			seg.live++
+			c.bytes += e.cost
+		}
+	}
+
+	c.nextSeq = 1
+	if len(seqs) > 0 {
+		lastSeq := seqs[len(seqs)-1]
+		c.nextSeq = lastSeq + 1
+		if seg, ok := c.segs[lastSeq]; ok && seg.size < c.segBytes {
+			c.active = seg
+		}
+	}
+	// Reclaim sealed segments left with nothing live (every record was
+	// superseded by a later one).
+	for seq, seg := range c.segs {
+		if seg.live == 0 && seg != c.active {
+			delete(c.segs, seq)
+			seg.remove()
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one.
+func (c *Cache) rotateLocked() error {
+	seg, err := createSegment(c.dir, c.nextSeq)
+	if err != nil {
+		return err
+	}
+	if c.active != nil && c.active.live == 0 {
+		// The outgoing active segment holds no live records (everything in
+		// it was superseded or evicted); reclaim it immediately.
+		delete(c.segs, c.active.seq)
+		c.active.remove()
+	}
+	c.nextSeq++
+	c.segs[seg.seq] = seg
+	c.active = seg
+	return nil
+}

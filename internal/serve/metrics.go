@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"softcache/internal/resultcache"
 )
 
 // endpoint indexes the per-endpoint counters.
@@ -67,9 +69,11 @@ func (m *serverMetrics) observe(ep endpoint, status int, d time.Duration) {
 	}
 }
 
-// WriteTo renders the counters (and the trace cache's) as Prometheus text.
-// shardID labels the daemon in a fleet ("" outside cluster mode).
-func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache, shardID string) {
+// WriteTo renders the counters (and the trace and result caches') as
+// Prometheus text. shardID labels the daemon in a fleet ("" outside
+// cluster mode); results is nil when no result cache is configured, in
+// which case its series render as zeros so dashboards see a stable set.
+func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache, results *resultcache.Cache, shardID string) {
 	fmt.Fprintf(w, "# TYPE softcache_shard_info gauge\nsoftcache_shard_info{shard=%q} 1\n", shardID)
 	fmt.Fprintln(w, "# TYPE softcache_requests_total counter")
 	for ep := endpoint(0); ep < epCount; ep++ {
@@ -104,4 +108,21 @@ func (m *serverMetrics) WriteTo(w io.Writer, cache *TraceCache, shardID string) 
 	// eviction pressure on this shard's cache a first-class signal for
 	// failover decisions instead of a guess.
 	fmt.Fprintf(w, "# TYPE softcache_trace_cache_budget_bytes gauge\nsoftcache_trace_cache_budget_bytes %d\n", cs.Budget)
+
+	// Durable result cache (internal/resultcache). Hits are responses
+	// served from the segment log (or a coalesced flight); misses are
+	// simulations actually run through the cache; corruptions are records
+	// that failed their CRC on read and degraded to a miss.
+	var rs resultcache.Stats
+	if results != nil {
+		rs = results.Stats()
+	}
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_hits_total counter\nsoftcache_result_cache_hits_total %d\n", rs.Hits)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_misses_total counter\nsoftcache_result_cache_misses_total %d\n", rs.Misses)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_stores_total counter\nsoftcache_result_cache_stores_total %d\n", rs.Stores)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_evictions_total counter\nsoftcache_result_cache_evictions_total %d\n", rs.Evictions)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_corruptions_total counter\nsoftcache_result_cache_corruptions_total %d\n", rs.Corruptions)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_bytes gauge\nsoftcache_result_cache_bytes %d\n", rs.Bytes)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_entries gauge\nsoftcache_result_cache_entries %d\n", rs.Entries)
+	fmt.Fprintf(w, "# TYPE softcache_result_cache_segments gauge\nsoftcache_result_cache_segments %d\n", rs.Segments)
 }

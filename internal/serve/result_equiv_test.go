@@ -1,0 +1,396 @@
+package serve
+
+// Differential equivalence suite for the durable result cache: every
+// cached response must be byte-identical to what a fresh computation
+// would have produced — across formats, endpoints, concurrent churn,
+// daemon restarts, and seeded on-disk corruption. The oracle is always a
+// cache-less server answering the same requests.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"softcache/internal/resultcache"
+)
+
+// postH is post with response headers, which the result-cache tests need
+// for the X-Softcache-Result and X-Softcache-Trace-Fingerprint stamps.
+func postH(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// streamH is streamBody with response headers.
+func streamH(t *testing.T, base, query string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/simulate/trace"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// equivRequest is one cell of the equivalence matrix: a named request
+// that can be replayed against any server base URL.
+type equivRequest struct {
+	name string
+	do   func(t *testing.T, base string) (int, http.Header, []byte)
+}
+
+func jsonReq(path, body string) func(*testing.T, string) (int, http.Header, []byte) {
+	return func(t *testing.T, base string) (int, http.Header, []byte) {
+		return postH(t, base+path, body)
+	}
+}
+
+func streamReq(query string, body []byte) func(*testing.T, string) (int, http.Header, []byte) {
+	return func(t *testing.T, base string) (int, http.Header, []byte) {
+		return streamH(t, base, query, body)
+	}
+}
+
+// equivMatrix covers {simulate, sweep, stream} × {json, text} × {flat,
+// sctz} × {one workload, another}: every cacheable request shape the
+// server offers. All keys are distinct, so a full pass over the matrix
+// is len(matrix) misses and a second pass is len(matrix) hits.
+func equivMatrix(t *testing.T) []equivRequest {
+	t.Helper()
+	_, flat, sctz := testTraceBytes(t)
+	return []equivRequest{
+		{"simulate-json-mv", jsonReq("/v1/simulate",
+			`{"workload":"MV","scale":"test","seed":2,"configs":[{"name":"soft"},{"name":"standard"}]}`)},
+		{"simulate-text-mv", jsonReq("/v1/simulate?format=text",
+			`{"workload":"MV","scale":"test","seed":2,"configs":[{"name":"soft"}]}`)},
+		{"simulate-json-fft", jsonReq("/v1/simulate",
+			`{"workload":"FFT","scale":"test","configs":[{"name":"soft"}]}`)},
+		{"sweep-1d", jsonReq("/v1/sweep",
+			`{"workload":"MV","scale":"test","config":"soft","x":"cache=4,8,16","metric":"amat"}`)},
+		{"sweep-2d", jsonReq("/v1/sweep",
+			`{"workload":"MV","scale":"test","config":"soft","x":"cache=4,8","y":"latency=10,20","metric":"amat"}`)},
+		{"stream-flat", streamReq("?config=soft&config=standard", flat)},
+		{"stream-sctz", streamReq("?config=soft&config=standard", sctz)},
+		{"stream-text", streamReq("?config=soft&format=text", flat)},
+	}
+}
+
+// newCachedServer builds a Server wired to a fresh result cache over dir.
+// The cache outlives the returned test server (cleanup closes the
+// listener first, then the cache), mirroring the daemon's shutdown order.
+func newCachedServer(t *testing.T, dir string) (*Server, *httptest.Server, *resultcache.Cache) {
+	t.Helper()
+	rc, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{ResultCache: rc})
+	t.Cleanup(func() { rc.Close() })
+	return s, ts, rc
+}
+
+// runMatrix replays every request against base, asserting status 200 and
+// the expected X-Softcache-Result outcome ("hit", "miss", or "" for no
+// header at all on the cache-less oracle). It returns the bodies.
+func runMatrix(t *testing.T, reqs []equivRequest, base, outcome string) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, len(reqs))
+	for i, rq := range reqs {
+		code, hdr, body := rq.do(t, base)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", rq.name, code, body)
+		}
+		if got := hdr.Get(ResultHeader); got != outcome {
+			t.Fatalf("%s: %s = %q, want %q", rq.name, ResultHeader, got, outcome)
+		}
+		bodies[i] = body
+	}
+	return bodies
+}
+
+func wantSameBodies(t *testing.T, reqs []equivRequest, got, want [][]byte, label string) {
+	t.Helper()
+	for i := range reqs {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("%s: %s response differs from oracle:\ngot:  %s\nwant: %s",
+				reqs[i].name, label, got[i], want[i])
+		}
+	}
+}
+
+// TestResultEquivalenceMatrix is the headline check: for every request
+// shape, oracle bytes == cached-miss bytes == cached-hit bytes, and the
+// counters account for every request exactly once.
+func TestResultEquivalenceMatrix(t *testing.T) {
+	reqs := equivMatrix(t)
+
+	_, oracleTS := newTestServer(t, Config{}) // no result cache
+	oracle := runMatrix(t, reqs, oracleTS.URL, "")
+
+	_, cached, rc := newCachedServer(t, t.TempDir())
+	missPass := runMatrix(t, reqs, cached.URL, "miss")
+	hitPass := runMatrix(t, reqs, cached.URL, "hit")
+
+	wantSameBodies(t, reqs, missPass, oracle, "miss")
+	wantSameBodies(t, reqs, hitPass, oracle, "hit")
+
+	n := uint64(len(reqs))
+	st := rc.Stats()
+	if st.Hits != n || st.Misses != n || st.Stores != n {
+		t.Fatalf("stats = hits %d misses %d stores %d, want %d each", st.Hits, st.Misses, st.Stores, n)
+	}
+	if st.Corruptions != 0 || st.Evictions != 0 {
+		t.Fatalf("unexpected corruptions %d / evictions %d", st.Corruptions, st.Evictions)
+	}
+	if st.Entries != len(reqs) {
+		t.Fatalf("entries = %d, want %d", st.Entries, len(reqs))
+	}
+}
+
+// TestResultEquivalenceUnderChurn hammers a small key set from many
+// goroutines under -race: every response must be byte-identical to the
+// oracle, and the coalescing must hold exactly — one computation per
+// distinct key, everything else a hit.
+func TestResultEquivalenceUnderChurn(t *testing.T) {
+	reqs := []equivRequest{
+		{"simulate-json", jsonReq("/v1/simulate",
+			`{"workload":"MV","scale":"test","configs":[{"name":"soft"},{"name":"standard"}]}`)},
+		{"simulate-text", jsonReq("/v1/simulate?format=text",
+			`{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`)},
+		{"sweep", jsonReq("/v1/sweep",
+			`{"workload":"MV","scale":"test","config":"soft","x":"cache=4,8","metric":"amat"}`)},
+	}
+	_, oracleTS := newTestServer(t, Config{})
+	oracle := runMatrix(t, reqs, oracleTS.URL, "")
+
+	_, cached, rc := newCachedServer(t, t.TempDir())
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*rounds*len(reqs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, rq := range reqs {
+					code, hdr, body := rq.do(t, cached.URL)
+					if code != http.StatusOK {
+						errs <- fmt.Sprintf("%s: status %d", rq.name, code)
+						continue
+					}
+					if o := hdr.Get(ResultHeader); o != resultHit && o != resultMiss {
+						errs <- fmt.Sprintf("%s: outcome %q", rq.name, o)
+					}
+					if !bytes.Equal(body, oracle[i]) {
+						errs <- fmt.Sprintf("%s: body diverged from oracle", rq.name)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	total := uint64(workers * rounds * len(reqs))
+	st := rc.Stats()
+	if st.Misses != uint64(len(reqs)) {
+		t.Fatalf("misses = %d, want exactly %d (one compute per distinct key)", st.Misses, len(reqs))
+	}
+	if st.Hits != total-st.Misses {
+		t.Fatalf("hits = %d, want %d (every other request)", st.Hits, total-st.Misses)
+	}
+	if st.Stores != uint64(len(reqs)) {
+		t.Fatalf("stores = %d, want %d", st.Stores, len(reqs))
+	}
+}
+
+// TestResultEquivalenceAcrossRestart populates a cache directory, tears
+// the whole stack down, rebuilds a fresh server over the same directory,
+// and requires every request to hit with byte-identical bodies — without
+// a single trace decode on the new process.
+func TestResultEquivalenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reqs := equivMatrix(t)
+
+	rc1, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{ResultCache: rc1})
+	first := runMatrix(t, reqs, ts1.URL, "miss")
+	ts1.Close()
+	if err := rc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rc2, err := resultcache.Open(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	s2, ts2 := newTestServer(t, Config{ResultCache: rc2})
+	second := runMatrix(t, reqs, ts2.URL, "hit")
+	wantSameBodies(t, reqs, second, first, "post-restart")
+
+	st := rc2.Stats()
+	if st.Hits != uint64(len(reqs)) || st.Misses != 0 {
+		t.Fatalf("post-restart stats = hits %d misses %d, want %d/0", st.Hits, st.Misses, len(reqs))
+	}
+	// The restarted server answered everything from the log: no workload
+	// regeneration, no stream decode.
+	if d := s2.traces.Stats().Decodes; d != 0 {
+		t.Fatalf("restarted server decoded %d traces, want 0", d)
+	}
+	if n := s2.met.traceRecords.Load(); n != 0 {
+		t.Fatalf("restarted server decoded %d stream records, want 0", n)
+	}
+}
+
+// readSegments returns the cache directory's segment files (sorted) and
+// their concatenated pristine contents.
+func readSegments(t *testing.T, dir string) (paths []string, sizes []int64, total int64) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) == ".seg" {
+			paths = append(paths, ent.Name())
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fi, err := os.Stat(filepath.Join(dir, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
+		total += fi.Size()
+	}
+	if total == 0 {
+		t.Fatal("no segment bytes to corrupt")
+	}
+	return paths, sizes, total
+}
+
+// TestResultEquivalenceUnderCorruption seeds a populated cache directory
+// with single-bit-pattern flips at offsets spread across the log, then
+// replays the full matrix against each corrupted copy: every response
+// must still be byte-identical to the original computation — a damaged
+// entry degrades to a miss-and-recompute, never to a wrong answer — and
+// the counters must account for every request.
+func TestResultEquivalenceUnderCorruption(t *testing.T) {
+	seedDir := t.TempDir()
+	reqs := equivMatrix(t)
+
+	rc, err := resultcache.Open(seedDir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{ResultCache: rc})
+	oracle := runMatrix(t, reqs, ts.URL, "miss")
+	ts.Close()
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, sizes, total := readSegments(t, seedDir)
+
+	const flips = 10
+	var lostTotal uint64
+	for round := 0; round < flips; round++ {
+		off := total * int64(round) / flips
+		// Map the global offset onto (file, local offset).
+		fi, local := 0, off
+		for local >= sizes[fi] {
+			local -= sizes[fi]
+			fi++
+		}
+
+		scratch := t.TempDir()
+		for _, p := range paths {
+			data, err := os.ReadFile(filepath.Join(seedDir, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p == paths[fi] {
+				data = append([]byte(nil), data...)
+				data[local] ^= 0xff
+			}
+			if err := os.WriteFile(filepath.Join(scratch, p), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		crc, err := resultcache.Open(scratch, 0, 0)
+		if err != nil {
+			t.Fatalf("flip %d (offset %d): open: %v", round, off, err)
+		}
+		_, cts := newTestServer(t, Config{ResultCache: crc})
+		for i, rq := range reqs {
+			code, hdr, body := rq.do(t, cts.URL)
+			if code != http.StatusOK {
+				t.Fatalf("flip %d: %s: status %d: %s", round, rq.name, code, body)
+			}
+			if o := hdr.Get(ResultHeader); o != resultHit && o != resultMiss {
+				t.Fatalf("flip %d: %s: outcome %q", round, rq.name, o)
+			}
+			if !bytes.Equal(body, oracle[i]) {
+				t.Errorf("flip %d (offset %d): %s: WRONG BYTES served from corrupted log", round, off, rq.name)
+			}
+		}
+		st := crc.Stats()
+		if st.Hits+st.Misses != uint64(len(reqs)) {
+			t.Fatalf("flip %d: hits %d + misses %d != %d requests", round, st.Hits, st.Misses, len(reqs))
+		}
+		// A recompute restores the entry (stores == misses); scan-dropped
+		// records miss without a read-time corruption event, so the
+		// corruption counter is bounded by, not equal to, the misses.
+		if st.Stores != st.Misses {
+			t.Fatalf("flip %d: stores %d != misses %d", round, st.Stores, st.Misses)
+		}
+		if st.Corruptions > st.Misses {
+			t.Fatalf("flip %d: corruptions %d > misses %d", round, st.Corruptions, st.Misses)
+		}
+		// Every byte of the log is load-bearing (header or CRC-framed
+		// record), so each flip must cost at least one entry.
+		if st.Misses == 0 {
+			t.Fatalf("flip %d (offset %d): corruption went undetected", round, off)
+		}
+		lostTotal += st.Misses
+		cts.Close()
+		if err := crc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lostTotal == 0 {
+		t.Fatal("corruption rounds lost nothing: the test is not exercising the log")
+	}
+}

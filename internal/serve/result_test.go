@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"testing"
+
+	"softcache/internal/core"
+	"softcache/internal/resultcache"
+	"softcache/internal/trace"
+)
+
+// TestResultHeaderLifecycle pins the X-Softcache-Result contract: absent
+// without a cache, "miss" on first computation, "hit" on the repeat, and
+// never present on a request that fails before reaching the cache.
+func TestResultHeaderLifecycle(t *testing.T) {
+	req := `{"workload":"MV","scale":"test","configs":[{"name":"soft"}]}`
+
+	_, bare := newTestServer(t, Config{})
+	code, hdr, _ := postH(t, bare.URL+"/v1/simulate", req)
+	if code != http.StatusOK {
+		t.Fatalf("bare simulate: %d", code)
+	}
+	if _, ok := hdr[ResultHeader]; ok {
+		t.Fatalf("cache-less server stamped %s", ResultHeader)
+	}
+
+	_, cached, rc := newCachedServer(t, t.TempDir())
+	code, hdr, first := postH(t, cached.URL+"/v1/simulate", req)
+	if code != http.StatusOK || hdr.Get(ResultHeader) != resultMiss {
+		t.Fatalf("first request: %d %s=%q", code, ResultHeader, hdr.Get(ResultHeader))
+	}
+	code, hdr, second := postH(t, cached.URL+"/v1/simulate", req)
+	if code != http.StatusOK || hdr.Get(ResultHeader) != resultHit {
+		t.Fatalf("repeat request: %d %s=%q", code, ResultHeader, hdr.Get(ResultHeader))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("hit bytes differ from miss bytes")
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("hit Content-Type = %q", ct)
+	}
+
+	// A request rejected at parse time never touches the ledger.
+	code, hdr, _ = postH(t, cached.URL+"/v1/simulate", `{"workload":"NOPE","configs":[{"name":"soft"}]}`)
+	if code == http.StatusOK {
+		t.Fatal("bogus workload accepted")
+	}
+	if _, ok := hdr[ResultHeader]; ok {
+		t.Fatalf("failed request stamped %s", ResultHeader)
+	}
+	st := rc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = hits %d misses %d stores %d, want 1/1/1", st.Hits, st.Misses, st.Stores)
+	}
+}
+
+// TestResultKeyCarriesKernelVersion pins the serve-side key derivation to
+// core.KernelVersion (satellite of the version-bump invalidation test in
+// internal/resultcache): the server's key must equal the resultcache.Key
+// spelling with the current kernel version, and changing any field —
+// version included — must change the key.
+func TestResultKeyCarriesKernelVersion(t *testing.T) {
+	s := New(Config{})
+	got := s.resultKey("simulate", "traceK", "cfgK", "")
+	want := resultcache.Key{
+		Kind:    "simulate",
+		Trace:   "traceK",
+		Configs: "cfgK",
+		Version: core.KernelVersion,
+		Format:  "json",
+	}.String()
+	if got != want {
+		t.Fatalf("resultKey = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(got, "simulate:") {
+		t.Fatalf("key %q does not lead with its kind", got)
+	}
+	// format "" and "json" are one entry; everything else separates.
+	if s.resultKey("simulate", "traceK", "cfgK", "json") != got {
+		t.Fatal("format \"\" and \"json\" should share a key")
+	}
+	bumped := resultcache.Key{
+		Kind: "simulate", Trace: "traceK", Configs: "cfgK",
+		Version: core.KernelVersion + "+next", Format: "json",
+	}.String()
+	if bumped == got {
+		t.Fatal("kernel version bump did not change the key")
+	}
+	if s.resultKey("simulate", "traceK", "cfgK", "text") == got {
+		t.Fatal("format should separate keys")
+	}
+}
+
+// TestStreamFingerprintHeader pins X-Softcache-Trace-Fingerprint to the
+// SHA-256 of the exact uploaded bytes — with and without a result cache,
+// on miss and on hit.
+func TestStreamFingerprintHeader(t *testing.T) {
+	_, flat, sctz := testTraceBytes(t)
+	wantFlat := hex.EncodeToString(func() []byte { h := sha256.Sum256(flat); return h[:] }())
+	wantSctz := hex.EncodeToString(func() []byte { h := sha256.Sum256(sctz); return h[:] }())
+	if wantFlat == wantSctz {
+		t.Fatal("test traces share a fingerprint")
+	}
+
+	check := func(base, label string, body []byte, want, outcome string) {
+		t.Helper()
+		code, hdr, respBody := streamH(t, base, "?config=soft", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, code, respBody)
+		}
+		if got := hdr.Get(TraceFingerprintHeader); got != want {
+			t.Fatalf("%s: %s = %q, want %q", label, TraceFingerprintHeader, got, want)
+		}
+		if got := hdr.Get(ResultHeader); got != outcome {
+			t.Fatalf("%s: %s = %q, want %q", label, ResultHeader, got, outcome)
+		}
+	}
+
+	_, bare := newTestServer(t, Config{})
+	check(bare.URL, "bare flat", flat, wantFlat, "")
+	check(bare.URL, "bare sctz", sctz, wantSctz, "")
+
+	_, cached, _ := newCachedServer(t, t.TempDir())
+	check(cached.URL, "cached flat miss", flat, wantFlat, resultMiss)
+	check(cached.URL, "cached flat hit", flat, wantFlat, resultHit)
+	check(cached.URL, "cached sctz miss", sctz, wantSctz, resultMiss)
+	check(cached.URL, "cached sctz hit", sctz, wantSctz, resultHit)
+}
+
+// collidingTraces builds two flat-encoded traces whose bodies share their
+// first StreamKeyPrefix bytes (same name, same record count, identical
+// records) but diverge in the final record — a genuine prefix collision
+// for the stream cache's envelope check.
+func collidingTraces(t *testing.T) (a, b []byte) {
+	t.Helper()
+	mk := func(lastAddr uint64) []byte {
+		tr := &trace.Trace{Name: "collide"}
+		const n = 6000 // 15 bytes/record: the divergence sits far past the 64 KiB prefix
+		tr.Records = make([]trace.Record, n)
+		for i := range tr.Records {
+			tr.Records[i] = trace.Record{Addr: uint64(i) * 8, Size: 8, Gap: 1}
+		}
+		tr.Records[n-1].Addr = lastAddr
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// The variants must differ observably: one final access lands in the
+	// line just touched (a sure hit), the other revisits address 0, long
+	// evicted by the sequential sweep (a sure miss) — one extra miss
+	// separates the two responses.
+	a, b = mk(5998*8), mk(0)
+	if len(a) <= StreamKeyPrefix {
+		t.Fatalf("colliding body is only %d bytes, need > %d", len(a), StreamKeyPrefix)
+	}
+	if !bytes.Equal(a[:StreamKeyPrefix], b[:StreamKeyPrefix]) {
+		t.Fatal("bodies do not share a prefix")
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("bodies are identical")
+	}
+	return a, b
+}
+
+// TestStreamPrefixCollisionRecomputes proves a prefix collision can cost
+// a spool replay but never a wrong answer: the cached envelope's full
+// fingerprint rejects the colliding body, the kernel recomputes it, and
+// the newest upload takes over the prefix slot.
+func TestStreamPrefixCollisionRecomputes(t *testing.T) {
+	bodyA, bodyB := collidingTraces(t)
+
+	_, bare := newTestServer(t, Config{})
+	_, oracleA := streamBody(t, bare.URL, "?config=soft", bodyA)
+	_, oracleB := streamBody(t, bare.URL, "?config=soft", bodyB)
+	if bytes.Equal(oracleA, oracleB) {
+		t.Fatal("colliding traces produce identical responses; collision would be invisible")
+	}
+
+	_, cached, rc := newCachedServer(t, t.TempDir())
+	step := func(label string, body, oracle []byte, outcome string) {
+		t.Helper()
+		code, hdr, got := streamH(t, cached.URL, "?config=soft", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, code, got)
+		}
+		if o := hdr.Get(ResultHeader); o != outcome {
+			t.Fatalf("%s: outcome %q, want %q", label, o, outcome)
+		}
+		if !bytes.Equal(got, oracle) {
+			t.Fatalf("%s: wrong bytes served", label)
+		}
+	}
+	step("A first", bodyA, oracleA, resultMiss)
+	step("A repeat", bodyA, oracleA, resultHit)
+	step("B collides", bodyB, oracleB, resultMiss) // fingerprint mismatch → replay, takeover
+	step("B repeat", bodyB, oracleB, resultHit)
+	step("A evicted by takeover", bodyA, oracleA, resultMiss)
+
+	st := rc.Stats()
+	if st.Hits != 2 || st.Misses != 3 || st.Stores != 3 {
+		t.Fatalf("stats = hits %d misses %d stores %d, want 2/3/3", st.Hits, st.Misses, st.Stores)
+	}
+}

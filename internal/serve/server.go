@@ -12,7 +12,7 @@ import (
 
 	"softcache/internal/core"
 	"softcache/internal/harness"
-	"softcache/internal/metrics"
+	"softcache/internal/resultcache"
 	"softcache/internal/trace"
 	"softcache/internal/workloads"
 )
@@ -50,6 +50,12 @@ type Config struct {
 	// as softcache_shard_info, so cluster tests and dashboards can tell
 	// which replica served (and holds the trace resident).
 	ShardID string
+	// ResultCache, when non-nil, is the durable result cache consulted
+	// before the worker pool on simulate/sweep/stream requests and
+	// written behind on success (softcache-served opens it from
+	// -result-cache-dir). The Server does not own it: the caller that
+	// opened the cache closes it, after the listener has drained.
+	ResultCache *resultcache.Cache
 	// Log receives failure records (panics with stacks, timeouts); nil
 	// discards them.
 	Log io.Writer
@@ -88,22 +94,24 @@ func (c Config) withDefaults() Config {
 // mount on any http.Server; graceful drain is the listener's business
 // (http.Server.Shutdown), which softcache-served wires to SIGTERM.
 type Server struct {
-	cfg    Config
-	traces *TraceCache
-	met    *serverMetrics
-	sem    chan struct{} // worker slots
-	mux    *http.ServeMux
+	cfg     Config
+	traces  *TraceCache
+	results *resultcache.Cache // nil: no durable result cache configured
+	met     *serverMetrics
+	sem     chan struct{} // worker slots
+	mux     *http.ServeMux
 }
 
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		traces: NewTraceCache(cfg.CacheBytes),
-		met:    &serverMetrics{},
-		sem:    make(chan struct{}, cfg.Workers),
-		mux:    http.NewServeMux(),
+		cfg:     cfg,
+		traces:  NewTraceCache(cfg.CacheBytes),
+		results: cfg.ResultCache,
+		met:     &serverMetrics{},
+		sem:     make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
 	}
 	s.mux.Handle("POST /v1/simulate", s.instrument(epSimulate, s.handleSimulate))
 	s.mux.Handle("POST /v1/simulate/trace", s.instrument(epSimulateTrace, s.handleSimulateTrace))
@@ -285,6 +293,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Result-cache fast path: a hit costs no worker slot, no trace, no
+	// kernel run — the rendered body comes straight off the segment log.
+	var key string
+	if s.results != nil {
+		key = s.resultKey("simulate", plan.traceKey, canonicalConfigs(plan.cfgs), format)
+		if body, ok := s.results.Get(key); ok {
+			writeResult(w, format, body, resultHit)
+			return
+		}
+	}
+
 	release, aerr := s.admit(r.Context())
 	if aerr != nil {
 		if aerr.status != 499 {
@@ -298,45 +317,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 
-	tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
-	if aerr == nil {
-		var results []core.Result
+	compute := func() ([]byte, *apiError) {
+		tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
+		if aerr != nil {
+			return nil, aerr
+		}
 		// Pass the cancel-only request context: the deadline rides in
 		// harness.Options.Timeout so the harness can tell a timeout (504)
 		// from a vanished client.
-		results, aerr = s.runFused(r.Context(), deadline, plan.traceKey, plan.descs,
+		results, aerr := s.runFused(r.Context(), deadline, plan.traceKey, plan.descs,
 			func(runCtx context.Context) ([]core.Result, error) {
 				return core.SimulateManyTrace(runCtx, plan.cfgs, tr)
 			}, nil)
-		if aerr == nil {
-			if format == "text" {
-				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-				tags := tr.CountTags()
-				for i, res := range results {
-					if i > 0 {
-						fmt.Fprintln(w)
-					}
-					metrics.SimulationReport(w, tags, res)
-				}
-				return
-			}
-			resp := SimulateResponse{Trace: tr.Name, References: uint64(len(tr.Records))}
-			for _, res := range results {
-				resp.Results = append(resp.Results, ConfigResult{
-					Config:      res.Config,
-					AMAT:        res.AMAT(),
-					MissRatio:   res.MissRatio(),
-					WordsPerRef: res.Stats.WordsPerReference(),
-					Stats:       res.Stats,
-				})
-			}
-			writeJSON(w, resp)
-			return
+		if aerr != nil {
+			return nil, aerr
 		}
+		return renderSimulate(format, tr, results), nil
 	}
-	if aerr.status != 499 {
-		aerr.write(w)
+	body, hit, aerr := s.resultDo(r.Context(), key, compute)
+	if aerr != nil {
+		if aerr.status != 499 {
+			aerr.write(w)
+		}
+		return
 	}
+	writeResult(w, format, body, s.resultOutcome(hit))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +356,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Result-cache fast path (sweep responses are always JSON).
+	var key string
+	if s.results != nil {
+		key = s.resultKey("sweep", plan.traceKey, canonicalSweep(plan), "json")
+		if body, ok := s.results.Get(key); ok {
+			writeResult(w, "json", body, resultHit)
+			return
+		}
+	}
+
 	release, aerr := s.admit(r.Context())
 	if aerr != nil {
 		if aerr.status != 499 {
@@ -364,8 +379,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 
-	tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
-	if aerr == nil {
+	compute := func() ([]byte, *apiError) {
+		tr, aerr := s.loadTrace(ctx, plan.traceKey, plan.load)
+		if aerr != nil {
+			return nil, aerr
+		}
 		resp := SweepResponse{
 			Trace:   tr.Name,
 			Metric:  plan.metric,
@@ -379,38 +397,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// One fused pass per matrix row, sequential within the request's
 		// single worker slot: request-level parallelism stays with the pool.
 		for i, cfgs := range plan.rows {
-			var results []core.Result
 			key := fmt.Sprintf("row:%d", i)
 			rowCfgs := cfgs
-			results, aerr = s.runFused(r.Context(), deadline, key, plan.rowDescs[i],
+			results, aerr := s.runFused(r.Context(), deadline, key, plan.rowDescs[i],
 				func(runCtx context.Context) ([]core.Result, error) {
 					return core.SimulateManyTrace(runCtx, rowCfgs, tr)
 				}, nil)
 			if aerr != nil {
-				break
+				return nil, aerr
 			}
 			row := make([]float64, len(results))
 			for j, res := range results {
 				v, err := core.MetricOf(plan.metric, res)
 				if err != nil {
-					aerr = asAPIError(err)
-					break
+					return nil, asAPIError(err)
 				}
 				row[j] = v
 			}
-			if aerr != nil {
-				break
-			}
 			resp.Rows = append(resp.Rows, row)
 		}
-		if aerr == nil {
-			writeJSON(w, resp)
-			return
+		return encodeJSON(resp), nil
+	}
+	body, hit, aerr := s.resultDo(r.Context(), key, compute)
+	if aerr != nil {
+		if aerr.status != 499 {
+			aerr.write(w)
 		}
+		return
 	}
-	if aerr.status != 499 {
-		aerr.write(w)
-	}
+	writeResult(w, "json", body, s.resultOutcome(hit))
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
@@ -439,5 +454,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.WriteTo(w, s.traces, s.cfg.ShardID)
+	s.met.WriteTo(w, s.traces, s.results, s.cfg.ShardID)
 }
